@@ -1,0 +1,68 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gpufreq/util/logging.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::bench {
+
+sim::GpuDevice make_ga100() { return sim::GpuDevice(sim::GpuSpec::ga100(), kGa100Seed); }
+sim::GpuDevice make_gv100() { return sim::GpuDevice(sim::GpuSpec::gv100(), kGv100Seed); }
+
+core::OfflineConfig paper_offline_config() {
+  core::OfflineConfig cfg;            // defaults already match the paper
+  cfg.collection.runs = 3;            // §4: three runs per configuration
+  cfg.collection.sample_interval_s = 0.02;
+  cfg.collection.samples_per_run = 4;
+  cfg.power_model = core::ModelConfig::paper_power_model();
+  cfg.time_model = core::ModelConfig::paper_time_model();
+  return cfg;
+}
+
+core::PowerTimeModels paper_models() {
+  const core::ModelCache cache;
+  const std::string key = "paper_ga100_v1";
+  if (auto cached = cache.load(key)) {
+    std::fprintf(stderr, "[bench] loaded trained models from %s\n",
+                 cache.path_for(key).c_str());
+    return std::move(*cached);
+  }
+  std::fprintf(stderr, "[bench] training paper models (first run only; cached afterwards)\n");
+  sim::GpuDevice gpu = make_ga100();
+  const core::OfflineTrainer trainer(paper_offline_config());
+  core::PowerTimeModels models = trainer.train(gpu, workloads::training_set());
+  cache.store(key, models);
+  return models;
+}
+
+std::vector<core::AppEvaluation> evaluate_real_apps(const core::PowerTimeModels& models,
+                                                    sim::GpuDevice& device,
+                                                    std::optional<double> threshold) {
+  return core::evaluate_suite(models, device, workloads::evaluation_set(), {},
+                              /*measure_runs=*/3, threshold);
+}
+
+std::string write_csv(const csv::Table& table, const std::string& filename) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("bench_data", ec);
+  if (ec) return "";
+  const std::string path = (fs::path("bench_data") / filename).string();
+  try {
+    table.save(path);
+  } catch (const gpufreq::Error&) {
+    return "";
+  }
+  return path;
+}
+
+void print_header(const std::string& experiment, const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reference: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace gpufreq::bench

@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction bench harnesses: every binary
+// needs the simulated GPUs, the paper's trained models (cached on disk so
+// the suite trains once), and consistent printing/CSV output.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpufreq/core/evaluation.hpp"
+#include "gpufreq/core/model_cache.hpp"
+#include "gpufreq/util/table.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::bench {
+
+/// Deterministic device seeds so every bench sees the same "testbed".
+inline constexpr std::uint64_t kGa100Seed = 0xA100'5EEDULL;
+inline constexpr std::uint64_t kGv100Seed = 0xB100'5EEDULL;
+
+sim::GpuDevice make_ga100();
+sim::GpuDevice make_gv100();
+
+/// The paper's offline configuration: all 61 used GA100 frequencies, three
+/// runs per configuration, 20 ms sampling, 100/25 epochs.
+core::OfflineConfig paper_offline_config();
+
+/// Train the paper models on the GA100 training suite, or load them from
+/// the model cache ($GPUFREQ_CACHE_DIR, default .gpufreq_cache). All bench
+/// binaries share the same cache key so the suite trains exactly once.
+core::PowerTimeModels paper_models();
+
+/// Evaluate the six real applications on the given device with the paper
+/// models (Table 3/4/5 inputs). Results are deterministic.
+std::vector<core::AppEvaluation> evaluate_real_apps(
+    const core::PowerTimeModels& models, sim::GpuDevice& device,
+    std::optional<double> threshold = std::nullopt);
+
+/// Write a CSV table under bench_data/ (created on demand); returns the
+/// path, or "" if the directory cannot be created.
+std::string write_csv(const csv::Table& table, const std::string& filename);
+
+/// Print a standard bench header naming the experiment being reproduced.
+void print_header(const std::string& experiment, const std::string& paper_claim);
+
+}  // namespace gpufreq::bench

@@ -1,0 +1,66 @@
+// Figure 3: mutual-information dependency of the 10 candidate utilization
+// features with power_usage and execution_time, estimated on the DGEMM +
+// STREAM dataset. The paper selects the top three: fp_active, sm_app_clock,
+// dram_active.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gpufreq/dcgm/collection.hpp"
+#include "gpufreq/features/ranking.hpp"
+#include "gpufreq/util/strings.hpp"
+
+using namespace gpufreq;
+
+int main() {
+  bench::print_header(
+      "Figure 3 — feature dependency (mutual information) for power and time",
+      "top-3 features for both predictands: fp_active, sm_app_clock, dram_active");
+
+  sim::GpuDevice gpu = bench::make_ga100();
+  dcgm::CollectionConfig cc;
+  cc.runs = 3;
+  cc.samples_per_run = 4;
+  dcgm::ProfilingSession session(gpu, cc);
+  const auto result =
+      session.profile_suite({workloads::find("dgemm"), workloads::find("stream")});
+
+  // The ten candidate features of §4.2.1 (exec_time and power_usage are the
+  // predictands; fp64/fp32 are merged into fp_active as in the paper).
+  const std::vector<std::string> candidates = {
+      "fp_active",    "sm_app_clock", "dram_active",  "gr_engine_active",
+      "gpu_utilization", "sm_active", "sm_occupancy", "pcie_tx_bytes",
+      "pcie_rx_bytes", "fp64_active"};
+
+  features::FeatureRanker ranker;
+  std::vector<double> power, time;
+  std::vector<std::vector<double>> cols(candidates.size());
+  for (const auto& s : result.samples) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      cols[i].push_back(s.counters.value(candidates[i]));
+    }
+    power.push_back(s.counters.power_usage);
+    time.push_back(s.counters.exec_time);
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ranker.add_feature(candidates[i], cols[i]);
+  }
+
+  csv::Table out({"predictand", "feature", "mi_nats", "mi_normalized"});
+  for (const auto& [label, target] : {std::pair{"power_usage", &power},
+                                      std::pair{"execution_time", &time}}) {
+    const auto scores = ranker.rank(*target);
+    std::printf("\nMI with %s (normalized to the best feature):\n", label);
+    for (const auto& s : scores) {
+      std::printf("  %s\n",
+                  util::bar_line(s.feature, s.mi_normalized, 1.0, 40, 18, 3).c_str());
+      out.add_row({label, s.feature, strings::format_double(s.mi, 5),
+                   strings::format_double(s.mi_normalized, 5)});
+    }
+    std::printf("  -> top-3: %s, %s, %s\n", scores[0].feature.c_str(),
+                scores[1].feature.c_str(), scores[2].feature.c_str());
+  }
+
+  const std::string path = bench::write_csv(out, "fig03_mutual_information.csv");
+  if (!path.empty()) std::printf("\nraw scores written to %s\n", path.c_str());
+  return 0;
+}

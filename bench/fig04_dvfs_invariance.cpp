@@ -1,0 +1,47 @@
+// Figure 4: impact of DVFS on the selected computational-activity features
+// (fp_active, dram_active) of DGEMM and STREAM at maximum input size.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gpufreq/util/strings.hpp"
+
+using namespace gpufreq;
+
+int main() {
+  bench::print_header(
+      "Figure 4 — impact of DVFS on fp_active / dram_active (DGEMM, STREAM)",
+      "fp activity almost unaffected by frequency; memory activity varies to some extent");
+
+  sim::GpuDevice gpu = bench::make_ga100();
+  csv::Table out({"workload", "frequency_mhz", "fp_active", "dram_active"});
+  sim::RunOptions opts;
+  opts.collect_samples = false;
+
+  for (const char* name : {"dgemm", "stream"}) {
+    const auto& wl = workloads::find(name);
+    std::printf("\n%s:\n  %-9s %-10s %s\n", name, "f (MHz)", "fp_active", "dram_active");
+    double fp_min = 1.0, fp_max = 0.0, dr_min = 1.0, dr_max = 0.0;
+    for (double f : gpu.spec().used_frequencies()) {
+      const auto r = gpu.run_at(wl, f, opts);
+      const double fp = r.mean_counters.fp_active();
+      const double dr = r.mean_counters.dram_active;
+      fp_min = std::min(fp_min, fp);
+      fp_max = std::max(fp_max, fp);
+      dr_min = std::min(dr_min, dr);
+      dr_max = std::max(dr_max, dr);
+      if (static_cast<long long>(f) % 90 == 0 || f == 1410.0) {
+        std::printf("  %-9.0f %-10.4f %.4f\n", f, fp, dr);
+      }
+      out.add_row({name, strings::format_double(f, 0), strings::format_double(fp, 6),
+                   strings::format_double(dr, 6)});
+    }
+    std::printf("  fp_active spread:   %.4f .. %.4f (range %.4f)\n", fp_min, fp_max,
+                fp_max - fp_min);
+    std::printf("  dram_active spread: %.4f .. %.4f (range %.4f)\n", dr_min, dr_max,
+                dr_max - dr_min);
+  }
+
+  const std::string path = bench::write_csv(out, "fig04_dvfs_invariance.csv");
+  if (!path.empty()) std::printf("\nraw series written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 7: predicted vs measured power for each real application across
+// the 61 GA100 DVFS configurations.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gpufreq/util/stats.hpp"
+#include "gpufreq/util/strings.hpp"
+
+using namespace gpufreq;
+
+int main() {
+  bench::print_header(
+      "Figure 7 — predicted vs measured power, six real applications, GA100",
+      "power model accuracy > 96% on every application (Table 3, GA100 column)");
+
+  const core::PowerTimeModels models = bench::paper_models();
+  sim::GpuDevice gpu = bench::make_ga100();
+  const auto evals = bench::evaluate_real_apps(models, gpu);
+
+  csv::Table out({"app", "frequency_mhz", "measured_power_w", "predicted_power_w"});
+  for (const auto& ev : evals) {
+    std::printf("\n%s — power accuracy %.1f%% (MAPE %.1f%%)\n", ev.app.c_str(),
+                ev.power_accuracy_pct, 100.0 - ev.power_accuracy_pct);
+    std::printf("  %-9s %-12s %-12s %s\n", "f (MHz)", "measured W", "predicted W", "err %");
+    for (std::size_t i = 0; i < ev.measured.size(); i += 10) {
+      const double m = ev.measured.power_w[i];
+      const double p = ev.predicted.power_w[i];
+      std::printf("  %-9.0f %-12.1f %-12.1f %+.1f\n", ev.measured.frequency_mhz[i], m, p,
+                  100.0 * (p - m) / m);
+    }
+    for (std::size_t i = 0; i < ev.measured.size(); ++i) {
+      out.add_row({ev.app, strings::format_double(ev.measured.frequency_mhz[i], 0),
+                   strings::format_double(ev.measured.power_w[i], 3),
+                   strings::format_double(ev.predicted.power_w[i], 3)});
+    }
+  }
+
+  double mean_acc = 0.0;
+  for (const auto& ev : evals) mean_acc += ev.power_accuracy_pct;
+  std::printf("\nmean power accuracy across apps: %.1f%%\n",
+              mean_acc / static_cast<double>(evals.size()));
+
+  const std::string path = bench::write_csv(out, "fig07_power_prediction.csv");
+  if (!path.empty()) std::printf("raw series written to %s\n", path.c_str());
+  return 0;
+}

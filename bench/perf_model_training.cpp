@@ -1,0 +1,89 @@
+// §4.3 timing claims as a google-benchmark microbench: the paper reports
+// ~6.5 s to train the power model (100 epochs), ~2.6 s for the time model
+// (25 epochs), and ~0.2 s for a full 61-configuration prediction.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "gpufreq/core/dataset.hpp"
+#include "gpufreq/core/pipeline.hpp"
+
+using namespace gpufreq;
+
+namespace {
+
+const core::Dataset& training_dataset() {
+  static const core::Dataset ds = [] {
+    sim::GpuDevice gpu = bench::make_ga100();
+    const core::OfflineTrainer trainer(bench::paper_offline_config());
+    return trainer.collect_dataset(gpu, workloads::training_set());
+  }();
+  return ds;
+}
+
+void BM_TrainPowerModel(benchmark::State& state) {
+  const auto& ds = training_dataset();
+  core::ModelConfig cfg = core::ModelConfig::paper_power_model();
+  cfg.epochs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::DnnModel model;
+    const auto history = model.train(ds, core::Target::kPower, cfg);
+    benchmark::DoNotOptimize(history.final_train_loss());
+  }
+  state.counters["rows"] = static_cast<double>(ds.size());
+  state.counters["epochs"] = static_cast<double>(cfg.epochs);
+}
+BENCHMARK(BM_TrainPowerModel)->Arg(100)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_TrainTimeModel(benchmark::State& state) {
+  const auto& ds = training_dataset();
+  core::ModelConfig cfg = core::ModelConfig::paper_time_model();
+  cfg.epochs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::DnnModel model;
+    const auto history = model.train(ds, core::Target::kTime, cfg);
+    benchmark::DoNotOptimize(history.final_train_loss());
+  }
+  state.counters["rows"] = static_cast<double>(ds.size());
+}
+BENCHMARK(BM_TrainTimeModel)->Arg(25)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_PredictFullDvfsSpace(benchmark::State& state) {
+  // One online prediction: power + time across all 61 used frequencies.
+  static const core::PowerTimeModels models = bench::paper_models();
+  static sim::GpuDevice gpu = bench::make_ga100();
+  const core::OnlinePredictor predictor(models);
+
+  // Acquire the max-frequency features once (not part of the timed region —
+  // the paper's 0.2 s figure is the model inference).
+  gpu.reset_clocks();
+  sim::RunOptions ro;
+  ro.collect_samples = false;
+  const sim::RunResult acq = gpu.run(workloads::find("lammps"), ro);
+
+  const auto freqs = gpu.spec().used_frequencies();
+  for (auto _ : state) {
+    const core::DvfsProfile p = predictor.predict_from_features(
+        acq.mean_counters, acq.exec_time_s, gpu.spec(), freqs, "lammps");
+    benchmark::DoNotOptimize(p.energy_j.data());
+  }
+  state.counters["configs"] = static_cast<double>(freqs.size());
+}
+BENCHMARK(BM_PredictFullDvfsSpace)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatedRun(benchmark::State& state) {
+  // Throughput of the simulator itself (one workload execution).
+  static sim::GpuDevice gpu = bench::make_ga100();
+  const auto& wl = workloads::find("fft");
+  sim::RunOptions ro;
+  ro.collect_samples = false;
+  int run = 0;
+  for (auto _ : state) {
+    ro.run_index = run++;
+    benchmark::DoNotOptimize(gpu.run_at(wl, 1005.0, ro).energy_j);
+  }
+}
+BENCHMARK(BM_SimulatedRun)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

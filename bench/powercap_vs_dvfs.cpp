@@ -1,0 +1,84 @@
+// Power capping vs model-driven frequency selection: the standard
+// data-center alternative to DVFS tuning is a board power limit
+// (nvidia-smi -pl). This bench gives both mechanisms the same power budget
+// per application — the budget being whatever the P-ED2P frequency pick
+// draws — and compares the resulting energy and runtime. Because a cap
+// reacts to the workload while a fixed clock does not, the two coincide on
+// steady workloads; the model-driven pick needs no per-workload power
+// measurement at deployment time, which is the methodology's selling point.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gpufreq/sim/power_controls.hpp"
+#include "gpufreq/util/strings.hpp"
+#include "gpufreq/util/table.hpp"
+
+using namespace gpufreq;
+
+int main() {
+  bench::print_header(
+      "Extension — power capping vs DNN-driven frequency selection",
+      "same power budget, two mechanisms; the model-driven clock matches the "
+      "cap's outcome without per-app power telemetry at deployment");
+
+  const core::PowerTimeModels models = bench::paper_models();
+  sim::GpuDevice gpu = bench::make_ga100();
+  const core::OnlinePredictor predictor(models);
+
+  util::AsciiTable table({"Application", "P-ED2P MHz", "budget W", "cap MHz",
+                          "dvfs dE%", "cap dE%", "dvfs dT%", "cap dT%"});
+  csv::Table out({"app", "mechanism", "clock_mhz", "power_w", "energy_change_pct",
+                  "time_change_pct"});
+
+  for (const auto& wl : workloads::evaluation_set()) {
+    sim::RunOptions ro;
+    ro.collect_samples = false;
+
+    // Reference at f_max, stock settings.
+    gpu.set_power_controls({});
+    const sim::RunResult ref = gpu.run_at(wl, gpu.spec().core_max_mhz, ro);
+
+    // Mechanism 1: the methodology's pick (predicted profile -> ED2P).
+    const core::DvfsProfile predicted = predictor.predict(gpu, wl);
+    const core::Selection pick =
+        core::select_optimal_frequency(predicted, core::Objective::ed2p());
+    const sim::RunResult dvfs = gpu.run_at(wl, pick.frequency_mhz, ro);
+
+    // Mechanism 2: a power cap with the budget the pick actually draws.
+    const double budget = dvfs.avg_power_w;
+    sim::PowerControls cap;
+    cap.power_limit_w = budget;
+    gpu.set_power_controls(cap);
+    const sim::RunResult capped = gpu.run_at(wl, gpu.spec().core_max_mhz, ro);
+    gpu.set_power_controls({});
+
+    auto de = [&](const sim::RunResult& r) {
+      return 100.0 * (r.energy_j - ref.energy_j) / ref.energy_j;
+    };
+    auto dt = [&](const sim::RunResult& r) {
+      return 100.0 * (r.exec_time_s - ref.exec_time_s) / ref.exec_time_s;
+    };
+
+    table.begin_row().cell(wl.name)
+        .cell(static_cast<long long>(pick.frequency_mhz))
+        .cell(budget, 0)
+        .cell(static_cast<long long>(capped.effective_clock_mhz))
+        .cell(de(dvfs), 1).cell(de(capped), 1).cell(dt(dvfs), 1).cell(dt(capped), 1);
+    out.add_row({wl.name, "dvfs_pick", strings::format_double(pick.frequency_mhz, 0),
+                 strings::format_double(dvfs.avg_power_w, 1),
+                 strings::format_double(de(dvfs), 2), strings::format_double(dt(dvfs), 2)});
+    out.add_row({wl.name, "power_cap", strings::format_double(capped.effective_clock_mhz, 0),
+                 strings::format_double(capped.avg_power_w, 1),
+                 strings::format_double(de(capped), 2), strings::format_double(dt(capped), 2)});
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf("with an exact budget the cap resolves to (nearly) the same clock, so the\n"
+              "columns agree — but the cap had to be derived from the pick's measured\n"
+              "power. The DNN pipeline produces the clock directly from one profiling\n"
+              "run, with no per-application power-limit calibration.\n");
+
+  const std::string path = bench::write_csv(out, "powercap_vs_dvfs.csv");
+  if (!path.empty()) std::printf("raw table written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 5: change in energy and execution time for each application on
+// GA100 under all four selectors (M-ED2P, P-ED2P, M-EDP, P-EDP), plus the
+// per-selector averages. Sign convention follows the paper: positive energy
+// numbers are savings; negative time numbers are performance loss.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gpufreq/util/strings.hpp"
+#include "gpufreq/util/table.hpp"
+
+using namespace gpufreq;
+
+int main() {
+  bench::print_header(
+      "Table 5 — % energy savings and time change per selector, GA100",
+      "paper averages: M-ED2P +28.2% energy / -1.8% time; M-EDP +29.2% / -9.1%; "
+      "ED2P trades a little energy for much better performance than EDP");
+
+  const core::PowerTimeModels models = bench::paper_models();
+  sim::GpuDevice gpu = bench::make_ga100();
+  const auto evals = bench::evaluate_real_apps(models, gpu);
+
+  util::AsciiTable table({"Application", "E% M-ED2P", "E% P-ED2P", "E% M-EDP", "E% P-EDP",
+                          "T% M-ED2P", "T% P-ED2P", "T% M-EDP", "T% P-EDP"});
+  csv::Table out({"app", "selector", "energy_saving_pct", "time_change_pct"});
+
+  // Paper sign convention: energy saving = -energy_change; time change =
+  // -time_change (negative = loss).
+  double e_sum[4] = {0, 0, 0, 0};
+  double t_sum[4] = {0, 0, 0, 0};
+  for (const auto& ev : evals) {
+    const core::Selection* sels[4] = {&ev.m_ed2p, &ev.p_ed2p, &ev.m_edp, &ev.p_edp};
+    const char* names[4] = {"m_ed2p", "p_ed2p", "m_edp", "p_edp"};
+    double e[4], t[4];
+    for (int i = 0; i < 4; ++i) {
+      e[i] = -ev.measured_energy_change_pct(*sels[i]);
+      t[i] = -ev.measured_time_change_pct(*sels[i]);
+      e_sum[i] += e[i];
+      t_sum[i] += t[i];
+      out.add_row({ev.app, names[i], strings::format_double(e[i], 2),
+                   strings::format_double(t[i], 2)});
+    }
+    table.begin_row().cell(ev.app);
+    for (int i = 0; i < 4; ++i) table.cell(e[i], 1);
+    for (int i = 0; i < 4; ++i) table.cell(t[i], 1);
+  }
+  const auto n = static_cast<double>(evals.size());
+  table.begin_row().cell("Average");
+  for (double v : e_sum) table.cell(v / n, 1);
+  for (double v : t_sum) table.cell(v / n, 1);
+
+  std::printf("%s", table.render().c_str());
+  std::printf("average M-ED2P: %+.1f%% energy at %+.1f%% time "
+              "(paper: +28.2%% / -1.8%%)\n",
+              e_sum[0] / n, t_sum[0] / n);
+  std::printf("average M-EDP : %+.1f%% energy at %+.1f%% time "
+              "(paper: +29.2%% / -9.1%%)\n",
+              e_sum[2] / n, t_sum[2] / n);
+  std::printf("ED2P vs EDP   : ED2P gives up %.1f%% energy to recover %.1f%% time\n",
+              (e_sum[2] - e_sum[0]) / n, (t_sum[0] - t_sum[2]) / n);
+
+  const std::string path = bench::write_csv(out, "table5_energy_savings.csv");
+  if (!path.empty()) std::printf("raw table written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: the complete methodology in ~60 lines.
+//
+//   1. Offline phase — profile the training benchmarks across the DVFS
+//      space of a (simulated) A100 and train the DNN power & time models.
+//   2. Online phase  — run an unseen application ONCE at max frequency,
+//      predict its power/time/energy at every frequency.
+//   3. Pick the optimal frequency with ED2P (optionally thresholded).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "gpufreq/core/evaluation.hpp"
+#include "gpufreq/core/model_cache.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+using namespace gpufreq;
+
+int main() {
+  // A simulated NVIDIA A100 (GA100): 61 usable DVFS configurations between
+  // 510 and 1410 MHz (see sim::GpuSpec::ga100() for the full spec).
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  std::printf("GPU: %s, %zu DVFS configs [%g..%g MHz], TDP %g W\n",
+              gpu.spec().name.c_str(), gpu.spec().used_frequencies().size(),
+              gpu.spec().used_frequencies().front(), gpu.spec().used_frequencies().back(),
+              gpu.spec().tdp_w);
+
+  // ---- 1. Offline training (cached across runs) ------------------------
+  core::ModelCache cache;
+  core::PowerTimeModels models;
+  if (auto cached = cache.load("quickstart")) {
+    models = std::move(*cached);
+    std::printf("loaded cached models from %s\n", cache.path_for("quickstart").c_str());
+  } else {
+    std::printf("training the power & time models on the 21 benchmark workloads...\n");
+    core::OfflineConfig cfg;           // paper defaults: 3x64 SELU, RMSprop,
+    cfg.collection.runs = 2;           // batch 64, 100/25 epochs
+    cfg.collection.samples_per_run = 3;
+    models = core::OfflineTrainer(cfg).train(gpu, workloads::training_set());
+    cache.store("quickstart", models);
+    std::printf("done: power model %.1fs (%zu epochs), time model %.1fs (%zu epochs)\n",
+                models.power_history.wall_seconds, models.power_history.epochs_run,
+                models.time_history.wall_seconds, models.time_history.epochs_run);
+  }
+
+  // ---- 2. Online prediction for an unseen application ------------------
+  const auto& app = workloads::find("lammps");
+  const core::OnlinePredictor predictor(models);
+  const core::DvfsProfile predicted = predictor.predict(gpu, app);
+  std::printf("\npredicted %s across %zu frequencies from ONE max-frequency run\n",
+              app.name.c_str(), predicted.size());
+
+  // ---- 3. Optimal frequency selection (Algorithm 1) --------------------
+  const core::Selection ed2p =
+      core::select_optimal_frequency(predicted, core::Objective::ed2p());
+  const core::Selection edp =
+      core::select_optimal_frequency(predicted, core::Objective::edp());
+  const core::Selection capped =
+      core::select_optimal_frequency(predicted, core::Objective::edp(), /*threshold=*/0.05);
+
+  std::printf("  ED2P optimum:          %4.0f MHz\n", ed2p.frequency_mhz);
+  std::printf("  EDP  optimum:          %4.0f MHz\n", edp.frequency_mhz);
+  std::printf("  EDP  with 5%% cap:      %4.0f MHz (predicted degradation %.1f%%)\n",
+              capped.frequency_mhz, 100.0 * capped.perf_degradation);
+
+  // Verify the outcome against the simulated ground truth.
+  const core::DvfsProfile measured =
+      core::measure_profile(gpu, app, gpu.spec().used_frequencies(), /*runs=*/1);
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    if (measured.frequency_mhz[i] == ed2p.frequency_mhz) {
+      std::printf("\nmeasured outcome at the ED2P choice: %+.1f%% energy, %+.1f%% time "
+                  "(vs max frequency)\n",
+                  measured.energy_change_pct(i), measured.time_change_pct(i));
+    }
+  }
+  return 0;
+}

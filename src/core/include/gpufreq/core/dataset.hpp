@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpufreq/dcgm/collection.hpp"
+#include "gpufreq/nn/matrix.hpp"
+#include "gpufreq/sim/gpu_spec.hpp"
+
+namespace gpufreq::core {
+
+/// Which metrics feed the models. Default = the paper's three MI-selected
+/// features (§4.2.1). "fp_active" is the merged FP64+FP32 pipe activity;
+/// "sm_app_clock" is converted to GHz so all features are O(1).
+struct FeatureConfig {
+  std::vector<std::string> metrics = {"fp_active", "dram_active", "sm_app_clock"};
+
+  std::size_t dim() const { return metrics.size(); }
+
+  /// Extract the configured feature row from a counter snapshot.
+  std::vector<float> extract(const sim::CounterSet& counters) const;
+};
+
+/// Supervised dataset for the power and time models.
+///
+/// Targets (see DESIGN.md §2 for why):
+///   * y_power    — board power as a fraction of the GPU's TDP, which is the
+///                  normalization that makes one model portable between a
+///                  500 W GA100 and a 250 W GV100;
+///   * y_slowdown — exec_time(f) / exec_time(f_max) for the same workload,
+///                  the quantity Figure 8 plots (normalized time).
+struct Dataset {
+  nn::Matrix x;                       ///< n x FeatureConfig::dim()
+  std::vector<double> y_power;        ///< TDP fraction
+  std::vector<double> y_slowdown;     ///< >= ~1
+  std::vector<std::string> feature_names;
+
+  // Row provenance (for grouping, ablations, and error analysis).
+  std::vector<std::string> workload;
+  std::vector<double> frequency_mhz;
+
+  std::size_t size() const { return x.rows(); }
+
+  /// Power / slowdown targets as single-column matrices for the trainer.
+  nn::Matrix power_targets() const;
+  nn::Matrix slowdown_targets() const;
+};
+
+/// Build a Dataset from a profiling campaign. The slowdown reference for a
+/// workload is its mean exec time at the *highest frequency present* for
+/// that workload in `result` (the campaign must include the maximum
+/// frequency, as the paper's methodology does).
+Dataset build_dataset(const dcgm::CollectionResult& result, const sim::GpuSpec& spec,
+                      const FeatureConfig& features = {});
+
+}  // namespace gpufreq::core

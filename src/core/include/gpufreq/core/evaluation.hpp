@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+
+#include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/core/selector.hpp"
+
+namespace gpufreq::core {
+
+/// Everything the paper's §5 reports for one application on one GPU:
+/// model accuracies (Table 3), the four selector choices (Table 4 /
+/// Figure 9), and the measured energy/time changes at each choice
+/// (Table 5 / Figure 10).
+struct AppEvaluation {
+  std::string app;
+  std::string gpu;
+  DvfsProfile measured;
+  DvfsProfile predicted;
+
+  double power_accuracy_pct = 0.0;  ///< 100 - MAPE(measured P, predicted P)
+  double time_accuracy_pct = 0.0;   ///< 100 - MAPE(measured T, predicted T)
+
+  Selection m_edp, p_edp, m_ed2p, p_ed2p;
+
+  /// Measured % change (relative to f_max) of energy/time when running at
+  /// the frequency a selection chose. Negative energy = savings; positive
+  /// time = slowdown.
+  double measured_energy_change_pct(const Selection& sel) const;
+  double measured_time_change_pct(const Selection& sel) const;
+
+  /// Map a predicted-profile selection onto the measured profile (the grids
+  /// are identical, so this resolves by frequency).
+  std::size_t measured_index_of(const Selection& sel) const;
+};
+
+/// Evaluate one unseen application: measure its ground-truth DVFS profile,
+/// predict its profile from a single max-frequency run, compute accuracies,
+/// and run all four selectors. `threshold` feeds Algorithm 1 (Table 6).
+AppEvaluation evaluate_app(const PowerTimeModels& models, sim::GpuDevice& device,
+                           const workloads::WorkloadDescriptor& wl,
+                           std::vector<double> frequencies = {}, int measure_runs = 3,
+                           std::optional<double> threshold = std::nullopt);
+
+/// Evaluate a list of applications (the paper's six real apps).
+std::vector<AppEvaluation> evaluate_suite(const PowerTimeModels& models,
+                                          sim::GpuDevice& device,
+                                          const std::vector<workloads::WorkloadDescriptor>& apps,
+                                          std::vector<double> frequencies = {},
+                                          int measure_runs = 3,
+                                          std::optional<double> threshold = std::nullopt);
+
+}  // namespace gpufreq::core

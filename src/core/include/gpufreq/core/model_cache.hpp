@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gpufreq/core/models.hpp"
+
+namespace gpufreq::core {
+
+/// Disk cache for trained PowerTimeModels, so the bench harnesses (which
+/// all need the same paper models) train once and reuse the result. Stored
+/// as: both ModelBundles, both loss histories, and the feature list.
+class ModelCache {
+ public:
+  /// `dir` defaults to $GPUFREQ_CACHE_DIR, else ".gpufreq_cache" in the
+  /// current working directory. The directory is created on first store.
+  explicit ModelCache(std::string dir = default_dir());
+
+  static std::string default_dir();
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path a key resolves to (for diagnostics).
+  std::string path_for(const std::string& key) const;
+
+  /// Load a cached model set; std::nullopt when absent or unreadable (a
+  /// corrupt cache entry is treated as a miss, not an error).
+  std::optional<PowerTimeModels> load(const std::string& key) const;
+
+  /// Persist a model set under the key.
+  void store(const std::string& key, const PowerTimeModels& models) const;
+
+  /// Remove a cache entry if present.
+  void invalidate(const std::string& key) const;
+
+ private:
+  std::string dir_;
+};
+
+/// Serialize / deserialize a PowerTimeModels to a file (used by the cache
+/// and directly by applications that ship trained models).
+void save_models(const PowerTimeModels& models, const std::string& path);
+PowerTimeModels load_models(const std::string& path);
+
+}  // namespace gpufreq::core

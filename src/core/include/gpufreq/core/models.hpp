@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gpufreq/core/dataset.hpp"
+#include "gpufreq/nn/serialize.hpp"
+#include "gpufreq/nn/trainer.hpp"
+
+namespace gpufreq::core {
+
+/// What a model predicts.
+enum class Target { kPower, kTime };
+
+/// Hyper-parameters for one model, defaulted to the paper's §4.3 choices.
+struct ModelConfig {
+  std::size_t hidden_layers = 3;
+  std::size_t hidden_units = 64;
+  nn::Activation activation = nn::Activation::kSelu;
+  std::string optimizer = "rmsprop";
+  double learning_rate = -1.0;       ///< <=0: optimizer default
+  std::size_t batch_size = 64;
+  std::size_t epochs = 100;          ///< paper: 100 (power), 25 (time)
+  double validation_split = 0.2;
+  std::uint64_t seed = 0xD00DULL;
+
+  /// The paper's configurations.
+  static ModelConfig paper_power_model();
+  static ModelConfig paper_time_model();
+};
+
+/// A trained DNN regressor for one target: network + input scaler + target
+/// scaler. Inputs/targets are standardized for training and mapped back on
+/// prediction.
+class DnnModel {
+ public:
+  DnnModel() = default;
+
+  /// Train on the dataset for the given target. Returns the loss history
+  /// (Figure 6 material).
+  nn::TrainHistory train(const Dataset& dataset, Target target, const ModelConfig& config);
+
+  bool trained() const { return trained_; }
+  Target target() const { return target_; }
+
+  /// Predict the (normalized) target for a feature matrix: TDP fraction for
+  /// power models, slowdown for time models.
+  std::vector<double> predict(const nn::Matrix& x) const;
+
+  /// Predict for a single feature row.
+  double predict_one(std::span<const float> x) const;
+
+  /// Access for serialization / the model cache.
+  const nn::ModelBundle& bundle() const { return bundle_; }
+  void restore(nn::ModelBundle bundle, Target target);
+
+ private:
+  nn::ModelBundle bundle_;
+  Target target_ = Target::kPower;
+  bool trained_ = false;
+};
+
+/// The pair of models the methodology trains once, offline.
+struct PowerTimeModels {
+  DnnModel power;
+  DnnModel time;
+  FeatureConfig features;
+  nn::TrainHistory power_history;
+  nn::TrainHistory time_history;
+};
+
+}  // namespace gpufreq::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gpufreq::core {
+
+/// Multi-objective score combining energy and delay. The paper uses EDP
+/// (E*T) and ED2P (E*T^2, §4.4); the framework lets users define their own
+/// (e.g. E*T^w or weighted sums), as the paper's framework does.
+class Objective {
+ public:
+  using ScoreFn = std::function<double(double energy_j, double time_s)>;
+
+  /// Energy-delay product: E * T.
+  static Objective edp();
+
+  /// Energy-delay-squared product: E * T^2 (performance-weighted).
+  static Objective ed2p();
+
+  /// Generalized E * T^w.
+  static Objective edp_exponent(double w);
+
+  /// Fully custom score (lower is better).
+  static Objective custom(std::string name, ScoreFn fn);
+
+  const std::string& name() const { return name_; }
+
+  /// Score one (energy, time) point; lower is better.
+  double score(double energy_j, double time_s) const;
+
+  /// Scores for a whole profile (element-wise).
+  std::vector<double> scores(const std::vector<double>& energy_j,
+                             const std::vector<double>& time_s) const;
+
+ private:
+  Objective(std::string name, ScoreFn fn);
+  std::string name_;
+  ScoreFn fn_;
+};
+
+}  // namespace gpufreq::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "gpufreq/core/profiles.hpp"
+#include "gpufreq/core/selector.hpp"
+
+namespace gpufreq::core {
+
+/// Energy/time Pareto analysis of a DVFS profile.
+///
+/// The related work the paper compares against (Guerreiro et al., Fan et
+/// al.) returns a *set* of Pareto-optimal DVFS configurations and leaves
+/// the final choice to the user; the paper argues a single EDP/ED2P pick is
+/// simpler for non-expert users (§1). This module provides the Pareto view
+/// so both interfaces are available, and so the property "every EDP/ED2P
+/// optimum lies on the Pareto front" can be checked and tested.
+struct ParetoPoint {
+  std::size_t index = 0;       ///< index into the profile
+  double frequency_mhz = 0.0;
+  double energy_j = 0.0;
+  double time_s = 0.0;
+};
+
+/// Indices of the energy/time Pareto-optimal configurations (minimizing
+/// both objectives; a point is dominated if another is <= in both and < in
+/// one). Result is sorted by ascending time (descending energy).
+std::vector<ParetoPoint> pareto_front(const DvfsProfile& profile);
+
+/// True if the profile point at `index` is on the energy/time Pareto front.
+bool is_pareto_optimal(const DvfsProfile& profile, std::size_t index);
+
+/// Hypervolume indicator of the front w.r.t. a reference point
+/// (ref_energy, ref_time), e.g. the f_max configuration. Larger = better
+/// front. Requires the reference to weakly dominate no front point.
+double pareto_hypervolume(const std::vector<ParetoPoint>& front, double ref_energy_j,
+                          double ref_time_s);
+
+/// The knee point of the front: the point with the maximum perpendicular
+/// distance from the line joining the front's extreme points (a common
+/// automatic pick when a full front is returned to the user).
+ParetoPoint pareto_knee(const std::vector<ParetoPoint>& front);
+
+}  // namespace gpufreq::core

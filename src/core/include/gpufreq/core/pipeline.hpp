@@ -1,0 +1,71 @@
+#pragma once
+
+#include "gpufreq/core/models.hpp"
+#include "gpufreq/core/profiles.hpp"
+
+namespace gpufreq::core {
+
+/// Configuration of the offline training phase (§4, Figure 2 left side).
+struct OfflineConfig {
+  dcgm::CollectionConfig collection{
+      .frequencies_mhz = {},    // all "used" frequencies of the device
+      .runs = 3,                // paper: three runs per configuration
+      .sample_interval_s = 0.02,
+      .samples_per_run = 4,
+      .input_scale = 1.0,
+  };
+  ModelConfig power_model = ModelConfig::paper_power_model();
+  ModelConfig time_model = ModelConfig::paper_time_model();
+  FeatureConfig features;
+};
+
+/// Offline phase: run every training workload across the DVFS space on the
+/// (simulated) training GPU, build the feature dataset, and train the power
+/// and time DNNs.
+class OfflineTrainer {
+ public:
+  explicit OfflineTrainer(OfflineConfig config = {});
+
+  const OfflineConfig& config() const { return config_; }
+
+  /// Profile the suite and build the supervised dataset.
+  Dataset collect_dataset(sim::GpuDevice& device,
+                          const std::vector<workloads::WorkloadDescriptor>& suite) const;
+
+  /// Train both models on an existing dataset.
+  PowerTimeModels train_on(const Dataset& dataset) const;
+
+  /// collect_dataset + train_on in one call.
+  PowerTimeModels train(sim::GpuDevice& device,
+                        const std::vector<workloads::WorkloadDescriptor>& suite) const;
+
+ private:
+  OfflineConfig config_;
+};
+
+/// Online phase (§4, Figure 2 right side): execute an application once, at
+/// the maximum frequency only, then predict its power/time/energy across
+/// every DVFS configuration by replicating its (frequency-invariant)
+/// features with the clock feature swapped.
+class OnlinePredictor {
+ public:
+  explicit OnlinePredictor(const PowerTimeModels& models);
+
+  /// Predicted DVFS profile for the workload on the given device. `runs`
+  /// controls the max-frequency feature acquisition (paper: one execution).
+  DvfsProfile predict(sim::GpuDevice& device, const workloads::WorkloadDescriptor& wl,
+                      std::vector<double> frequencies = {}, int runs = 1,
+                      double input_scale = 1.0) const;
+
+  /// Predict from already-acquired max-frequency counters plus the measured
+  /// wall time, without touching a device (pure model inference).
+  DvfsProfile predict_from_features(const sim::CounterSet& max_freq_counters,
+                                    double measured_time_at_max_s, const sim::GpuSpec& spec,
+                                    const std::vector<double>& frequencies,
+                                    const std::string& workload_name) const;
+
+ private:
+  const PowerTimeModels& models_;
+};
+
+}  // namespace gpufreq::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpufreq/dcgm/collection.hpp"
+#include "gpufreq/sim/gpu_device.hpp"
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::core {
+
+/// Power/time/energy of one workload across the DVFS space — either
+/// measured (run means) or model-predicted. Frequencies are ascending.
+struct DvfsProfile {
+  std::string workload;
+  std::string gpu;
+  bool predicted = false;
+  std::vector<double> frequency_mhz;
+  std::vector<double> power_w;
+  std::vector<double> time_s;
+  std::vector<double> energy_j;
+
+  std::size_t size() const { return frequency_mhz.size(); }
+
+  /// Index of the maximum frequency (reference configuration).
+  std::size_t max_frequency_index() const;
+
+  /// Percentage change of energy / time at `index` relative to the maximum
+  /// frequency. Positive = increase.
+  double energy_change_pct(std::size_t index) const;
+  double time_change_pct(std::size_t index) const;
+
+  /// Validate internal consistency (equal lengths, ascending f, positive
+  /// powers/times). Throws InvalidArgument on violation.
+  void validate() const;
+};
+
+/// Measure a ground-truth DVFS profile by running the workload at every
+/// frequency (run means over `runs` repetitions). This is the "measured"
+/// side (M-EDP / M-ED2P) of the paper's evaluation.
+DvfsProfile measure_profile(sim::GpuDevice& device,
+                            const workloads::WorkloadDescriptor& wl,
+                            const std::vector<double>& frequencies, int runs = 3,
+                            double input_scale = 1.0);
+
+/// Build a measured profile from an existing collection result (run means
+/// per frequency for the given workload).
+DvfsProfile profile_from_collection(const dcgm::CollectionResult& result,
+                                    const std::string& workload_name);
+
+}  // namespace gpufreq::core

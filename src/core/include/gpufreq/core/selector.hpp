@@ -1,0 +1,35 @@
+#pragma once
+
+#include <optional>
+
+#include "gpufreq/core/objective.hpp"
+#include "gpufreq/core/profiles.hpp"
+
+namespace gpufreq::core {
+
+/// Result of the optimal-frequency determination (Algorithm 1).
+struct Selection {
+  double frequency_mhz = 0.0;
+  std::size_t index = 0;           ///< index into the profile
+  double score = 0.0;              ///< objective score at the selection
+  double perf_degradation = 0.0;   ///< (maxPerf - perf) / maxPerf, in [0,1)
+  bool threshold_applied = false;  ///< true if the threshold moved the choice
+};
+
+/// Algorithm 1 of the paper: pick the frequency minimizing the objective
+/// score; if a performance-degradation threshold is given and the optimum
+/// violates it, walk toward higher frequencies until the degradation falls
+/// below the threshold (possibly ending at f_max with zero savings, as the
+/// paper's Table 6 shows for ResNet50).
+///
+/// `threshold` is a fraction (0.05 = 5%); std::nullopt reproduces the
+/// paper's evaluation mode where degradation is decided by the objective
+/// alone. Performance is 1 / time; maxPerf is the profile's best.
+Selection select_optimal_frequency(const DvfsProfile& profile, const Objective& objective,
+                                   std::optional<double> threshold = std::nullopt);
+
+/// Performance degradation of every profile point vs the profile's best
+/// performance (exposed for tests and the threshold benches).
+std::vector<double> performance_degradation(const DvfsProfile& profile);
+
+}  // namespace gpufreq::core

@@ -1,0 +1,85 @@
+#include "gpufreq/core/dataset.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::core {
+
+std::vector<float> FeatureConfig::extract(const sim::CounterSet& counters) const {
+  std::vector<float> row;
+  row.reserve(metrics.size());
+  for (const std::string& m : metrics) {
+    double v = counters.value(m);
+    if (m == "sm_app_clock") v *= 1e-3;          // MHz -> GHz
+    if (m == "pcie_tx_bytes" || m == "pcie_rx_bytes") v *= 1e-9;  // -> GB/s
+    row.push_back(static_cast<float>(v));
+  }
+  return row;
+}
+
+nn::Matrix Dataset::power_targets() const {
+  nn::Matrix y(y_power.size(), 1);
+  for (std::size_t i = 0; i < y_power.size(); ++i) y(i, 0) = static_cast<float>(y_power[i]);
+  return y;
+}
+
+nn::Matrix Dataset::slowdown_targets() const {
+  nn::Matrix y(y_slowdown.size(), 1);
+  for (std::size_t i = 0; i < y_slowdown.size(); ++i) y(i, 0) = static_cast<float>(y_slowdown[i]);
+  return y;
+}
+
+Dataset build_dataset(const dcgm::CollectionResult& result, const sim::GpuSpec& spec,
+                      const FeatureConfig& features) {
+  GPUFREQ_REQUIRE(!result.samples.empty(), "build_dataset: empty collection result");
+  GPUFREQ_REQUIRE(features.dim() > 0, "build_dataset: no features configured");
+
+  // Per-workload reference time: mean run time at the highest frequency
+  // that workload was measured at.
+  struct Ref {
+    double max_freq = 0.0;
+    double time_sum = 0.0;
+    int count = 0;
+  };
+  std::map<std::string, Ref> refs;
+  for (const auto& run : result.runs) {
+    Ref& r = refs[run.workload];
+    if (run.frequency_mhz > r.max_freq + 1e-9) {
+      r.max_freq = run.frequency_mhz;
+      r.time_sum = run.exec_time_s;
+      r.count = 1;
+    } else if (std::abs(run.frequency_mhz - r.max_freq) <= 1e-9) {
+      r.time_sum += run.exec_time_s;
+      ++r.count;
+    }
+  }
+
+  Dataset ds;
+  ds.feature_names = features.metrics;
+  const std::size_t n = result.samples.size();
+  ds.x.resize(n, features.dim());
+  ds.y_power.reserve(n);
+  ds.y_slowdown.reserve(n);
+  ds.workload.reserve(n);
+  ds.frequency_mhz.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const dcgm::MetricRow& s = result.samples[i];
+    const auto it = refs.find(s.workload);
+    GPUFREQ_REQUIRE(it != refs.end() && it->second.count > 0,
+                    "build_dataset: no reference run for workload " + s.workload);
+    const double ref_time = it->second.time_sum / it->second.count;
+
+    const std::vector<float> row = features.extract(s.counters);
+    std::copy(row.begin(), row.end(), ds.x.row(i).begin());
+    ds.y_power.push_back(s.counters.power_usage / spec.tdp_w);
+    ds.y_slowdown.push_back(s.counters.exec_time / ref_time);
+    ds.workload.push_back(s.workload);
+    ds.frequency_mhz.push_back(s.frequency_mhz);
+  }
+  return ds;
+}
+
+}  // namespace gpufreq::core

@@ -1,0 +1,63 @@
+#include "gpufreq/core/evaluation.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/stats.hpp"
+
+namespace gpufreq::core {
+
+std::size_t AppEvaluation::measured_index_of(const Selection& sel) const {
+  for (std::size_t i = 0; i < measured.frequency_mhz.size(); ++i) {
+    if (std::abs(measured.frequency_mhz[i] - sel.frequency_mhz) < 1e-6) return i;
+  }
+  throw InvalidArgument("AppEvaluation: selection frequency not in measured profile");
+}
+
+double AppEvaluation::measured_energy_change_pct(const Selection& sel) const {
+  return measured.energy_change_pct(measured_index_of(sel));
+}
+
+double AppEvaluation::measured_time_change_pct(const Selection& sel) const {
+  return measured.time_change_pct(measured_index_of(sel));
+}
+
+AppEvaluation evaluate_app(const PowerTimeModels& models, sim::GpuDevice& device,
+                           const workloads::WorkloadDescriptor& wl,
+                           std::vector<double> frequencies, int measure_runs,
+                           std::optional<double> threshold) {
+  if (frequencies.empty()) frequencies = device.spec().used_frequencies();
+
+  AppEvaluation ev;
+  ev.app = wl.name;
+  ev.gpu = device.spec().name;
+  ev.measured = measure_profile(device, wl, frequencies, measure_runs);
+
+  const OnlinePredictor predictor(models);
+  ev.predicted = predictor.predict(device, wl, frequencies);
+
+  ev.power_accuracy_pct = stats::mape_accuracy(ev.measured.power_w, ev.predicted.power_w);
+  ev.time_accuracy_pct = stats::mape_accuracy(ev.measured.time_s, ev.predicted.time_s);
+
+  const Objective edp = Objective::edp();
+  const Objective ed2p = Objective::ed2p();
+  ev.m_edp = select_optimal_frequency(ev.measured, edp, threshold);
+  ev.p_edp = select_optimal_frequency(ev.predicted, edp, threshold);
+  ev.m_ed2p = select_optimal_frequency(ev.measured, ed2p, threshold);
+  ev.p_ed2p = select_optimal_frequency(ev.predicted, ed2p, threshold);
+  return ev;
+}
+
+std::vector<AppEvaluation> evaluate_suite(const PowerTimeModels& models, sim::GpuDevice& device,
+                                          const std::vector<workloads::WorkloadDescriptor>& apps,
+                                          std::vector<double> frequencies, int measure_runs,
+                                          std::optional<double> threshold) {
+  std::vector<AppEvaluation> out;
+  out.reserve(apps.size());
+  for (const auto& wl : apps) {
+    out.push_back(evaluate_app(models, device, wl, frequencies, measure_runs, threshold));
+  }
+  return out;
+}
+
+}  // namespace gpufreq::core

@@ -1,0 +1,76 @@
+#include "gpufreq/core/models.hpp"
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::core {
+
+ModelConfig ModelConfig::paper_power_model() {
+  ModelConfig c;
+  c.epochs = 100;  // Figure 6(a): power-model loss flattens by ~100 epochs
+  return c;
+}
+
+ModelConfig ModelConfig::paper_time_model() {
+  ModelConfig c;
+  c.epochs = 25;  // Figure 6(b): time model converges by ~25 epochs
+  return c;
+}
+
+nn::TrainHistory DnnModel::train(const Dataset& dataset, Target target,
+                                 const ModelConfig& config) {
+  GPUFREQ_REQUIRE(dataset.size() > 0, "DnnModel::train: empty dataset");
+  target_ = target;
+
+  bundle_.input_scaler = nn::StandardScaler();
+  bundle_.input_scaler.fit(dataset.x);
+  const nn::Matrix x = bundle_.input_scaler.transform(dataset.x);
+
+  const nn::Matrix y_raw =
+      target == Target::kPower ? dataset.power_targets() : dataset.slowdown_targets();
+  bundle_.target_scaler = nn::StandardScaler();
+  bundle_.target_scaler.fit(y_raw);
+  const nn::Matrix y = bundle_.target_scaler.transform(y_raw);
+
+  bundle_.network = nn::Network(
+      dataset.x.cols(),
+      nn::Network::paper_architecture(config.hidden_layers, config.hidden_units,
+                                      config.activation),
+      config.seed);
+
+  nn::TrainConfig tc;
+  tc.epochs = config.epochs;
+  tc.batch_size = config.batch_size;
+  tc.validation_split = config.validation_split;
+  tc.optimizer = config.optimizer;
+  tc.learning_rate = config.learning_rate;
+  tc.shuffle_seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+
+  const nn::Trainer trainer(tc);
+  const nn::TrainHistory history = trainer.fit(bundle_.network, x, y);
+  trained_ = true;
+  return history;
+}
+
+std::vector<double> DnnModel::predict(const nn::Matrix& x) const {
+  GPUFREQ_REQUIRE(trained_, "DnnModel::predict: model not trained");
+  const nn::Matrix xs = bundle_.input_scaler.transform(x);
+  const nn::Matrix ys = bundle_.network.predict(xs);
+  const nn::Matrix y = bundle_.target_scaler.inverse_transform(ys);
+  std::vector<double> out(y.rows());
+  for (std::size_t i = 0; i < y.rows(); ++i) out[i] = y(i, 0);
+  return out;
+}
+
+double DnnModel::predict_one(std::span<const float> x) const {
+  nn::Matrix m(1, x.size());
+  std::copy(x.begin(), x.end(), m.row(0).begin());
+  return predict(m).front();
+}
+
+void DnnModel::restore(nn::ModelBundle bundle, Target target) {
+  bundle_ = std::move(bundle);
+  target_ = target;
+  trained_ = true;
+}
+
+}  // namespace gpufreq::core

@@ -1,0 +1,42 @@
+#include "gpufreq/core/objective.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::core {
+
+Objective::Objective(std::string name, ScoreFn fn) : name_(std::move(name)), fn_(std::move(fn)) {
+  GPUFREQ_REQUIRE(static_cast<bool>(fn_), "Objective: score function must be callable");
+}
+
+Objective Objective::edp() {
+  return Objective("EDP", [](double e, double t) { return e * t; });
+}
+
+Objective Objective::ed2p() {
+  return Objective("ED2P", [](double e, double t) { return e * t * t; });
+}
+
+Objective Objective::edp_exponent(double w) {
+  GPUFREQ_REQUIRE(w >= 0.0, "Objective: exponent must be non-negative");
+  return Objective("ED^" + std::to_string(w) + "P",
+                   [w](double e, double t) { return e * std::pow(t, w); });
+}
+
+Objective Objective::custom(std::string name, ScoreFn fn) {
+  return Objective(std::move(name), std::move(fn));
+}
+
+double Objective::score(double energy_j, double time_s) const { return fn_(energy_j, time_s); }
+
+std::vector<double> Objective::scores(const std::vector<double>& energy_j,
+                                      const std::vector<double>& time_s) const {
+  GPUFREQ_REQUIRE(energy_j.size() == time_s.size(), "Objective::scores: size mismatch");
+  std::vector<double> out;
+  out.reserve(energy_j.size());
+  for (std::size_t i = 0; i < energy_j.size(); ++i) out.push_back(fn_(energy_j[i], time_s[i]));
+  return out;
+}
+
+}  // namespace gpufreq::core

@@ -1,0 +1,87 @@
+#include "gpufreq/core/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::core {
+
+std::vector<ParetoPoint> pareto_front(const DvfsProfile& profile) {
+  profile.validate();
+  const std::size_t n = profile.size();
+
+  // Sort candidate indices by time ascending, energy ascending as a
+  // tiebreak; then one sweep keeps the points whose energy strictly
+  // improves on everything faster.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (profile.time_s[a] != profile.time_s[b]) return profile.time_s[a] < profile.time_s[b];
+    return profile.energy_j[a] < profile.energy_j[b];
+  });
+
+  std::vector<ParetoPoint> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    if (profile.energy_j[idx] < best_energy - 1e-12) {
+      best_energy = profile.energy_j[idx];
+      front.push_back({idx, profile.frequency_mhz[idx], profile.energy_j[idx],
+                       profile.time_s[idx]});
+    }
+  }
+  // `front` is sorted by ascending time and strictly descending energy.
+  return front;
+}
+
+bool is_pareto_optimal(const DvfsProfile& profile, std::size_t index) {
+  GPUFREQ_REQUIRE(index < profile.size(), "is_pareto_optimal: index out of range");
+  for (const ParetoPoint& p : pareto_front(profile)) {
+    if (p.index == index) return true;
+  }
+  return false;
+}
+
+double pareto_hypervolume(const std::vector<ParetoPoint>& front, double ref_energy_j,
+                          double ref_time_s) {
+  GPUFREQ_REQUIRE(!front.empty(), "pareto_hypervolume: empty front");
+  // Front points are sorted by ascending time / descending energy; sum the
+  // staircase rectangles clipped at the reference point.
+  double volume = 0.0;
+  double prev_energy = ref_energy_j;
+  for (const ParetoPoint& p : front) {
+    if (p.time_s >= ref_time_s || p.energy_j >= prev_energy) continue;
+    volume += (ref_time_s - p.time_s) * (prev_energy - p.energy_j);
+    prev_energy = p.energy_j;
+  }
+  return volume;
+}
+
+ParetoPoint pareto_knee(const std::vector<ParetoPoint>& front) {
+  GPUFREQ_REQUIRE(!front.empty(), "pareto_knee: empty front");
+  if (front.size() <= 2) return front.front();
+
+  // Normalize both axes to [0,1] over the front, then find the point with
+  // the maximum distance to the chord between the extremes.
+  const double t0 = front.front().time_s, t1 = front.back().time_s;
+  const double e0 = front.front().energy_j, e1 = front.back().energy_j;
+  const double dt = t1 - t0, de = e1 - e0;
+  GPUFREQ_REQUIRE(std::abs(dt) > 0.0 && std::abs(de) > 0.0,
+                  "pareto_knee: degenerate front extremes");
+
+  double best_dist = -1.0;
+  ParetoPoint best = front.front();
+  for (const ParetoPoint& p : front) {
+    const double x = (p.time_s - t0) / dt;
+    const double y = (p.energy_j - e0) / de;
+    // Chord in normalized space runs from (0,0) to (1,1); distance to it:
+    const double dist = std::abs(x - y) / std::sqrt(2.0);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace gpufreq::core

@@ -1,0 +1,141 @@
+#include "gpufreq/core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/logging.hpp"
+
+namespace gpufreq::core {
+
+OfflineTrainer::OfflineTrainer(OfflineConfig config) : config_(std::move(config)) {}
+
+Dataset OfflineTrainer::collect_dataset(
+    sim::GpuDevice& device, const std::vector<workloads::WorkloadDescriptor>& suite) const {
+  GPUFREQ_REQUIRE(!suite.empty(), "OfflineTrainer: empty training suite");
+  dcgm::ProfilingSession session(device, config_.collection);
+  const dcgm::CollectionResult result = session.profile_suite(suite);
+  return build_dataset(result, device.spec(), config_.features);
+}
+
+PowerTimeModels OfflineTrainer::train_on(const Dataset& dataset) const {
+  PowerTimeModels models;
+  models.features = config_.features;
+  log::info("core") << "training power model on " << dataset.size() << " rows ("
+                    << config_.power_model.epochs << " epochs)";
+  models.power_history = models.power.train(dataset, Target::kPower, config_.power_model);
+  log::info("core") << "training time model on " << dataset.size() << " rows ("
+                    << config_.time_model.epochs << " epochs)";
+  models.time_history = models.time.train(dataset, Target::kTime, config_.time_model);
+  return models;
+}
+
+PowerTimeModels OfflineTrainer::train(
+    sim::GpuDevice& device, const std::vector<workloads::WorkloadDescriptor>& suite) const {
+  return train_on(collect_dataset(device, suite));
+}
+
+OnlinePredictor::OnlinePredictor(const PowerTimeModels& models) : models_(models) {
+  GPUFREQ_REQUIRE(models_.power.trained() && models_.time.trained(),
+                  "OnlinePredictor: models must be trained");
+}
+
+DvfsProfile OnlinePredictor::predict(sim::GpuDevice& device,
+                                     const workloads::WorkloadDescriptor& wl,
+                                     std::vector<double> frequencies, int runs,
+                                     double input_scale) const {
+  GPUFREQ_REQUIRE(runs > 0, "OnlinePredictor: runs must be positive");
+  if (frequencies.empty()) frequencies = device.spec().used_frequencies();
+
+  // Single max-frequency execution: acquire features + wall time.
+  dcgm::CollectionConfig cc;
+  cc.frequencies_mhz = {device.spec().default_core_mhz};
+  cc.runs = runs;
+  cc.samples_per_run = 8;
+  cc.input_scale = input_scale;
+  dcgm::ProfilingSession session(device, cc);
+  const dcgm::CollectionResult result = session.profile_at_max(wl);
+
+  GPUFREQ_REQUIRE(!result.runs.empty(), "OnlinePredictor: max-frequency run failed");
+  sim::CounterSet mean = result.runs.front().mean_counters;
+  double t_max = 0.0;
+  if (result.runs.size() > 1) {
+    // Average the repeat runs' counters; exec time is the run mean.
+    mean = sim::CounterSet{};
+    for (const auto& r : result.runs) {
+      mean.fp64_active += r.mean_counters.fp64_active;
+      mean.fp32_active += r.mean_counters.fp32_active;
+      mean.dram_active += r.mean_counters.dram_active;
+      mean.gr_engine_active += r.mean_counters.gr_engine_active;
+      mean.gpu_utilization += r.mean_counters.gpu_utilization;
+      mean.sm_active += r.mean_counters.sm_active;
+      mean.sm_occupancy += r.mean_counters.sm_occupancy;
+      mean.pcie_tx_bytes += r.mean_counters.pcie_tx_bytes;
+      mean.pcie_rx_bytes += r.mean_counters.pcie_rx_bytes;
+      t_max += r.exec_time_s;
+    }
+    const double inv = 1.0 / static_cast<double>(result.runs.size());
+    mean.fp64_active *= inv;
+    mean.fp32_active *= inv;
+    mean.dram_active *= inv;
+    mean.gr_engine_active *= inv;
+    mean.gpu_utilization *= inv;
+    mean.sm_active *= inv;
+    mean.sm_occupancy *= inv;
+    mean.pcie_tx_bytes *= inv;
+    mean.pcie_rx_bytes *= inv;
+    mean.sm_app_clock = device.spec().default_core_mhz;
+    t_max *= inv;
+    mean.exec_time = t_max;
+  } else {
+    t_max = result.runs.front().exec_time_s;
+  }
+
+  return predict_from_features(mean, t_max, device.spec(), frequencies, wl.name);
+}
+
+DvfsProfile OnlinePredictor::predict_from_features(const sim::CounterSet& max_freq_counters,
+                                                   double measured_time_at_max_s,
+                                                   const sim::GpuSpec& spec,
+                                                   const std::vector<double>& frequencies,
+                                                   const std::string& workload_name) const {
+  GPUFREQ_REQUIRE(measured_time_at_max_s > 0.0,
+                  "OnlinePredictor: measured time must be positive");
+  GPUFREQ_REQUIRE(!frequencies.empty(), "OnlinePredictor: no frequencies");
+
+  std::vector<double> freqs = frequencies;
+  std::sort(freqs.begin(), freqs.end());
+
+  // Replicate the (frequency-invariant) features across the DVFS space with
+  // only the clock feature swapped — the paper's key data-reduction idea.
+  nn::Matrix x(freqs.size(), models_.features.dim());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    sim::CounterSet c = max_freq_counters;
+    c.sm_app_clock = freqs[i];
+    const std::vector<float> row = models_.features.extract(c);
+    std::copy(row.begin(), row.end(), x.row(i).begin());
+  }
+
+  const std::vector<double> power_frac = models_.power.predict(x);
+  const std::vector<double> slowdown = models_.time.predict(x);
+
+  DvfsProfile p;
+  p.workload = workload_name;
+  p.gpu = spec.name;
+  p.predicted = true;
+  p.frequency_mhz = freqs;
+  p.power_w.reserve(freqs.size());
+  p.time_s.reserve(freqs.size());
+  p.energy_j.reserve(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    // Clamp to physically meaningful ranges: the DNN output is unbounded.
+    const double pw = std::max(1.0, power_frac[i] * spec.tdp_w);
+    const double t = std::max(1e-6, slowdown[i] * measured_time_at_max_s);
+    p.power_w.push_back(pw);
+    p.time_s.push_back(t);
+    p.energy_j.push_back(pw * t);  // Equation 8
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace gpufreq::core

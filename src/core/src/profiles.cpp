@@ -1,0 +1,110 @@
+#include "gpufreq/core/profiles.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/stats.hpp"
+
+namespace gpufreq::core {
+
+std::size_t DvfsProfile::max_frequency_index() const {
+  GPUFREQ_REQUIRE(!frequency_mhz.empty(), "DvfsProfile: empty profile");
+  return stats::argmax(frequency_mhz);
+}
+
+double DvfsProfile::energy_change_pct(std::size_t index) const {
+  GPUFREQ_REQUIRE(index < energy_j.size(), "DvfsProfile: index out of range");
+  const double ref = energy_j[max_frequency_index()];
+  return 100.0 * (energy_j[index] - ref) / ref;
+}
+
+double DvfsProfile::time_change_pct(std::size_t index) const {
+  GPUFREQ_REQUIRE(index < time_s.size(), "DvfsProfile: index out of range");
+  const double ref = time_s[max_frequency_index()];
+  return 100.0 * (time_s[index] - ref) / ref;
+}
+
+void DvfsProfile::validate() const {
+  const std::size_t n = frequency_mhz.size();
+  GPUFREQ_REQUIRE(n > 0, "DvfsProfile: empty profile");
+  GPUFREQ_REQUIRE(power_w.size() == n && time_s.size() == n && energy_j.size() == n,
+                  "DvfsProfile: series length mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    GPUFREQ_REQUIRE(power_w[i] > 0.0 && time_s[i] > 0.0 && energy_j[i] > 0.0,
+                    "DvfsProfile: non-positive entries");
+    if (i > 0) {
+      GPUFREQ_REQUIRE(frequency_mhz[i] > frequency_mhz[i - 1],
+                      "DvfsProfile: frequencies must be strictly ascending");
+    }
+  }
+}
+
+DvfsProfile measure_profile(sim::GpuDevice& device, const workloads::WorkloadDescriptor& wl,
+                            const std::vector<double>& frequencies, int runs,
+                            double input_scale) {
+  GPUFREQ_REQUIRE(!frequencies.empty(), "measure_profile: no frequencies");
+  GPUFREQ_REQUIRE(runs > 0, "measure_profile: runs must be positive");
+
+  DvfsProfile p;
+  p.workload = wl.name;
+  p.gpu = device.spec().name;
+  p.predicted = false;
+
+  std::vector<double> freqs = frequencies;
+  std::sort(freqs.begin(), freqs.end());
+
+  for (double f : freqs) {
+    device.set_app_clock(f);
+    double t_sum = 0.0, p_sum = 0.0, e_sum = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      sim::RunOptions opts;
+      opts.run_index = r;
+      opts.input_scale = input_scale;
+      opts.collect_samples = false;
+      const sim::RunResult res = device.run(wl, opts);
+      t_sum += res.exec_time_s;
+      p_sum += res.avg_power_w;
+      e_sum += res.energy_j;
+    }
+    p.frequency_mhz.push_back(device.app_clock_mhz());
+    p.time_s.push_back(t_sum / runs);
+    p.power_w.push_back(p_sum / runs);
+    p.energy_j.push_back(e_sum / runs);
+  }
+  device.reset_clocks();
+  p.validate();
+  return p;
+}
+
+DvfsProfile profile_from_collection(const dcgm::CollectionResult& result,
+                                    const std::string& workload_name) {
+  std::map<double, std::array<double, 4>> acc;  // f -> {t, p, e, count}
+  std::string gpu;
+  for (const auto& run : result.runs) {
+    if (run.workload != workload_name) continue;
+    gpu = run.gpu;
+    auto& a = acc[run.frequency_mhz];
+    a[0] += run.exec_time_s;
+    a[1] += run.avg_power_w;
+    a[2] += run.energy_j;
+    a[3] += 1.0;
+  }
+  GPUFREQ_REQUIRE(!acc.empty(),
+                  "profile_from_collection: no runs for workload " + workload_name);
+
+  DvfsProfile p;
+  p.workload = workload_name;
+  p.gpu = gpu;
+  p.predicted = false;
+  for (const auto& [f, a] : acc) {
+    p.frequency_mhz.push_back(f);
+    p.time_s.push_back(a[0] / a[3]);
+    p.power_w.push_back(a[1] / a[3]);
+    p.energy_j.push_back(a[2] / a[3]);
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace gpufreq::core

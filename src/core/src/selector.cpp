@@ -1,0 +1,56 @@
+#include "gpufreq/core/selector.hpp"
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/stats.hpp"
+
+namespace gpufreq::core {
+
+std::vector<double> performance_degradation(const DvfsProfile& profile) {
+  profile.validate();
+  // perf = 1 / time; maxPerf = best across the profile.
+  double max_perf = 0.0;
+  for (double t : profile.time_s) max_perf = std::max(max_perf, 1.0 / t);
+  std::vector<double> deg;
+  deg.reserve(profile.size());
+  for (double t : profile.time_s) deg.push_back((max_perf - 1.0 / t) / max_perf);
+  return deg;
+}
+
+Selection select_optimal_frequency(const DvfsProfile& profile, const Objective& objective,
+                                   std::optional<double> threshold) {
+  profile.validate();
+  if (threshold) {
+    GPUFREQ_REQUIRE(*threshold >= 0.0, "select_optimal_frequency: negative threshold");
+  }
+
+  // Step 1 (Algorithm 1, lines 1-10): score every configuration and find
+  // the minimum. (The paper's pseudocode initializes min to 0, which would
+  // never update; we implement the evident argmin intent.)
+  const std::vector<double> scores = objective.scores(profile.energy_j, profile.time_s);
+  const std::size_t k = stats::argmin(scores);
+
+  const std::vector<double> deg = performance_degradation(profile);
+
+  Selection sel;
+  sel.index = k;
+
+  // Step 2 (lines 11-17): if the optimum degrades performance beyond the
+  // threshold, move to higher frequencies until it does not. Frequencies
+  // are ascending, so scanning k..N-1 visits increasing clocks.
+  if (threshold && deg[k] >= *threshold) {
+    std::size_t index = k;
+    for (std::size_t i = k; i < profile.size(); ++i) {
+      index = i;
+      if (deg[i] < *threshold) break;
+    }
+    sel.index = index;
+    sel.threshold_applied = true;
+  }
+
+  sel.frequency_mhz = profile.frequency_mhz[sel.index];
+  sel.score = scores[sel.index];
+  sel.perf_degradation = deg[sel.index];
+  return sel;
+}
+
+}  // namespace gpufreq::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpufreq/sim/gpu_device.hpp"
+#include "gpufreq/util/csv.hpp"
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::dcgm {
+
+/// Configuration of one profiling campaign, mirroring the launch module of
+/// the paper's framework (§4.1): the DVFS configurations to visit, the
+/// number of repeat runs, and the sampling interval.
+struct CollectionConfig {
+  std::vector<double> frequencies_mhz;  ///< empty = the device's used set
+  int runs = 3;                         ///< paper: three runs per config
+  double sample_interval_s = 0.02;      ///< paper: 20 ms
+  std::size_t samples_per_run = 6;      ///< stored (decimated) samples per run
+  double input_scale = 1.0;
+};
+
+/// One stored metric sample (a CSV row of the output files).
+struct MetricRow {
+  std::string workload;
+  std::string gpu;
+  double frequency_mhz = 0.0;
+  int run = 0;
+  double timestamp_s = 0.0;
+  sim::CounterSet counters;
+};
+
+/// Run-level aggregate (means over the run's samples).
+struct RunSummary {
+  std::string workload;
+  std::string gpu;
+  double frequency_mhz = 0.0;
+  int run = 0;
+  double exec_time_s = 0.0;
+  double avg_power_w = 0.0;
+  double energy_j = 0.0;
+  double achieved_gflops = 0.0;
+  double achieved_bandwidth_gbs = 0.0;
+  sim::CounterSet mean_counters;
+};
+
+/// Output of a campaign over one or more workloads.
+struct CollectionResult {
+  std::vector<MetricRow> samples;
+  std::vector<RunSummary> runs;
+
+  /// Per-sample rows as a CSV table (workload,gpu,freq,run,t, 12 metrics).
+  csv::Table samples_table() const;
+
+  /// Run-level aggregates as a CSV table.
+  csv::Table runs_table() const;
+
+  /// Merge another result (e.g. the next workload's campaign).
+  void append(CollectionResult other);
+};
+
+/// The profiling session ties the three modules of the paper's framework
+/// together: the *launch* module (this class) orchestrates the campaign,
+/// the *control* module applies each DVFS configuration to the device, and
+/// the *profile* module runs the workload while sampling metrics.
+class ProfilingSession {
+ public:
+  ProfilingSession(sim::GpuDevice& device, CollectionConfig config);
+
+  const CollectionConfig& config() const { return config_; }
+
+  /// Frequencies the campaign will visit (resolved against the device).
+  const std::vector<double>& frequencies() const { return frequencies_; }
+
+  /// Profile one workload across all configured frequencies and runs.
+  CollectionResult profile(const workloads::WorkloadDescriptor& wl) const;
+
+  /// Profile a set of workloads (concatenated results).
+  CollectionResult profile_suite(const std::vector<workloads::WorkloadDescriptor>& suite) const;
+
+  /// Profile only at the device's maximum frequency — the online phase's
+  /// single-execution feature acquisition (§4).
+  CollectionResult profile_at_max(const workloads::WorkloadDescriptor& wl) const;
+
+ private:
+  CollectionResult profile_at(const workloads::WorkloadDescriptor& wl,
+                              const std::vector<double>& freqs) const;
+
+  sim::GpuDevice& device_;
+  CollectionConfig config_;
+  std::vector<double> frequencies_;
+};
+
+}  // namespace gpufreq::dcgm

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace gpufreq::dcgm {
+
+/// Field identifiers for the 12 collected metrics, modeled after NVIDIA
+/// DCGM's DCGM_FI_* numeric field ids (the paper collects these via the
+/// DCGM interface, §4.1). Values follow DCGM where a directly corresponding
+/// field exists.
+enum class FieldId : int {
+  kPowerUsage = 155,       // DCGM_FI_DEV_POWER_USAGE
+  kGpuUtilization = 203,   // DCGM_FI_DEV_GPU_UTIL
+  kSmAppClock = 110,       // DCGM_FI_DEV_APP_SM_CLOCK
+  kGrEngineActive = 1001,  // DCGM_FI_PROF_GR_ENGINE_ACTIVE
+  kSmActive = 1002,        // DCGM_FI_PROF_SM_ACTIVE
+  kSmOccupancy = 1003,     // DCGM_FI_PROF_SM_OCCUPANCY
+  kFp64Active = 1006,      // DCGM_FI_PROF_PIPE_FP64_ACTIVE
+  kFp32Active = 1007,      // DCGM_FI_PROF_PIPE_FP32_ACTIVE
+  kDramActive = 1005,      // DCGM_FI_PROF_DRAM_ACTIVE
+  kPcieTxBytes = 1009,     // DCGM_FI_PROF_PCIE_TX_BYTES
+  kPcieRxBytes = 1010,     // DCGM_FI_PROF_PCIE_RX_BYTES
+  kExecTime = 9001,        // framework-level (not a DCGM field)
+};
+
+/// All twelve fields, in the paper's §4.1 enumeration order.
+const std::array<FieldId, 12>& all_fields();
+
+/// Metric name for a field id (matches CounterSet::metric_names()).
+const char* field_name(FieldId id);
+
+/// Field id for a metric name; throws InvalidArgument for unknown names.
+FieldId field_from_name(const std::string& name);
+
+}  // namespace gpufreq::dcgm

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "gpufreq/dcgm/fields.hpp"
+#include "gpufreq/sim/gpu_device.hpp"
+#include "gpufreq/util/stats.hpp"
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::dcgm {
+
+/// A group of fields watched together at one update interval — DCGM's
+/// dcgmFieldGroup / dcgmWatchFields analog. Used by monitoring daemons
+/// that keep per-field statistics while jobs run, as opposed to the
+/// campaign-style ProfilingSession.
+class FieldGroup {
+ public:
+  FieldGroup() = default;
+  explicit FieldGroup(std::vector<FieldId> fields);
+
+  /// Add a field (idempotent).
+  void add(FieldId id);
+  bool contains(FieldId id) const;
+  const std::vector<FieldId>& fields() const { return fields_; }
+  std::size_t size() const { return fields_.size(); }
+
+  /// The profiling fields of the paper's §4.1 (all twelve).
+  static FieldGroup paper_fields();
+
+ private:
+  std::vector<FieldId> fields_;
+};
+
+/// One watched-field update delivered to a callback.
+struct FieldValue {
+  FieldId field = FieldId::kPowerUsage;
+  double value = 0.0;
+  double timestamp_s = 0.0;
+};
+
+/// Streaming monitor: executes a workload on the device and delivers every
+/// watched field of every sample to the callback, while aggregating
+/// RunningStats per field. The callback may return false to stop watching
+/// early (the aggregates then cover only the delivered samples).
+class FieldWatcher {
+ public:
+  using Callback = std::function<bool(const FieldValue&)>;
+
+  FieldWatcher(sim::GpuDevice& device, FieldGroup group, double update_interval_s = 0.02);
+
+  const FieldGroup& group() const { return group_; }
+  double update_interval_s() const { return interval_s_; }
+
+  /// Watch one execution of `wl` at the device's current clock. Returns
+  /// the number of samples delivered (each sample fans out to one callback
+  /// invocation per watched field).
+  std::size_t watch(const workloads::WorkloadDescriptor& wl, const Callback& callback,
+                    std::size_t max_samples = 512);
+
+  /// Aggregates per field from the last watch() call.
+  const stats::RunningStats& field_stats(FieldId id) const;
+
+ private:
+  sim::GpuDevice& device_;
+  FieldGroup group_;
+  double interval_s_;
+  std::map<FieldId, stats::RunningStats> stats_;
+};
+
+}  // namespace gpufreq::dcgm

@@ -1,0 +1,139 @@
+#include "gpufreq/dcgm/collection.hpp"
+
+#include <utility>
+
+#include "gpufreq/dcgm/fields.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/logging.hpp"
+#include "gpufreq/util/strings.hpp"
+
+namespace gpufreq::dcgm {
+
+namespace {
+std::vector<std::string> sample_header() {
+  std::vector<std::string> h = {"workload", "gpu", "frequency_mhz", "run", "timestamp_s"};
+  for (FieldId id : all_fields()) h.emplace_back(field_name(id));
+  return h;
+}
+
+std::vector<std::string> run_header() {
+  std::vector<std::string> h = {"workload", "gpu",      "frequency_mhz",  "run",
+                                "exec_time_s", "avg_power_w", "energy_j",
+                                "achieved_gflops", "achieved_bandwidth_gbs"};
+  for (FieldId id : all_fields()) h.push_back(std::string("mean_") + field_name(id));
+  return h;
+}
+
+void push_counters(std::vector<std::string>& row, const sim::CounterSet& c) {
+  for (FieldId id : all_fields()) {
+    row.push_back(strings::format_double(c.value(field_name(id)), 9));
+  }
+}
+}  // namespace
+
+csv::Table CollectionResult::samples_table() const {
+  csv::Table t(sample_header());
+  for (const MetricRow& s : samples) {
+    std::vector<std::string> row = {s.workload, s.gpu, strings::format_double(s.frequency_mhz, 1),
+                                    std::to_string(s.run), strings::format_double(s.timestamp_s, 4)};
+    push_counters(row, s.counters);
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+csv::Table CollectionResult::runs_table() const {
+  csv::Table t(run_header());
+  for (const RunSummary& r : runs) {
+    std::vector<std::string> row = {r.workload,
+                                    r.gpu,
+                                    strings::format_double(r.frequency_mhz, 1),
+                                    std::to_string(r.run),
+                                    strings::format_double(r.exec_time_s, 6),
+                                    strings::format_double(r.avg_power_w, 3),
+                                    strings::format_double(r.energy_j, 3),
+                                    strings::format_double(r.achieved_gflops, 3),
+                                    strings::format_double(r.achieved_bandwidth_gbs, 3)};
+    push_counters(row, r.mean_counters);
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void CollectionResult::append(CollectionResult other) {
+  samples.insert(samples.end(), std::make_move_iterator(other.samples.begin()),
+                 std::make_move_iterator(other.samples.end()));
+  runs.insert(runs.end(), std::make_move_iterator(other.runs.begin()),
+              std::make_move_iterator(other.runs.end()));
+}
+
+ProfilingSession::ProfilingSession(sim::GpuDevice& device, CollectionConfig config)
+    : device_(device), config_(std::move(config)) {
+  GPUFREQ_REQUIRE(config_.runs > 0, "ProfilingSession: runs must be positive");
+  GPUFREQ_REQUIRE(config_.sample_interval_s > 0.0,
+                  "ProfilingSession: sample interval must be positive");
+  GPUFREQ_REQUIRE(config_.samples_per_run > 0,
+                  "ProfilingSession: samples_per_run must be positive");
+  GPUFREQ_REQUIRE(config_.input_scale > 0.0, "ProfilingSession: input_scale must be positive");
+  frequencies_ = config_.frequencies_mhz.empty() ? device_.spec().used_frequencies()
+                                                 : config_.frequencies_mhz;
+  for (double f : frequencies_) {
+    GPUFREQ_REQUIRE(device_.spec().is_supported(f),
+                    "ProfilingSession: frequency " + std::to_string(f) + " not on the grid");
+  }
+}
+
+CollectionResult ProfilingSession::profile_at(const workloads::WorkloadDescriptor& wl,
+                                              const std::vector<double>& freqs) const {
+  CollectionResult result;
+  result.samples.reserve(freqs.size() * static_cast<std::size_t>(config_.runs) *
+                         config_.samples_per_run);
+  result.runs.reserve(freqs.size() * static_cast<std::size_t>(config_.runs));
+
+  for (double f : freqs) {
+    // Control module: apply the DVFS configuration.
+    device_.set_app_clock(f);
+    for (int run = 0; run < config_.runs; ++run) {
+      // Profile module: execute while sampling.
+      sim::RunOptions opts;
+      opts.input_scale = config_.input_scale;
+      opts.run_index = run;
+      opts.sample_interval_s = config_.sample_interval_s;
+      opts.max_samples = config_.samples_per_run;
+      opts.collect_samples = true;
+      const sim::RunResult r = device_.run(wl, opts);
+
+      for (const sim::MetricSample& s : r.samples) {
+        result.samples.push_back(MetricRow{wl.name, device_.spec().name,
+                                           device_.app_clock_mhz(), run, s.timestamp_s,
+                                           s.counters});
+      }
+      result.runs.push_back(RunSummary{wl.name, device_.spec().name, device_.app_clock_mhz(),
+                                       run, r.exec_time_s, r.avg_power_w, r.energy_j,
+                                       r.achieved_gflops, r.achieved_bandwidth_gbs,
+                                       r.mean_counters});
+    }
+  }
+  device_.reset_clocks();
+  return result;
+}
+
+CollectionResult ProfilingSession::profile(const workloads::WorkloadDescriptor& wl) const {
+  log::info("dcgm") << "profiling " << wl.name << " across " << frequencies_.size()
+                    << " DVFS configs x " << config_.runs << " runs";
+  return profile_at(wl, frequencies_);
+}
+
+CollectionResult ProfilingSession::profile_suite(
+    const std::vector<workloads::WorkloadDescriptor>& suite) const {
+  CollectionResult all;
+  for (const auto& wl : suite) all.append(profile(wl));
+  return all;
+}
+
+CollectionResult ProfilingSession::profile_at_max(
+    const workloads::WorkloadDescriptor& wl) const {
+  return profile_at(wl, {device_.spec().default_core_mhz});
+}
+
+}  // namespace gpufreq::dcgm

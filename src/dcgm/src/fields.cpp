@@ -1,0 +1,41 @@
+#include "gpufreq/dcgm/fields.hpp"
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::dcgm {
+
+const std::array<FieldId, 12>& all_fields() {
+  static const std::array<FieldId, 12> fields = {
+      FieldId::kFp64Active,   FieldId::kFp32Active,  FieldId::kSmAppClock,
+      FieldId::kDramActive,   FieldId::kGrEngineActive, FieldId::kGpuUtilization,
+      FieldId::kPowerUsage,   FieldId::kSmActive,    FieldId::kSmOccupancy,
+      FieldId::kPcieTxBytes,  FieldId::kPcieRxBytes, FieldId::kExecTime};
+  return fields;
+}
+
+const char* field_name(FieldId id) {
+  switch (id) {
+    case FieldId::kPowerUsage: return "power_usage";
+    case FieldId::kGpuUtilization: return "gpu_utilization";
+    case FieldId::kSmAppClock: return "sm_app_clock";
+    case FieldId::kGrEngineActive: return "gr_engine_active";
+    case FieldId::kSmActive: return "sm_active";
+    case FieldId::kSmOccupancy: return "sm_occupancy";
+    case FieldId::kFp64Active: return "fp64_active";
+    case FieldId::kFp32Active: return "fp32_active";
+    case FieldId::kDramActive: return "dram_active";
+    case FieldId::kPcieTxBytes: return "pcie_tx_bytes";
+    case FieldId::kPcieRxBytes: return "pcie_rx_bytes";
+    case FieldId::kExecTime: return "exec_time";
+  }
+  return "?";
+}
+
+FieldId field_from_name(const std::string& name) {
+  for (FieldId id : all_fields()) {
+    if (name == field_name(id)) return id;
+  }
+  throw InvalidArgument("dcgm: unknown field name '" + name + "'");
+}
+
+}  // namespace gpufreq::dcgm

@@ -1,0 +1,67 @@
+#include "gpufreq/dcgm/watcher.hpp"
+
+#include <algorithm>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::dcgm {
+
+FieldGroup::FieldGroup(std::vector<FieldId> fields) {
+  for (FieldId id : fields) add(id);
+}
+
+void FieldGroup::add(FieldId id) {
+  if (!contains(id)) fields_.push_back(id);
+}
+
+bool FieldGroup::contains(FieldId id) const {
+  return std::find(fields_.begin(), fields_.end(), id) != fields_.end();
+}
+
+FieldGroup FieldGroup::paper_fields() {
+  FieldGroup g;
+  for (FieldId id : all_fields()) g.add(id);
+  return g;
+}
+
+FieldWatcher::FieldWatcher(sim::GpuDevice& device, FieldGroup group, double update_interval_s)
+    : device_(device), group_(std::move(group)), interval_s_(update_interval_s) {
+  GPUFREQ_REQUIRE(group_.size() > 0, "FieldWatcher: empty field group");
+  GPUFREQ_REQUIRE(interval_s_ > 0.0, "FieldWatcher: interval must be positive");
+}
+
+std::size_t FieldWatcher::watch(const workloads::WorkloadDescriptor& wl,
+                                const Callback& callback, std::size_t max_samples) {
+  GPUFREQ_REQUIRE(static_cast<bool>(callback), "FieldWatcher: callback must be callable");
+  GPUFREQ_REQUIRE(max_samples > 0, "FieldWatcher: max_samples must be positive");
+
+  stats_.clear();
+  sim::RunOptions opts;
+  opts.sample_interval_s = interval_s_;
+  opts.max_samples = max_samples;
+  opts.collect_samples = true;
+  const sim::RunResult run = device_.run(wl, opts);
+
+  std::size_t delivered = 0;
+  for (const sim::MetricSample& sample : run.samples) {
+    bool keep_going = true;
+    for (FieldId id : group_.fields()) {
+      const double v = sample.counters.value(field_name(id));
+      stats_[id].add(v);
+      keep_going = callback(FieldValue{id, v, sample.timestamp_s}) && keep_going;
+    }
+    ++delivered;
+    if (!keep_going) break;
+  }
+  return delivered;
+}
+
+const stats::RunningStats& FieldWatcher::field_stats(FieldId id) const {
+  const auto it = stats_.find(id);
+  GPUFREQ_REQUIRE(it != stats_.end(),
+                  std::string("FieldWatcher: no stats for field ") + field_name(id) +
+                      " (was it watched?)");
+  return it->second;
+}
+
+}  // namespace gpufreq::dcgm

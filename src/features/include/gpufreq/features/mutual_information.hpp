@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gpufreq::features {
+
+/// Options for the Kraskov–Stögbauer–Grassberger (KSG) kNN mutual
+/// information estimator ([22] in the paper; the estimator behind
+/// scikit-learn's mutual_info_regression, which the paper used).
+struct KsgOptions {
+  std::size_t k = 3;            ///< number of neighbors (sklearn default)
+  double tie_noise = 1e-10;     ///< tiny deterministic jitter to break ties
+  std::uint64_t noise_seed = 42;
+  bool standardize = true;      ///< z-score both variables first
+};
+
+/// KSG estimator #1 for two scalar variables:
+///   I(X;Y) = psi(k) + psi(N) - < psi(n_x + 1) + psi(n_y + 1) >
+/// with Chebyshev-ball neighbor counts. O(N^2); fine for the profiling
+/// dataset sizes used here. Result is clamped to >= 0 (the raw estimator
+/// can go slightly negative for independent data).
+double mutual_information_ksg(std::span<const double> x, std::span<const double> y,
+                              const KsgOptions& options = {});
+
+/// Equal-width histogram plug-in estimator (used as a cross-check in tests;
+/// biased but simple). `bins` per axis.
+double mutual_information_hist(std::span<const double> x, std::span<const double> y,
+                               std::size_t bins = 16);
+
+/// Digamma function (psi). Exposed because the KSG estimator and its tests
+/// need it; accurate to ~1e-10 for positive arguments.
+double digamma(double x);
+
+}  // namespace gpufreq::features

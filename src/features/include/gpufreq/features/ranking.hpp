@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpufreq/features/mutual_information.hpp"
+
+namespace gpufreq::features {
+
+/// Mutual information of one candidate feature with a predictand.
+struct FeatureScore {
+  std::string feature;
+  double mi = 0.0;            ///< raw KSG estimate (nats)
+  double mi_normalized = 0.0; ///< scaled so the best feature is 1.0
+};
+
+/// Ranks candidate features by mutual information with a predictand, as in
+/// the paper's §4.2.1 / Figure 3. Columns are passed as parallel vectors.
+class FeatureRanker {
+ public:
+  explicit FeatureRanker(KsgOptions options = {});
+
+  /// Add a named candidate feature column.
+  void add_feature(std::string name, std::vector<double> values);
+
+  std::size_t feature_count() const { return names_.size(); }
+
+  /// Score every feature against the target; returns scores sorted by
+  /// descending MI. All columns must have the target's length.
+  std::vector<FeatureScore> rank(const std::vector<double>& target) const;
+
+  /// Names of the top-k features for the target (convenience).
+  std::vector<std::string> top_k(const std::vector<double>& target, std::size_t k) const;
+
+ private:
+  KsgOptions options_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace gpufreq::features

@@ -1,0 +1,122 @@
+#include "gpufreq/features/mutual_information.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/rng.hpp"
+#include "gpufreq/util/stats.hpp"
+
+namespace gpufreq::features {
+
+double digamma(double x) {
+  GPUFREQ_REQUIRE(x > 0.0, "digamma: requires positive argument");
+  double result = 0.0;
+  // Recurrence psi(x) = psi(x+1) - 1/x until x is large enough for the
+  // asymptotic series.
+  while (x < 12.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)));
+  return result;
+}
+
+namespace {
+std::vector<double> standardized(std::span<const double> v) {
+  const double m = stats::mean(v);
+  double s = stats::stdev(v);
+  if (s < 1e-15) s = 1.0;
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - m) / s;
+  return out;
+}
+}  // namespace
+
+double mutual_information_ksg(std::span<const double> x, std::span<const double> y,
+                              const KsgOptions& opt) {
+  GPUFREQ_REQUIRE(x.size() == y.size(), "mutual_information_ksg: size mismatch");
+  const std::size_t n = x.size();
+  GPUFREQ_REQUIRE(n > opt.k + 1, "mutual_information_ksg: need more samples than k+1");
+  GPUFREQ_REQUIRE(opt.k >= 1, "mutual_information_ksg: k must be >= 1");
+
+  std::vector<double> xs = opt.standardize ? standardized(x) : std::vector<double>(x.begin(), x.end());
+  std::vector<double> ys = opt.standardize ? standardized(y) : std::vector<double>(y.begin(), y.end());
+
+  // Deterministic tie-breaking jitter (repeated values are common in
+  // counter data, and KSG assumes continuous distributions).
+  if (opt.tie_noise > 0.0) {
+    Rng rng(opt.noise_seed);
+    for (auto& v : xs) v += opt.tie_noise * rng.normal();
+    for (auto& v : ys) v += opt.tie_noise * rng.normal();
+  }
+
+  double acc = 0.0;
+  std::vector<double> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Chebyshev distances to every other point.
+    for (std::size_t j = 0; j < n; ++j) {
+      dist[j] = std::max(std::abs(xs[i] - xs[j]), std::abs(ys[i] - ys[j]));
+    }
+    dist[i] = std::numeric_limits<double>::infinity();
+    // k-th smallest distance = radius of the k-neighborhood.
+    std::vector<double> tmp = dist;
+    std::nth_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(opt.k - 1), tmp.end());
+    const double eps = tmp[opt.k - 1];
+
+    // Count strictly-inside marginal neighbors.
+    std::size_t nx = 0, ny = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (std::abs(xs[i] - xs[j]) < eps) ++nx;
+      if (std::abs(ys[i] - ys[j]) < eps) ++ny;
+    }
+    acc += digamma(static_cast<double>(nx) + 1.0) + digamma(static_cast<double>(ny) + 1.0);
+  }
+
+  const double mi = digamma(static_cast<double>(opt.k)) + digamma(static_cast<double>(n)) -
+                    acc / static_cast<double>(n);
+  return std::max(0.0, mi);
+}
+
+double mutual_information_hist(std::span<const double> x, std::span<const double> y,
+                               std::size_t bins) {
+  GPUFREQ_REQUIRE(x.size() == y.size(), "mutual_information_hist: size mismatch");
+  GPUFREQ_REQUIRE(!x.empty(), "mutual_information_hist: empty input");
+  GPUFREQ_REQUIRE(bins >= 2, "mutual_information_hist: need at least 2 bins");
+  const std::size_t n = x.size();
+
+  const double x_min = stats::min(x), x_max = stats::max(x);
+  const double y_min = stats::min(y), y_max = stats::max(y);
+  const double x_span = x_max - x_min, y_span = y_max - y_min;
+  if (x_span <= 0.0 || y_span <= 0.0) return 0.0;  // a constant carries no information
+
+  auto bin_of = [bins](double v, double lo, double span) {
+    auto b = static_cast<std::size_t>((v - lo) / span * static_cast<double>(bins));
+    return std::min(b, bins - 1);
+  };
+
+  std::vector<double> joint(bins * bins, 0.0), px(bins, 0.0), py(bins, 0.0);
+  const double w = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bx = bin_of(x[i], x_min, x_span);
+    const std::size_t by = bin_of(y[i], y_min, y_span);
+    joint[bx * bins + by] += w;
+    px[bx] += w;
+    py[by] += w;
+  }
+
+  double mi = 0.0;
+  for (std::size_t bx = 0; bx < bins; ++bx) {
+    for (std::size_t by = 0; by < bins; ++by) {
+      const double pxy = joint[bx * bins + by];
+      if (pxy > 0.0) mi += pxy * std::log(pxy / (px[bx] * py[by]));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+}  // namespace gpufreq::features

@@ -1,0 +1,50 @@
+#include "gpufreq/features/ranking.hpp"
+
+#include <algorithm>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::features {
+
+FeatureRanker::FeatureRanker(KsgOptions options) : options_(options) {}
+
+void FeatureRanker::add_feature(std::string name, std::vector<double> values) {
+  GPUFREQ_REQUIRE(!name.empty(), "FeatureRanker: feature name must not be empty");
+  GPUFREQ_REQUIRE(!values.empty(), "FeatureRanker: feature column must not be empty");
+  if (!columns_.empty()) {
+    GPUFREQ_REQUIRE(values.size() == columns_.front().size(),
+                    "FeatureRanker: column length mismatch");
+  }
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(values));
+}
+
+std::vector<FeatureScore> FeatureRanker::rank(const std::vector<double>& target) const {
+  GPUFREQ_REQUIRE(!columns_.empty(), "FeatureRanker: no features added");
+  GPUFREQ_REQUIRE(target.size() == columns_.front().size(),
+                  "FeatureRanker: target length mismatch");
+
+  std::vector<FeatureScore> scores;
+  scores.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    FeatureScore s;
+    s.feature = names_[i];
+    s.mi = mutual_information_ksg(columns_[i], target, options_);
+    scores.push_back(std::move(s));
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const FeatureScore& a, const FeatureScore& b) { return a.mi > b.mi; });
+  const double best = scores.front().mi;
+  for (auto& s : scores) s.mi_normalized = best > 0.0 ? s.mi / best : 0.0;
+  return scores;
+}
+
+std::vector<std::string> FeatureRanker::top_k(const std::vector<double>& target,
+                                              std::size_t k) const {
+  const auto scores = rank(target);
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < std::min(k, scores.size()); ++i) out.push_back(scores[i].feature);
+  return out;
+}
+
+}  // namespace gpufreq::features

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "gpufreq/ml/tree.hpp"
+
+namespace gpufreq::ml {
+
+/// Gradient-boosted regression trees (the paper's XGBR baseline):
+/// stagewise fitting of shallow CART trees to squared-loss residuals with
+/// shrinkage and optional row subsampling.
+class GradientBoostingRegressor final : public Regressor {
+ public:
+  struct Config {
+    std::size_t n_rounds = 150;
+    double learning_rate = 0.10;
+    double subsample = 0.8;
+    TreeConfig tree = {.max_depth = 4, .min_samples_leaf = 3,
+                       .min_samples_split = 6, .max_features = 0};
+    std::uint64_t seed = 11;
+  };
+
+  GradientBoostingRegressor() : GradientBoostingRegressor(Config{}) {}
+  explicit GradientBoostingRegressor(Config config);
+
+  void fit(const nn::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(std::span<const float> x) const override;
+  const char* name() const override { return "xgbr"; }
+  bool fitted() const override { return fitted_; }
+
+  std::size_t round_count() const { return trees_.size(); }
+
+ private:
+  Config config_;
+  double base_ = 0.0;
+  bool fitted_ = false;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace gpufreq::ml

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "gpufreq/ml/regressor.hpp"
+
+namespace gpufreq::ml {
+
+/// Per-fold and aggregate metrics of a k-fold cross-validation run.
+struct CvResult {
+  std::vector<double> fold_rmse;
+  std::vector<double> fold_mape_accuracy;  ///< 100 - MAPE per fold
+  std::vector<double> fold_r2;
+
+  double mean_rmse() const;
+  double mean_mape_accuracy() const;
+  double mean_r2() const;
+};
+
+/// Factory producing a fresh, unfitted regressor per fold.
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/// k-fold cross-validation: rows are shuffled deterministically (seed),
+/// split into k contiguous folds; each fold is scored by a model trained
+/// on the remaining rows. Complements the paper's fixed 80/20 hold-out
+/// when comparing learner families (Figure 11).
+CvResult k_fold_cv(const nn::Matrix& x, const std::vector<double>& y, std::size_t k,
+                   const RegressorFactory& factory, std::uint64_t seed = 17);
+
+}  // namespace gpufreq::ml

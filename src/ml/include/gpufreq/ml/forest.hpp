@@ -1,0 +1,34 @@
+#pragma once
+
+#include "gpufreq/ml/tree.hpp"
+
+namespace gpufreq::ml {
+
+/// Random Forest regressor (the paper's RFR baseline): bagged CART trees
+/// with per-split feature subsampling; predictions are tree averages.
+class RandomForestRegressor final : public Regressor {
+ public:
+  struct Config {
+    std::size_t n_trees = 60;
+    TreeConfig tree = {.max_depth = 14, .min_samples_leaf = 2,
+                       .min_samples_split = 4, .max_features = 2};
+    double bootstrap_fraction = 1.0;
+    std::uint64_t seed = 7;
+  };
+
+  RandomForestRegressor() : RandomForestRegressor(Config{}) {}
+  explicit RandomForestRegressor(Config config);
+
+  void fit(const nn::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(std::span<const float> x) const override;
+  const char* name() const override { return "rfr"; }
+  bool fitted() const override { return !trees_.empty(); }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  Config config_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace gpufreq::ml

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "gpufreq/ml/regressor.hpp"
+
+namespace gpufreq::ml {
+
+/// Multiple Linear Regression (the paper's MLR baseline): ordinary least
+/// squares via the normal equations with a tiny ridge term for numerical
+/// stability. Exact for the small feature counts used here.
+class LinearRegressor final : public Regressor {
+ public:
+  explicit LinearRegressor(double ridge = 1e-8) : ridge_(ridge) {}
+
+  void fit(const nn::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(std::span<const float> x) const override;
+  const char* name() const override { return "mlr"; }
+  bool fitted() const override { return !coef_.empty(); }
+
+  /// Fitted coefficients (per feature) and intercept.
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double ridge_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace gpufreq::ml

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpufreq/nn/matrix.hpp"
+
+namespace gpufreq::ml {
+
+/// Common interface for the multi-learner baselines the paper compares the
+/// DNN against in Figure 11 (RFR, XGBR, SVR, MLR).
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fit on (x, y); y.size() must equal x.rows().
+  virtual void fit(const nn::Matrix& x, const std::vector<double>& y) = 0;
+
+  /// Predict a single feature row. Requires a prior fit().
+  virtual double predict_one(std::span<const float> x) const = 0;
+
+  /// Predict every row of x.
+  std::vector<double> predict(const nn::Matrix& x) const;
+
+  virtual const char* name() const = 0;
+  virtual bool fitted() const = 0;
+};
+
+/// Factory by paper abbreviation: "mlr", "rfr", "xgbr", "svr".
+std::unique_ptr<Regressor> make_regressor(const std::string& name);
+
+namespace detail {
+void check_fit_args(const nn::Matrix& x, const std::vector<double>& y, const char* who);
+}
+
+}  // namespace gpufreq::ml

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "gpufreq/ml/regressor.hpp"
+#include "gpufreq/util/rng.hpp"
+
+namespace gpufreq::ml {
+
+/// Epsilon-insensitive Support Vector Regression with an RBF kernel (the
+/// paper's SVR baseline). The dual is solved by cyclic coordinate descent
+/// over beta_i = alpha_i - alpha_i^* in [-C, C]; the bias is absorbed by
+/// augmenting the kernel with a constant (K + 1), which removes the
+/// sum(beta) = 0 equality constraint and makes single-coordinate updates
+/// exact (soft-thresholded by epsilon).
+///
+/// Kernel methods are O(n^2) in training-set size, so fits larger than
+/// `max_train_rows` are deterministically subsampled (as is standard
+/// practice when benchmarking SVR on profiling datasets).
+class SvrRegressor final : public Regressor {
+ public:
+  struct Config {
+    double c = 10.0;            ///< box constraint
+    double epsilon = 0.01;      ///< epsilon-tube half-width
+    double gamma = -1.0;        ///< RBF width; <=0 -> 1 / (d * var) like sklearn "scale"
+    std::size_t max_iters = 60; ///< full passes of coordinate descent
+    double tol = 1e-4;          ///< max |delta beta| convergence threshold
+    std::size_t max_train_rows = 1500;
+    std::uint64_t seed = 13;
+  };
+
+  SvrRegressor() : SvrRegressor(Config{}) {}
+  explicit SvrRegressor(Config config);
+
+  void fit(const nn::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(std::span<const float> x) const override;
+  const char* name() const override { return "svr"; }
+  bool fitted() const override { return !beta_.empty(); }
+
+  /// Number of support vectors (|beta| > 1e-8) after fitting.
+  std::size_t support_vector_count() const;
+
+ private:
+  double kernel(std::span<const float> a, std::span<const float> b) const;
+
+  Config config_;
+  double gamma_eff_ = 1.0;
+  nn::Matrix support_x_;
+  std::vector<double> beta_;
+};
+
+}  // namespace gpufreq::ml

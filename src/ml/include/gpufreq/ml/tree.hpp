@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gpufreq/ml/regressor.hpp"
+#include "gpufreq/util/rng.hpp"
+
+namespace gpufreq::ml {
+
+/// Hyper-parameters shared by the tree, forest, and boosting learners.
+struct TreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Features considered per split; 0 = all features.
+  std::size_t max_features = 0;
+};
+
+/// CART regression tree with exact variance-reduction splits. Building
+/// block for RandomForestRegressor and GradientBoostingRegressor, usable
+/// standalone as well.
+class DecisionTreeRegressor final : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeConfig config = {}, std::uint64_t seed = 1);
+
+  void fit(const nn::Matrix& x, const std::vector<double>& y) override;
+
+  /// Fit on a subset of rows (used for bootstrap training in the forest).
+  void fit_rows(const nn::Matrix& x, const std::vector<double>& y,
+                const std::vector<std::size_t>& rows);
+
+  double predict_one(std::span<const float> x) const override;
+  const char* name() const override { return "tree"; }
+  bool fitted() const override { return !nodes_.empty(); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Leaf iff feature == -1.
+    int feature = -1;
+    float threshold = 0.0f;
+    double value = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(const nn::Matrix& x, const std::vector<double>& y,
+                     std::vector<std::size_t>& rows, std::size_t begin, std::size_t end,
+                     std::size_t depth, Rng& rng);
+
+  TreeConfig config_;
+  std::uint64_t seed_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gpufreq::ml

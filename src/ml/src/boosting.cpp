@@ -1,0 +1,57 @@
+#include "gpufreq/ml/boosting.hpp"
+
+#include <numeric>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::ml {
+
+GradientBoostingRegressor::GradientBoostingRegressor(Config config) : config_(config) {
+  GPUFREQ_REQUIRE(config_.n_rounds > 0, "GradientBoostingRegressor: n_rounds must be positive");
+  GPUFREQ_REQUIRE(config_.learning_rate > 0.0 && config_.learning_rate <= 1.0,
+                  "GradientBoostingRegressor: learning_rate out of (0,1]");
+  GPUFREQ_REQUIRE(config_.subsample > 0.0 && config_.subsample <= 1.0,
+                  "GradientBoostingRegressor: subsample out of (0,1]");
+}
+
+void GradientBoostingRegressor::fit(const nn::Matrix& x, const std::vector<double>& y) {
+  detail::check_fit_args(x, y, "GradientBoostingRegressor::fit");
+  trees_.clear();
+  trees_.reserve(config_.n_rounds);
+
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+  std::vector<double> residual(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - base_;
+
+  Rng rng(config_.seed);
+  const auto n_sub = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.subsample * static_cast<double>(x.rows())));
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+
+  for (std::size_t round = 0; round < config_.n_rounds; ++round) {
+    // Sample rows without replacement (partial Fisher-Yates).
+    for (std::size_t i = 0; i < n_sub; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.uniform_index(rows.size() - i));
+      std::swap(rows[i], rows[j]);
+    }
+    std::vector<std::size_t> sub(rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(n_sub));
+
+    trees_.emplace_back(config_.tree, rng.next_u64());
+    trees_.back().fit_rows(x, residual, sub);
+
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      residual[i] -= config_.learning_rate * trees_.back().predict_one(x.row(i));
+    }
+  }
+  fitted_ = true;
+}
+
+double GradientBoostingRegressor::predict_one(std::span<const float> x) const {
+  GPUFREQ_REQUIRE(fitted(), "GradientBoostingRegressor: not fitted");
+  double s = base_;
+  for (const auto& tree : trees_) s += config_.learning_rate * tree.predict_one(x);
+  return s;
+}
+
+}  // namespace gpufreq::ml

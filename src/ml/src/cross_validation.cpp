@@ -1,0 +1,60 @@
+#include "gpufreq/ml/cross_validation.hpp"
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/rng.hpp"
+#include "gpufreq/util/stats.hpp"
+
+namespace gpufreq::ml {
+
+double CvResult::mean_rmse() const { return stats::mean(fold_rmse); }
+double CvResult::mean_mape_accuracy() const { return stats::mean(fold_mape_accuracy); }
+double CvResult::mean_r2() const { return stats::mean(fold_r2); }
+
+CvResult k_fold_cv(const nn::Matrix& x, const std::vector<double>& y, std::size_t k,
+                   const RegressorFactory& factory, std::uint64_t seed) {
+  detail::check_fit_args(x, y, "k_fold_cv");
+  GPUFREQ_REQUIRE(k >= 2, "k_fold_cv: need at least 2 folds");
+  GPUFREQ_REQUIRE(x.rows() >= k, "k_fold_cv: fewer rows than folds");
+  GPUFREQ_REQUIRE(static_cast<bool>(factory), "k_fold_cv: factory must be callable");
+
+  Rng rng(seed);
+  const std::vector<std::size_t> order = rng.permutation(x.rows());
+
+  CvResult result;
+  const std::size_t n = x.rows();
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    const std::size_t begin = fold * n / k;
+    const std::size_t end = (fold + 1) * n / k;
+
+    nn::Matrix x_train(n - (end - begin), x.cols());
+    std::vector<double> y_train;
+    y_train.reserve(n - (end - begin));
+    nn::Matrix x_test(end - begin, x.cols());
+    std::vector<double> y_test;
+    y_test.reserve(end - begin);
+
+    std::size_t ti = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = order[i];
+      if (i >= begin && i < end) {
+        const std::size_t dst = i - begin;
+        std::copy(x.row(row).begin(), x.row(row).end(), x_test.row(dst).begin());
+        y_test.push_back(y[row]);
+      } else {
+        std::copy(x.row(row).begin(), x.row(row).end(), x_train.row(ti).begin());
+        y_train.push_back(y[row]);
+        ++ti;
+      }
+    }
+
+    const auto model = factory();
+    model->fit(x_train, y_train);
+    const std::vector<double> pred = model->predict(x_test);
+    result.fold_rmse.push_back(stats::rmse(y_test, pred));
+    result.fold_mape_accuracy.push_back(stats::mape_accuracy(y_test, pred));
+    result.fold_r2.push_back(stats::r2(y_test, pred));
+  }
+  return result;
+}
+
+}  // namespace gpufreq::ml

@@ -1,0 +1,35 @@
+#include "gpufreq/ml/forest.hpp"
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::ml {
+
+RandomForestRegressor::RandomForestRegressor(Config config) : config_(config) {
+  GPUFREQ_REQUIRE(config_.n_trees > 0, "RandomForestRegressor: n_trees must be positive");
+  GPUFREQ_REQUIRE(config_.bootstrap_fraction > 0.0 && config_.bootstrap_fraction <= 1.0,
+                  "RandomForestRegressor: bootstrap fraction out of (0,1]");
+}
+
+void RandomForestRegressor::fit(const nn::Matrix& x, const std::vector<double>& y) {
+  detail::check_fit_args(x, y, "RandomForestRegressor::fit");
+  trees_.clear();
+  trees_.reserve(config_.n_trees);
+  Rng rng(config_.seed);
+  const auto n_draw = static_cast<std::size_t>(
+      config_.bootstrap_fraction * static_cast<double>(x.rows()));
+  std::vector<std::size_t> rows(std::max<std::size_t>(1, n_draw));
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    for (auto& r : rows) r = static_cast<std::size_t>(rng.uniform_index(x.rows()));
+    trees_.emplace_back(config_.tree, rng.next_u64());
+    trees_.back().fit_rows(x, y, rows);
+  }
+}
+
+double RandomForestRegressor::predict_one(std::span<const float> x) const {
+  GPUFREQ_REQUIRE(fitted(), "RandomForestRegressor: not fitted");
+  double s = 0.0;
+  for (const auto& tree : trees_) s += tree.predict_one(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+}  // namespace gpufreq::ml

@@ -1,0 +1,75 @@
+#include "gpufreq/ml/linear.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::ml {
+
+namespace {
+/// Solve the symmetric positive-definite system A w = b in place via
+/// Gaussian elimination with partial pivoting (d is tiny: features + 1).
+std::vector<double> solve_dense(std::vector<std::vector<double>> a, std::vector<double> b) {
+  const std::size_t d = b.size();
+  for (std::size_t col = 0; col < d; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < d; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    GPUFREQ_REQUIRE(std::abs(a[col][col]) > 1e-300, "LinearRegressor: singular system");
+    for (std::size_t r = col + 1; r < d; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < d; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> w(d, 0.0);
+  for (std::size_t i = d; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < d; ++j) s -= a[i][j] * w[j];
+    w[i] = s / a[i][i];
+  }
+  return w;
+}
+}  // namespace
+
+void LinearRegressor::fit(const nn::Matrix& x, const std::vector<double>& y) {
+  detail::check_fit_args(x, y, "LinearRegressor::fit");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols() + 1;  // + intercept column
+
+  // Normal equations on the augmented design matrix: (X^T X + rI) w = X^T y.
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    for (std::size_t a = 0; a < d; ++a) {
+      const double xa = a < x.cols() ? row[a] : 1.0;
+      for (std::size_t b = a; b < d; ++b) {
+        const double xb = b < x.cols() ? row[b] : 1.0;
+        xtx[a][b] += xa * xb;
+      }
+      xty[a] += xa * y[i];
+    }
+  }
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtx[a][b] = xtx[b][a];
+    xtx[a][a] += ridge_;
+  }
+
+  const std::vector<double> w = solve_dense(std::move(xtx), std::move(xty));
+  coef_.assign(w.begin(), w.end() - 1);
+  intercept_ = w.back();
+}
+
+double LinearRegressor::predict_one(std::span<const float> x) const {
+  GPUFREQ_REQUIRE(fitted(), "LinearRegressor: not fitted");
+  GPUFREQ_REQUIRE(x.size() == coef_.size(), "LinearRegressor: feature width mismatch");
+  double s = intercept_;
+  for (std::size_t i = 0; i < x.size(); ++i) s += coef_[i] * x[i];
+  return s;
+}
+
+}  // namespace gpufreq::ml

@@ -1,0 +1,34 @@
+#include "gpufreq/ml/regressor.hpp"
+
+#include "gpufreq/ml/boosting.hpp"
+#include "gpufreq/ml/forest.hpp"
+#include "gpufreq/ml/linear.hpp"
+#include "gpufreq/ml/svr.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::ml {
+
+std::vector<double> Regressor::predict(const nn::Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict_one(x.row(i)));
+  return out;
+}
+
+std::unique_ptr<Regressor> make_regressor(const std::string& name) {
+  if (name == "mlr") return std::make_unique<LinearRegressor>();
+  if (name == "rfr") return std::make_unique<RandomForestRegressor>();
+  if (name == "xgbr") return std::make_unique<GradientBoostingRegressor>();
+  if (name == "svr") return std::make_unique<SvrRegressor>();
+  throw InvalidArgument("make_regressor: unknown learner '" + name + "'");
+}
+
+namespace detail {
+void check_fit_args(const nn::Matrix& x, const std::vector<double>& y, const char* who) {
+  GPUFREQ_REQUIRE(x.rows() > 0, std::string(who) + ": empty training set");
+  GPUFREQ_REQUIRE(x.rows() == y.size(), std::string(who) + ": row/target count mismatch");
+  GPUFREQ_REQUIRE(x.cols() > 0, std::string(who) + ": no features");
+}
+}  // namespace detail
+
+}  // namespace gpufreq::ml

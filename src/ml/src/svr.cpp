@@ -1,0 +1,130 @@
+#include "gpufreq/ml/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::ml {
+
+SvrRegressor::SvrRegressor(Config config) : config_(config) {
+  GPUFREQ_REQUIRE(config_.c > 0.0, "SvrRegressor: C must be positive");
+  GPUFREQ_REQUIRE(config_.epsilon >= 0.0, "SvrRegressor: epsilon must be non-negative");
+  GPUFREQ_REQUIRE(config_.max_iters > 0, "SvrRegressor: max_iters must be positive");
+  GPUFREQ_REQUIRE(config_.max_train_rows >= 2, "SvrRegressor: need at least two rows");
+}
+
+double SvrRegressor::kernel(std::span<const float> a, std::span<const float> b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    d2 += d * d;
+  }
+  // +1 absorbs the bias term (see class comment).
+  return std::exp(-gamma_eff_ * d2) + 1.0;
+}
+
+void SvrRegressor::fit(const nn::Matrix& x, const std::vector<double>& y) {
+  detail::check_fit_args(x, y, "SvrRegressor::fit");
+
+  // Deterministic subsample if the problem is too large for O(n^2) kernels.
+  std::vector<std::size_t> rows;
+  if (x.rows() > config_.max_train_rows) {
+    Rng rng(config_.seed);
+    auto perm = rng.permutation(x.rows());
+    rows.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(config_.max_train_rows));
+    std::sort(rows.begin(), rows.end());
+  } else {
+    rows.resize(x.rows());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  }
+  const std::size_t n = rows.size();
+  const std::size_t d = x.cols();
+
+  support_x_.resize(n, d);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = x.row(rows[i]);
+    std::copy(src.begin(), src.end(), support_x_.row(i).begin());
+    ys[i] = y[rows[i]];
+  }
+
+  // RBF width: sklearn's "scale" heuristic 1 / (d * var(X)).
+  if (config_.gamma > 0.0) {
+    gamma_eff_ = config_.gamma;
+  } else {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < d; ++j) mean += support_x_(i, j);
+    }
+    mean /= static_cast<double>(n * d);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const double dd = support_x_(i, j) - mean;
+        var += dd * dd;
+      }
+    }
+    var /= static_cast<double>(n * d);
+    gamma_eff_ = var > 1e-12 ? 1.0 / (static_cast<double>(d) * var) : 1.0;
+  }
+
+  // Precompute the (augmented) kernel matrix.
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(support_x_.row(i), support_x_.row(j));
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+
+  // Cyclic coordinate descent on the dual. f_i = sum_j beta_j K_ij tracks
+  // the current prediction of every training point.
+  beta_.assign(n, 0.0);
+  std::vector<double> f(n, 0.0);
+  for (std::size_t pass = 0; pass < config_.max_iters; ++pass) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kii = k[i * n + i];
+      const double resid = ys[i] - (f[i] - beta_[i] * kii);  // leave-one-out residual
+      // Exact minimizer of the 1-D subproblem: soft-threshold by epsilon,
+      // scale by K_ii, clip to the box.
+      double target;
+      if (resid > config_.epsilon) {
+        target = (resid - config_.epsilon) / kii;
+      } else if (resid < -config_.epsilon) {
+        target = (resid + config_.epsilon) / kii;
+      } else {
+        target = 0.0;
+      }
+      target = std::clamp(target, -config_.c, config_.c);
+      const double delta = target - beta_[i];
+      if (delta != 0.0) {
+        const double* ki = &k[i * n];
+        for (std::size_t j = 0; j < n; ++j) f[j] += delta * ki[j];
+        beta_[i] = target;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < config_.tol) break;
+  }
+}
+
+double SvrRegressor::predict_one(std::span<const float> x) const {
+  GPUFREQ_REQUIRE(fitted(), "SvrRegressor: not fitted");
+  GPUFREQ_REQUIRE(x.size() == support_x_.cols(), "SvrRegressor: feature width mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < support_x_.rows(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    s += beta_[i] * kernel(x, support_x_.row(i));
+  }
+  return s;
+}
+
+std::size_t SvrRegressor::support_vector_count() const {
+  std::size_t c = 0;
+  for (double b : beta_) c += std::abs(b) > 1e-8 ? 1 : 0;
+  return c;
+}
+
+}  // namespace gpufreq::ml

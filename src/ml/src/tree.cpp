@@ -1,0 +1,151 @@
+#include "gpufreq/ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::ml {
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  GPUFREQ_REQUIRE(config_.max_depth > 0, "tree: max_depth must be positive");
+  GPUFREQ_REQUIRE(config_.min_samples_leaf > 0, "tree: min_samples_leaf must be positive");
+}
+
+void DecisionTreeRegressor::fit(const nn::Matrix& x, const std::vector<double>& y) {
+  detail::check_fit_args(x, y, "DecisionTreeRegressor::fit");
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  fit_rows(x, y, rows);
+}
+
+void DecisionTreeRegressor::fit_rows(const nn::Matrix& x, const std::vector<double>& y,
+                                     const std::vector<std::size_t>& rows) {
+  detail::check_fit_args(x, y, "DecisionTreeRegressor::fit_rows");
+  GPUFREQ_REQUIRE(!rows.empty(), "DecisionTreeRegressor: no rows to fit");
+  nodes_.clear();
+  nodes_.reserve(2 * rows.size());
+  std::vector<std::size_t> work = rows;
+  Rng rng(seed_);
+  build(x, y, work, 0, work.size(), 0, rng);
+}
+
+std::int32_t DecisionTreeRegressor::build(const nn::Matrix& x, const std::vector<double>& y,
+                                          std::vector<std::size_t>& rows, std::size_t begin,
+                                          std::size_t end, std::size_t depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += y[rows[i]];
+  const double mean = sum / static_cast<double>(n);
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].value = mean;
+
+  if (depth >= config_.max_depth || n < config_.min_samples_split) return node_id;
+
+  // Choose the candidate feature subset (all by default; forests restrict).
+  const std::size_t d = x.cols();
+  std::vector<std::size_t> feats(d);
+  std::iota(feats.begin(), feats.end(), std::size_t{0});
+  std::size_t n_feats = d;
+  if (config_.max_features > 0 && config_.max_features < d) {
+    for (std::size_t i = 0; i < config_.max_features; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.uniform_index(d - i));
+      std::swap(feats[i], feats[j]);
+    }
+    n_feats = config_.max_features;
+  }
+
+  // Exact best split by variance reduction: sort rows by the feature and
+  // scan prefix sums.
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_score = 0.0;  // SSE reduction; must be strictly positive
+  std::vector<std::size_t> sorted(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  rows.begin() + static_cast<std::ptrdiff_t>(end));
+  std::vector<std::size_t> best_sorted;
+
+  for (std::size_t fi = 0; fi < n_feats; ++fi) {
+    const std::size_t f = feats[fi];
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) { return x(a, f) < x(b, f); });
+    double left_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += y[sorted[i]];
+      // No split between equal feature values.
+      if (x(sorted[i], f) >= x(sorted[i + 1], f)) continue;
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) continue;
+      const double right_sum = sum - left_sum;
+      // SSE reduction = sum_l^2/n_l + sum_r^2/n_r - sum^2/n (constant term
+      // dropped from the comparison would change with n, so keep it).
+      const double score = left_sum * left_sum / static_cast<double>(nl) +
+                           right_sum * right_sum / static_cast<double>(nr) -
+                           sum * sum / static_cast<double>(n);
+      if (score > best_score + 1e-12) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5f * (x(sorted[i], f) + x(sorted[i + 1], f));
+        best_sorted = sorted;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition rows[begin:end) by the chosen split, preserving the sorted
+  // order found for the winning feature.
+  std::size_t mid = begin;
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[begin + i] = best_sorted[i];
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    if (x(rows[i], static_cast<std::size_t>(best_feature)) <= best_threshold) {
+      ++mid;
+    } else {
+      break;
+    }
+  }
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const std::int32_t left = build(x, y, rows, begin, mid, depth + 1, rng);
+  nodes_[node_id].left = left;
+  const std::int32_t right = build(x, y, rows, mid, end, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTreeRegressor::predict_one(std::span<const float> x) const {
+  GPUFREQ_REQUIRE(fitted(), "DecisionTreeRegressor: not fitted");
+  std::int32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[cur].feature);
+    GPUFREQ_REQUIRE(f < x.size(), "DecisionTreeRegressor: feature width mismatch");
+    cur = x[f] <= nodes_[cur].threshold ? nodes_[cur].left : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+std::size_t DecisionTreeRegressor::depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 1}};
+  std::size_t best = 0;
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    if (nodes_[id].feature >= 0) {
+      stack.push_back({nodes_[id].left, d + 1});
+      stack.push_back({nodes_[id].right, d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace gpufreq::ml

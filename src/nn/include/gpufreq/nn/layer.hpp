@@ -1,0 +1,58 @@
+#pragma once
+
+#include "gpufreq/nn/activations.hpp"
+#include "gpufreq/nn/matrix.hpp"
+#include "gpufreq/nn/optimizer.hpp"
+#include "gpufreq/util/rng.hpp"
+
+namespace gpufreq::nn {
+
+/// Fully connected layer: Y = act(X * W + b), with the backward pass and
+/// gradient buffers needed for mini-batch training.
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation act);
+
+  std::size_t in_dim() const { return w_.rows(); }
+  std::size_t out_dim() const { return w_.cols(); }
+  Activation activation() const { return act_; }
+
+  Matrix& weights() { return w_; }
+  const Matrix& weights() const { return w_; }
+  std::vector<float>& bias() { return b_; }
+  const std::vector<float>& bias() const { return b_; }
+
+  /// LeCun-normal init (recommended for SELU).
+  void init_lecun_normal(Rng& rng);
+
+  /// Register W and b with the optimizer (once, before training).
+  void register_params(Optimizer& opt);
+
+  /// Forward: stores X, Z for the backward pass; writes activations to `out`.
+  void forward(const Matrix& x, Matrix& out);
+
+  /// Inference-only forward (no caching).
+  void forward_inference(const Matrix& x, Matrix& out) const;
+
+  /// Backward: `delta` is dL/dY (batch x out). Computes parameter
+  /// gradients (averaged over the batch) and overwrites `dx` with dL/dX.
+  void backward(const Matrix& delta, Matrix& dx);
+
+  /// Apply the optimizer to W and b using the last computed gradients.
+  void apply_gradients(Optimizer& opt);
+
+ private:
+  Matrix w_;               // in x out
+  std::vector<float> b_;   // out
+  Activation act_;
+
+  Matrix grad_w_;
+  std::vector<float> grad_b_;
+  Matrix cached_x_;        // batch x in
+  Matrix cached_z_;        // batch x out (pre-activation)
+  Matrix delta_z_;         // scratch: dL/dZ
+  std::size_t slot_w_ = static_cast<std::size_t>(-1);
+  std::size_t slot_b_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace gpufreq::nn

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "gpufreq/nn/matrix.hpp"
+
+namespace gpufreq::nn {
+
+/// Regression losses. The paper trains both models with MSE.
+enum class Loss { kMse, kMae, kHuber };
+
+const char* to_string(Loss loss);
+
+/// Mean loss over all elements of (pred, target); shapes must match.
+double compute_loss(Loss loss, const Matrix& pred, const Matrix& target);
+
+/// dL/dpred into `grad` (same shape), averaged consistently with
+/// compute_loss so gradients do not depend on the batch size convention.
+void loss_gradient(Loss loss, const Matrix& pred, const Matrix& target, Matrix& grad);
+
+/// Huber transition point (fixed; exposed for tests).
+inline constexpr double kHuberDelta = 1.0;
+
+}  // namespace gpufreq::nn

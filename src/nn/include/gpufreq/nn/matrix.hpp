@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpufreq::nn {
+
+/// Dense row-major float matrix used by the neural-network stack. Kept
+/// deliberately small: the models in this library are 3x64x64x64x1 MLPs, so
+/// a cache-friendly scalar GEMM (auto-vectorized at -O3) is more than fast
+/// enough and keeps the library dependency-free.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  void fill(float value);
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Frobenius-norm helpers used by gradient tests.
+  float frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Dimensions are checked (InvalidArgument).
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T * B.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B^T.
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Adds a row vector (bias) to every row of `m`.
+void add_row_vector(Matrix& m, std::span<const float> v);
+
+/// Column-wise sum of `m` into `out` (size cols).
+void column_sums(const Matrix& m, std::span<float> out);
+
+}  // namespace gpufreq::nn

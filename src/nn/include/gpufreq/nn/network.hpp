@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpufreq/nn/layer.hpp"
+#include "gpufreq/nn/loss.hpp"
+
+namespace gpufreq::nn {
+
+/// One layer of a feedforward-network architecture description.
+struct LayerSpec {
+  std::size_t units = 64;
+  Activation activation = Activation::kSelu;
+};
+
+/// Standard feedforward neural network (the paper's FNN, §4.3): a stack of
+/// dense layers. The paper's architecture — three hidden layers of 64 SELU
+/// units plus a linear output — is available via `paper_architecture()`.
+class Network {
+ public:
+  /// Build a network; weights are LeCun-normal initialized from `seed`.
+  Network(std::size_t input_dim, const std::vector<LayerSpec>& layers, std::uint64_t seed);
+
+  /// Uninitialized network (deserialization only).
+  Network() = default;
+
+  std::size_t input_dim() const;
+  std::size_t output_dim() const;
+  std::size_t num_layers() const { return layers_.size(); }
+  const DenseLayer& layer(std::size_t i) const { return layers_[i]; }
+  DenseLayer& layer(std::size_t i) { return layers_[i]; }
+
+  /// Total trainable parameter count.
+  std::size_t parameter_count() const;
+
+  /// Inference: Y = f(X), no training caches touched. Thread-compatible
+  /// (const) but not re-entrant with train_step on the same object.
+  Matrix predict(const Matrix& x) const;
+
+  /// Convenience for single-output networks: predict a column vector.
+  std::vector<double> predict_vector(const Matrix& x) const;
+
+  /// One optimizer step on a mini-batch; returns the batch loss before the
+  /// update. `opt` must have been bound with bind_optimizer first.
+  double train_step(const Matrix& x, const Matrix& y, Loss loss, Optimizer& opt);
+
+  /// Register all layer parameters with the optimizer. Must be called once
+  /// per (network, optimizer) pair before train_step.
+  void bind_optimizer(Optimizer& opt);
+
+  /// Mean loss on a dataset (no update).
+  double evaluate(const Matrix& x, const Matrix& y, Loss loss) const;
+
+  /// The paper's model: 3 hidden layers x 64 SELU neurons -> 1 linear.
+  static std::vector<LayerSpec> paper_architecture(std::size_t hidden_layers = 3,
+                                                   std::size_t units = 64,
+                                                   Activation act = Activation::kSelu);
+
+ private:
+  std::vector<DenseLayer> layers_;
+  // Scratch buffers reused across train steps.
+  std::vector<Matrix> fwd_;
+  Matrix grad_, dx_;
+};
+
+}  // namespace gpufreq::nn

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gpufreq::nn {
+
+/// First-order optimizers evaluated in the paper's sweep (§4.3); the paper
+/// selects RMSprop. Each parameter tensor registers a *slot* so optimizers
+/// can keep per-tensor state (moment estimates) across steps.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Register a parameter tensor of the given size; returns its slot id.
+  std::size_t register_slot(std::size_t size);
+
+  /// Apply one update: param -= step(grad). Must be called with the slot
+  /// returned by register_slot and spans of the registered size.
+  void update(std::size_t slot, std::span<float> param, std::span<const float> grad);
+
+  /// Advance the global step counter (bias correction); call once per batch.
+  void tick() { ++step_; }
+
+  virtual const char* name() const = 0;
+  double learning_rate() const { return lr_; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  virtual void apply(std::size_t slot, std::span<float> param, std::span<const float> grad) = 0;
+
+  /// Per-slot state vector, lazily created by subclasses.
+  std::vector<float>& state(std::size_t slot, int which);
+
+  double lr_;
+  long long step_ = 1;
+
+ private:
+  std::vector<std::size_t> slot_sizes_;
+  // state_[which][slot]
+  std::vector<std::vector<std::vector<float>>> state_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr = 0.01, double momentum = 0.0);
+  const char* name() const override { return "sgd"; }
+
+ private:
+  void apply(std::size_t slot, std::span<float> p, std::span<const float> g) override;
+  double momentum_;
+};
+
+/// RMSprop (Tieleman & Hinton) — the paper's choice for both models.
+class RmsProp final : public Optimizer {
+ public:
+  explicit RmsProp(double lr = 1e-3, double rho = 0.9, double eps = 1e-7);
+  const char* name() const override { return "rmsprop"; }
+
+ private:
+  void apply(std::size_t slot, std::span<float> p, std::span<const float> g) override;
+  double rho_, eps_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-7);
+  const char* name() const override { return "adam"; }
+
+ protected:
+  void apply(std::size_t slot, std::span<float> p, std::span<const float> g) override;
+  double beta1_, beta2_, eps_;
+};
+
+/// Adamax: Adam with the infinity norm for the second moment.
+class Adamax final : public Optimizer {
+ public:
+  explicit Adamax(double lr = 2e-3, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-7);
+  const char* name() const override { return "adamax"; }
+
+ private:
+  void apply(std::size_t slot, std::span<float> p, std::span<const float> g) override;
+  double beta1_, beta2_, eps_;
+};
+
+/// Nadam: Adam with Nesterov momentum.
+class Nadam final : public Optimizer {
+ public:
+  explicit Nadam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-7);
+  const char* name() const override { return "nadam"; }
+
+ private:
+  void apply(std::size_t slot, std::span<float> p, std::span<const float> g) override;
+  double beta1_, beta2_, eps_;
+};
+
+/// AdaDelta (Zeiler): learning-rate-free accumulated-delta scheme.
+class AdaDelta final : public Optimizer {
+ public:
+  explicit AdaDelta(double lr = 1.0, double rho = 0.95, double eps = 1e-6);
+  const char* name() const override { return "adadelta"; }
+
+ private:
+  void apply(std::size_t slot, std::span<float> p, std::span<const float> g) override;
+  double rho_, eps_;
+};
+
+/// Factory by name ("rmsprop", "adam", ...); lr <= 0 keeps each
+/// optimizer's default learning rate.
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr = -1.0);
+
+}  // namespace gpufreq::nn

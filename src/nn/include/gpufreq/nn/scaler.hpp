@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "gpufreq/nn/matrix.hpp"
+
+namespace gpufreq::nn {
+
+/// Column-wise standardization (zero mean, unit variance), fit on the
+/// training set and applied to every input thereafter. Constant columns get
+/// unit scale so transform is always well defined.
+class StandardScaler {
+ public:
+  /// Fit means/stddevs from the rows of `x`.
+  void fit(const Matrix& x);
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t dim() const { return mean_.size(); }
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<double>& stddevs() const { return std_; }
+
+  /// (x - mean) / std, columnwise. Requires fit() with the same width.
+  Matrix transform(const Matrix& x) const;
+
+  /// Inverse transform of a standardized matrix.
+  Matrix inverse_transform(const Matrix& x) const;
+
+  /// Restore from serialized state.
+  void restore(std::vector<double> means, std::vector<double> stddevs);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace gpufreq::nn

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gpufreq/nn/network.hpp"
+#include "gpufreq/nn/scaler.hpp"
+
+namespace gpufreq::nn {
+
+/// Binary model container: network architecture + weights, and the fitted
+/// input/target scalers that belong to it. Used by the model cache so the
+/// bench harnesses train once and reuse the result.
+struct ModelBundle {
+  Network network;
+  StandardScaler input_scaler;
+  StandardScaler target_scaler;
+};
+
+/// Serialize to a stream / file (magic + version checked on load).
+void save_model(const ModelBundle& bundle, std::ostream& os);
+void save_model(const ModelBundle& bundle, const std::string& path);
+
+/// Deserialize; throws ParseError / IoError on malformed input.
+ModelBundle load_model(std::istream& is);
+ModelBundle load_model(const std::string& path);
+
+}  // namespace gpufreq::nn

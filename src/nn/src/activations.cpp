@@ -1,0 +1,93 @@
+#include "gpufreq/nn/activations.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+
+const char* to_string(Activation act) {
+  switch (act) {
+    case Activation::kLinear: return "linear";
+    case Activation::kRelu: return "relu";
+    case Activation::kElu: return "elu";
+    case Activation::kLeakyRelu: return "leaky_relu";
+    case Activation::kSelu: return "selu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSoftplus: return "softplus";
+    case Activation::kSoftsign: return "softsign";
+  }
+  return "?";
+}
+
+Activation activation_from_string(const std::string& name) {
+  for (Activation a : {Activation::kLinear, Activation::kRelu, Activation::kElu,
+                       Activation::kLeakyRelu, Activation::kSelu, Activation::kSigmoid,
+                       Activation::kTanh, Activation::kSoftplus, Activation::kSoftsign}) {
+    if (name == to_string(a)) return a;
+  }
+  throw InvalidArgument("activation_from_string: unknown activation '" + name + "'");
+}
+
+namespace {
+constexpr float kLeakySlope = 0.2f;
+}
+
+float activate(Activation act, float x) {
+  switch (act) {
+    case Activation::kLinear: return x;
+    case Activation::kRelu: return x > 0.0f ? x : 0.0f;
+    case Activation::kElu: return x > 0.0f ? x : std::expm1(x);
+    case Activation::kLeakyRelu: return x > 0.0f ? x : kLeakySlope * x;
+    case Activation::kSelu:
+      return x > 0.0f ? kSeluScale * x : kSeluScale * kSeluAlpha * std::expm1(x);
+    case Activation::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kSoftplus: return std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0f);
+    case Activation::kSoftsign: return x / (1.0f + std::abs(x));
+  }
+  return x;
+}
+
+float activate_derivative(Activation act, float x) {
+  switch (act) {
+    case Activation::kLinear: return 1.0f;
+    case Activation::kRelu: return x > 0.0f ? 1.0f : 0.0f;
+    case Activation::kElu: return x > 0.0f ? 1.0f : std::exp(x);
+    case Activation::kLeakyRelu: return x > 0.0f ? 1.0f : kLeakySlope;
+    case Activation::kSelu:
+      return x > 0.0f ? kSeluScale : kSeluScale * kSeluAlpha * std::exp(x);
+    case Activation::kSigmoid: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f - s);
+    }
+    case Activation::kTanh: {
+      const float t = std::tanh(x);
+      return 1.0f - t * t;
+    }
+    case Activation::kSoftplus: return 1.0f / (1.0f + std::exp(-x));
+    case Activation::kSoftsign: {
+      const float d = 1.0f + std::abs(x);
+      return 1.0f / (d * d);
+    }
+  }
+  return 1.0f;
+}
+
+void activate(Activation act, std::span<const float> z, std::span<float> out) {
+  GPUFREQ_REQUIRE(z.size() == out.size(), "activate: size mismatch");
+  for (std::size_t i = 0; i < z.size(); ++i) out[i] = activate(act, z[i]);
+}
+
+void activate_derivative(Activation act, std::span<const float> z, std::span<float> out) {
+  GPUFREQ_REQUIRE(z.size() == out.size(), "activate_derivative: size mismatch");
+  for (std::size_t i = 0; i < z.size(); ++i) out[i] = activate_derivative(act, z[i]);
+}
+
+float lecun_normal_stddev(std::size_t fan_in) {
+  GPUFREQ_REQUIRE(fan_in > 0, "lecun_normal_stddev: fan_in must be positive");
+  return 1.0f / std::sqrt(static_cast<float>(fan_in));
+}
+
+}  // namespace gpufreq::nn

@@ -1,0 +1,72 @@
+#include "gpufreq/nn/layer.hpp"
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation act)
+    : w_(in_dim, out_dim), b_(out_dim, 0.0f), act_(act) {
+  GPUFREQ_REQUIRE(in_dim > 0 && out_dim > 0, "DenseLayer: dimensions must be positive");
+}
+
+void DenseLayer::init_lecun_normal(Rng& rng) {
+  const float stddev = lecun_normal_stddev(w_.rows());
+  for (float& v : w_.flat()) v = static_cast<float>(rng.normal(0.0, stddev));
+  for (float& v : b_) v = 0.0f;
+}
+
+void DenseLayer::register_params(Optimizer& opt) {
+  slot_w_ = opt.register_slot(w_.size());
+  slot_b_ = opt.register_slot(b_.size());
+}
+
+void DenseLayer::forward(const Matrix& x, Matrix& out) {
+  GPUFREQ_REQUIRE(x.cols() == w_.rows(), "DenseLayer::forward: input width mismatch");
+  cached_x_ = x;
+  gemm(x, w_, cached_z_);
+  add_row_vector(cached_z_, b_);
+  out.resize(cached_z_.rows(), cached_z_.cols());
+  activate(act_, cached_z_.flat(), out.flat());
+}
+
+void DenseLayer::forward_inference(const Matrix& x, Matrix& out) const {
+  GPUFREQ_REQUIRE(x.cols() == w_.rows(), "DenseLayer::forward_inference: width mismatch");
+  Matrix z;
+  gemm(x, w_, z);
+  add_row_vector(z, b_);
+  out.resize(z.rows(), z.cols());
+  activate(act_, z.flat(), out.flat());
+}
+
+void DenseLayer::backward(const Matrix& delta, Matrix& dx) {
+  GPUFREQ_REQUIRE(delta.rows() == cached_z_.rows() && delta.cols() == cached_z_.cols(),
+                  "DenseLayer::backward: delta shape mismatch (forward not called?)");
+  // dL/dZ = dL/dY * act'(Z)
+  delta_z_.resize(delta.rows(), delta.cols());
+  activate_derivative(act_, cached_z_.flat(), delta_z_.flat());
+  {
+    auto dz = delta_z_.flat();
+    auto dy = delta.flat();
+    for (std::size_t i = 0; i < dz.size(); ++i) dz[i] *= dy[i];
+  }
+
+  // Parameter gradients, averaged over the batch.
+  gemm_tn(cached_x_, delta_z_, grad_w_);
+  grad_b_.assign(b_.size(), 0.0f);
+  column_sums(delta_z_, grad_b_);
+  const float inv_batch = 1.0f / static_cast<float>(delta.rows());
+  for (float& v : grad_w_.flat()) v *= inv_batch;
+  for (float& v : grad_b_) v *= inv_batch;
+
+  // dL/dX = dL/dZ * W^T
+  gemm_nt(delta_z_, w_, dx);
+}
+
+void DenseLayer::apply_gradients(Optimizer& opt) {
+  GPUFREQ_REQUIRE(slot_w_ != static_cast<std::size_t>(-1),
+                  "DenseLayer: register_params was not called");
+  opt.update(slot_w_, w_.flat(), grad_w_.flat());
+  opt.update(slot_b_, b_, grad_b_);
+}
+
+}  // namespace gpufreq::nn

@@ -1,0 +1,79 @@
+#include "gpufreq/nn/loss.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+
+const char* to_string(Loss loss) {
+  switch (loss) {
+    case Loss::kMse: return "mse";
+    case Loss::kMae: return "mae";
+    case Loss::kHuber: return "huber";
+  }
+  return "?";
+}
+
+namespace {
+void require_same_shape(const Matrix& a, const Matrix& b, const char* who) {
+  GPUFREQ_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  std::string(who) + ": shape mismatch");
+  GPUFREQ_REQUIRE(a.size() > 0, std::string(who) + ": empty input");
+}
+}  // namespace
+
+double compute_loss(Loss loss, const Matrix& pred, const Matrix& target) {
+  require_same_shape(pred, target, "compute_loss");
+  const auto p = pred.flat();
+  const auto t = target.flat();
+  double s = 0.0;
+  switch (loss) {
+    case Loss::kMse:
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        const double d = static_cast<double>(p[i]) - t[i];
+        s += d * d;
+      }
+      break;
+    case Loss::kMae:
+      for (std::size_t i = 0; i < p.size(); ++i) s += std::abs(static_cast<double>(p[i]) - t[i]);
+      break;
+    case Loss::kHuber:
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        const double d = std::abs(static_cast<double>(p[i]) - t[i]);
+        s += d <= kHuberDelta ? 0.5 * d * d : kHuberDelta * (d - 0.5 * kHuberDelta);
+      }
+      break;
+  }
+  return s / static_cast<double>(p.size());
+}
+
+void loss_gradient(Loss loss, const Matrix& pred, const Matrix& target, Matrix& grad) {
+  require_same_shape(pred, target, "loss_gradient");
+  grad.resize(pred.rows(), pred.cols());
+  const auto p = pred.flat();
+  const auto t = target.flat();
+  auto g = grad.flat();
+  // Averaging over columns only: DenseLayer::backward already divides by
+  // the batch (row) count, so the combination matches compute_loss.
+  const float inv_cols = 1.0f / static_cast<float>(pred.cols());
+  switch (loss) {
+    case Loss::kMse:
+      for (std::size_t i = 0; i < p.size(); ++i) g[i] = 2.0f * (p[i] - t[i]) * inv_cols;
+      break;
+    case Loss::kMae:
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        g[i] = (p[i] > t[i] ? 1.0f : (p[i] < t[i] ? -1.0f : 0.0f)) * inv_cols;
+      }
+      break;
+    case Loss::kHuber:
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        const float d = p[i] - t[i];
+        const auto delta = static_cast<float>(kHuberDelta);
+        g[i] = (std::abs(d) <= delta ? d : (d > 0 ? delta : -delta)) * inv_cols;
+      }
+      break;
+  }
+}
+
+}  // namespace gpufreq::nn

@@ -1,0 +1,89 @@
+#include "gpufreq/nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+float Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  GPUFREQ_REQUIRE(a.cols() == b.rows(), "gemm: inner dimensions mismatch");
+  c.resize(a.rows(), b.cols());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    float* ci = c.row(i).data();
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a(i, p);
+      const float* bp = b.row(p).data();
+      for (std::size_t j = 0; j < m; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
+  GPUFREQ_REQUIRE(a.rows() == b.rows(), "gemm_tn: inner dimensions mismatch");
+  c.resize(a.cols(), b.cols());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t p = 0; p < n; ++p) {
+    const float* ap = a.row(p).data();
+    const float* bp = b.row(p).data();
+    for (std::size_t i = 0; i < k; ++i) {
+      float* ci = c.row(i).data();
+      const float api = ap[i];
+      for (std::size_t j = 0; j < m; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+  GPUFREQ_REQUIRE(a.cols() == b.cols(), "gemm_nt: inner dimensions mismatch");
+  c.resize(a.rows(), b.rows());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* ai = a.row(i).data();
+    float* ci = c.row(i).data();
+    for (std::size_t j = 0; j < m; ++j) {
+      const float* bj = b.row(j).data();
+      float s = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] = s;
+    }
+  }
+}
+
+void add_row_vector(Matrix& m, std::span<const float> v) {
+  GPUFREQ_REQUIRE(v.size() == m.cols(), "add_row_vector: width mismatch");
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.row(i).data();
+    for (std::size_t j = 0; j < v.size(); ++j) row[j] += v[j];
+  }
+}
+
+void column_sums(const Matrix& m, std::span<float> out) {
+  GPUFREQ_REQUIRE(out.size() == m.cols(), "column_sums: width mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i).data();
+    for (std::size_t j = 0; j < out.size(); ++j) out[j] += row[j];
+  }
+}
+
+}  // namespace gpufreq::nn

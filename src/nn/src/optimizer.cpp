@@ -1,0 +1,155 @@
+#include "gpufreq/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+
+std::size_t Optimizer::register_slot(std::size_t size) {
+  slot_sizes_.push_back(size);
+  return slot_sizes_.size() - 1;
+}
+
+void Optimizer::update(std::size_t slot, std::span<float> param, std::span<const float> grad) {
+  GPUFREQ_REQUIRE(slot < slot_sizes_.size(), "optimizer: unregistered slot");
+  GPUFREQ_REQUIRE(param.size() == slot_sizes_[slot] && grad.size() == slot_sizes_[slot],
+                  "optimizer: span size does not match registered slot");
+  apply(slot, param, grad);
+}
+
+std::vector<float>& Optimizer::state(std::size_t slot, int which) {
+  if (state_.size() <= static_cast<std::size_t>(which)) {
+    state_.resize(static_cast<std::size_t>(which) + 1);
+  }
+  auto& bank = state_[static_cast<std::size_t>(which)];
+  if (bank.size() <= slot) bank.resize(slot + 1);
+  if (bank[slot].size() != slot_sizes_[slot]) bank[slot].assign(slot_sizes_[slot], 0.0f);
+  return bank[slot];
+}
+
+// ---------------------------------------------------------------- SGD ----
+Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {}
+
+void Sgd::apply(std::size_t slot, std::span<float> p, std::span<const float> g) {
+  if (momentum_ == 0.0) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] -= static_cast<float>(lr_) * g[i];
+    }
+    return;
+  }
+  auto& v = state(slot, 0);
+  const auto mu = static_cast<float>(momentum_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    v[i] = mu * v[i] - static_cast<float>(lr_) * g[i];
+    p[i] += v[i];
+  }
+}
+
+// ------------------------------------------------------------ RMSprop ----
+RmsProp::RmsProp(double lr, double rho, double eps) : Optimizer(lr), rho_(rho), eps_(eps) {}
+
+void RmsProp::apply(std::size_t slot, std::span<float> p, std::span<const float> g) {
+  auto& v = state(slot, 0);
+  const auto rho = static_cast<float>(rho_);
+  const auto eps = static_cast<float>(eps_);
+  const auto lr = static_cast<float>(lr_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    v[i] = rho * v[i] + (1.0f - rho) * g[i] * g[i];
+    p[i] -= lr * g[i] / (std::sqrt(v[i]) + eps);
+  }
+}
+
+// --------------------------------------------------------------- Adam ----
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::apply(std::size_t slot, std::span<float> p, std::span<const float> g) {
+  auto& m = state(slot, 0);
+  auto& v = state(slot, 1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(eps_);
+  const float c1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float c2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  const auto lr = static_cast<float>(lr_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+    const float mhat = m[i] / c1;
+    const float vhat = v[i] / c2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+// ------------------------------------------------------------- Adamax ----
+Adamax::Adamax(double lr, double beta1, double beta2, double eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adamax::apply(std::size_t slot, std::span<float> p, std::span<const float> g) {
+  auto& m = state(slot, 0);
+  auto& u = state(slot, 1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const float c1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const auto lr = static_cast<float>(lr_);
+  const auto eps = static_cast<float>(eps_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+    u[i] = std::max(b2 * u[i], std::abs(g[i]));
+    p[i] -= lr * (m[i] / c1) / (u[i] + eps);
+  }
+}
+
+// -------------------------------------------------------------- Nadam ----
+Nadam::Nadam(double lr, double beta1, double beta2, double eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Nadam::apply(std::size_t slot, std::span<float> p, std::span<const float> g) {
+  auto& m = state(slot, 0);
+  auto& v = state(slot, 1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(eps_);
+  const float c1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float c1n = 1.0f - std::pow(b1, static_cast<float>(step_ + 1));
+  const float c2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  const auto lr = static_cast<float>(lr_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+    const float mhat = b1 * m[i] / c1n + (1.0f - b1) * g[i] / c1;
+    const float vhat = v[i] / c2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+// ----------------------------------------------------------- AdaDelta ----
+AdaDelta::AdaDelta(double lr, double rho, double eps) : Optimizer(lr), rho_(rho), eps_(eps) {}
+
+void AdaDelta::apply(std::size_t slot, std::span<float> p, std::span<const float> g) {
+  auto& eg2 = state(slot, 0);
+  auto& ed2 = state(slot, 1);
+  const auto rho = static_cast<float>(rho_);
+  const auto eps = static_cast<float>(eps_);
+  const auto lr = static_cast<float>(lr_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    eg2[i] = rho * eg2[i] + (1.0f - rho) * g[i] * g[i];
+    const float dx = -std::sqrt(ed2[i] + eps) / std::sqrt(eg2[i] + eps) * g[i];
+    ed2[i] = rho * ed2[i] + (1.0f - rho) * dx * dx;
+    p[i] += lr * dx;
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr) {
+  const bool use_default = lr <= 0.0;
+  if (name == "sgd") return std::make_unique<Sgd>(use_default ? 0.01 : lr);
+  if (name == "rmsprop") return std::make_unique<RmsProp>(use_default ? 1e-3 : lr);
+  if (name == "adam") return std::make_unique<Adam>(use_default ? 1e-3 : lr);
+  if (name == "adamax") return std::make_unique<Adamax>(use_default ? 2e-3 : lr);
+  if (name == "nadam") return std::make_unique<Nadam>(use_default ? 1e-3 : lr);
+  if (name == "adadelta") return std::make_unique<AdaDelta>(use_default ? 1.0 : lr);
+  throw InvalidArgument("make_optimizer: unknown optimizer '" + name + "'");
+}
+
+}  // namespace gpufreq::nn

@@ -1,0 +1,62 @@
+#include "gpufreq/nn/scaler.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+
+void StandardScaler::fit(const Matrix& x) {
+  GPUFREQ_REQUIRE(x.rows() > 0, "StandardScaler::fit: empty matrix");
+  const std::size_t n = x.rows(), d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += x(i, j);
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dlt = x(i, j) - mean_[j];
+      std_[j] += dlt * dlt;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;  // constant column
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  GPUFREQ_REQUIRE(fitted(), "StandardScaler: not fitted");
+  GPUFREQ_REQUIRE(x.cols() == mean_.size(), "StandardScaler::transform: width mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = static_cast<float>((x(i, j) - mean_[j]) / std_[j]);
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::inverse_transform(const Matrix& x) const {
+  GPUFREQ_REQUIRE(fitted(), "StandardScaler: not fitted");
+  GPUFREQ_REQUIRE(x.cols() == mean_.size(), "StandardScaler::inverse_transform: width mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = static_cast<float>(x(i, j) * std_[j] + mean_[j]);
+    }
+  }
+  return out;
+}
+
+void StandardScaler::restore(std::vector<double> means, std::vector<double> stddevs) {
+  GPUFREQ_REQUIRE(means.size() == stddevs.size(), "StandardScaler::restore: size mismatch");
+  GPUFREQ_REQUIRE(!means.empty(), "StandardScaler::restore: empty state");
+  for (double s : stddevs) GPUFREQ_REQUIRE(s > 0.0, "StandardScaler::restore: non-positive scale");
+  mean_ = std::move(means);
+  std_ = std::move(stddevs);
+}
+
+}  // namespace gpufreq::nn

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "gpufreq/sim/exec_model.hpp"
+#include "gpufreq/sim/gpu_spec.hpp"
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::sim {
+
+/// The 12 GPU utilization metrics of the paper (§4.1), with DCGM semantics:
+/// *_active fields are the fraction of elapsed cycles the unit was busy,
+/// clocks are in MHz, PCIe rates in bytes/s, power in watts, time in
+/// seconds.
+struct CounterSet {
+  double fp64_active = 0.0;     ///< (1)  FP64 pipe active fraction
+  double fp32_active = 0.0;     ///< (2)  FP32 pipe active fraction
+  double sm_app_clock = 0.0;    ///< (3)  applied SM clock (MHz)
+  double dram_active = 0.0;     ///< (4)  DRAM interface active fraction
+  double gr_engine_active = 0.0;///< (5)  graphics/compute engine active
+  double gpu_utilization = 0.0; ///< (6)  coarse utilization (0..1)
+  double power_usage = 0.0;     ///< (7)  board power (W)
+  double sm_active = 0.0;       ///< (8)  at least one warp resident
+  double sm_occupancy = 0.0;    ///< (9)  resident warps / max warps
+  double pcie_tx_bytes = 0.0;   ///< (10) host->device rate (bytes/s)
+  double pcie_rx_bytes = 0.0;   ///< (11) device->host rate (bytes/s)
+  double exec_time = 0.0;       ///< (12) wall time of the run (s)
+
+  /// Combined floating-point activity: the paper's `fp_active` feature
+  /// merges the FP64 and FP32 pipe counters.
+  double fp_active() const { return fp64_active + fp32_active; }
+
+  /// Metric names, in the order above (CSV headers, MI analysis).
+  static const std::array<std::string, 12>& metric_names();
+
+  /// Value by metric name; throws InvalidArgument for unknown names.
+  double value(const std::string& metric) const;
+};
+
+/// Ground-truth (noise-free) counters for a workload at a core clock.
+/// `breakdown` must come from simulate_execution with the same arguments.
+CounterSet derive_counters(const GpuSpec& spec, const workloads::WorkloadDescriptor& wl,
+                           double core_mhz, const ExecutionBreakdown& breakdown,
+                           double voltage_offset_v = 0.0);
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "gpufreq/sim/gpu_spec.hpp"
+
+namespace gpufreq::sim {
+
+/// Core voltage at the given clock, from the spec's convex V/f curve.
+/// f is clamped to [core_min, core_max] first.
+double voltage_at(const GpuSpec& spec, double core_mhz);
+
+/// Dynamic-power scaling factor (f / f_max) * ((V(f) + offset) / V_max)^2.
+/// In (0, 1] at zero offset; undervolting (negative offset) lowers it.
+double dynamic_power_factor(const GpuSpec& spec, double core_mhz,
+                            double voltage_offset_v = 0.0);
+
+/// Achievable DRAM bandwidth (GB/s) at the given core clock. Saturating
+/// tanh curve with a knee (~900 MHz on GA100), normalized so that the
+/// maximum clock reaches peak_bw_gbs.
+double bandwidth_at(const GpuSpec& spec, double core_mhz);
+
+/// FP64 / FP32 pipe throughput (GFLOP/s) at the given core clock (linear
+/// in frequency).
+double fp64_peak_at(const GpuSpec& spec, double core_mhz);
+double fp32_peak_at(const GpuSpec& spec, double core_mhz);
+
+/// Mixed-precision throughput for a workload whose FP64 share is
+/// `fp64_frac`: harmonic combination of the two pipe rates.
+double mixed_fp_peak_at(const GpuSpec& spec, double core_mhz, double fp64_frac);
+
+/// Scaling of latency-bound time: (f_max / f)^latency_exp, >= 1 below f_max.
+double latency_time_factor(const GpuSpec& spec, double core_mhz);
+
+}  // namespace gpufreq::sim

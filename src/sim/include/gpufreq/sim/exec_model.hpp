@@ -1,0 +1,39 @@
+#pragma once
+
+#include "gpufreq/sim/gpu_spec.hpp"
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::sim {
+
+/// Noise-free decomposition of one execution of a workload at a fixed core
+/// clock: the roofline-style time components and their overlap.
+struct ExecutionBreakdown {
+  double compute_s = 0.0;   ///< FP-pipe-bound time W_c / (peak(f) * eff)
+  double memory_s = 0.0;    ///< bandwidth-bound time W_b / (B(f) * eff)
+  double latency_s = 0.0;   ///< latency-bound time (weak clock scaling)
+  double gpu_s = 0.0;       ///< overlapped GPU-resident time
+  double serial_s = 0.0;    ///< clock-independent host/driver time
+  double total_s = 0.0;     ///< gpu_s + serial_s
+
+  double gflop = 0.0;       ///< floating-point work executed
+  double gbytes = 0.0;      ///< DRAM traffic moved
+
+  /// Achieved FLOP rate (GFLOP/s) over the whole run (Figure 1(d)).
+  double achieved_gflops() const { return total_s > 0.0 ? gflop / total_s : 0.0; }
+
+  /// Achieved DRAM bandwidth (GB/s) over the whole run (Figure 1(h)).
+  double achieved_bandwidth_gbs() const { return total_s > 0.0 ? gbytes / total_s : 0.0; }
+};
+
+/// Order of the smooth-max used to overlap compute/memory/latency phases.
+/// Higher = closer to a hard max; 8 leaves a few percent of interference
+/// when two components are comparable, which matches real kernels better
+/// than either max() or a sum.
+inline constexpr double kOverlapOrder = 8.0;
+
+/// Evaluate the noise-free execution-time model (DESIGN.md §2).
+ExecutionBreakdown simulate_execution(const GpuSpec& spec,
+                                      const workloads::WorkloadDescriptor& wl,
+                                      double core_mhz, double input_scale = 1.0);
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpufreq/sim/counters.hpp"
+#include "gpufreq/sim/exec_model.hpp"
+#include "gpufreq/sim/gpu_spec.hpp"
+#include "gpufreq/sim/noise.hpp"
+#include "gpufreq/sim/power_controls.hpp"
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::sim {
+
+/// Options for one simulated execution.
+struct RunOptions {
+  double input_scale = 1.0;        ///< workload input-size multiplier
+  int run_index = 0;               ///< repeat index; seeds the run's noise
+  double sample_interval_s = 0.02; ///< metric sampling interval (paper: 20 ms)
+  std::size_t max_samples = 64;    ///< cap on stored samples (stride-decimated)
+  bool collect_samples = true;     ///< keep the per-sample time series
+};
+
+/// One timestamped metric snapshot, as the DCGM-like profiler would record.
+struct MetricSample {
+  double timestamp_s = 0.0;
+  CounterSet counters;
+};
+
+/// Result of a simulated execution.
+struct RunResult {
+  double exec_time_s = 0.0;          ///< wall time (noisy if noise enabled)
+  double avg_power_w = 0.0;          ///< mean board power over the run
+  double energy_j = 0.0;             ///< exec_time_s * avg_power_w
+  double achieved_gflops = 0.0;      ///< FLOP work / wall time
+  double achieved_bandwidth_gbs = 0.0;
+  CounterSet mean_counters;          ///< run-level mean of the sampled metrics
+  ExecutionBreakdown breakdown;      ///< noise-free time decomposition
+  std::vector<MetricSample> samples; ///< per-interval series (if collected)
+
+  // Power-management outcome (see PowerControls).
+  double effective_clock_mhz = 0.0;   ///< clock actually run at
+  double steady_temperature_c = 0.0;  ///< first-order thermal estimate
+  bool power_capped = false;          ///< clock lowered to honor the limit
+  bool thermally_throttled = false;   ///< clock lowered to honor the temp
+};
+
+/// A simulated GPU: applies DVFS settings and "executes" workloads against
+/// the analytic model, producing DCGM-style metrics with realistic noise.
+///
+/// Clock semantics follow nvidia-smi/DCGM application clocks: requested
+/// frequencies are snapped to the supported grid; out-of-range requests are
+/// rejected. Determinism: the run-level noise stream depends only on
+/// (device seed, workload name, clock, input scale, run index) so results
+/// are reproducible and adding workloads does not perturb existing ones.
+class GpuDevice {
+ public:
+  explicit GpuDevice(GpuSpec spec, std::uint64_t seed = 0xA100'5EEDULL,
+                     NoiseModel noise = NoiseModel{});
+
+  const GpuSpec& spec() const { return spec_; }
+  const NoiseModel& noise() const { return noise_; }
+
+  /// Current applied SM application clock (MHz).
+  double app_clock_mhz() const { return app_clock_mhz_; }
+
+  /// Apply an application clock. Must lie inside the supported range; it is
+  /// snapped to the grid. Returns the applied (snapped) value.
+  double set_app_clock(double mhz);
+
+  /// Restore the default (maximum) application clock.
+  void reset_clocks();
+
+  /// Apply voltage-offset / power-limit / thermal controls (validated).
+  /// Runs at an undervolt beyond undervolt_headroom_v() throw
+  /// SimulatedFault; a power limit or the thermal model lower the
+  /// *effective* clock along the grid, as real boards do.
+  void set_power_controls(const PowerControls& controls);
+  const PowerControls& power_controls() const { return controls_; }
+
+  /// Thermal parameters used when controls().thermal_enabled is set.
+  void set_thermal_spec(const ThermalSpec& thermal) { thermal_ = thermal; }
+  const ThermalSpec& thermal_spec() const { return thermal_; }
+
+  /// The clock a run would actually execute at, after applying the power
+  /// limit and thermal headroom for this workload (noise-free estimate).
+  double effective_clock_for(const workloads::WorkloadDescriptor& wl,
+                             double input_scale = 1.0) const;
+
+  /// Execute a workload at the current application clock.
+  RunResult run(const workloads::WorkloadDescriptor& wl, const RunOptions& opts = {}) const;
+
+  /// Convenience: set the clock, run, and leave the clock applied.
+  RunResult run_at(const workloads::WorkloadDescriptor& wl, double mhz,
+                   const RunOptions& opts = {});
+
+ private:
+  GpuSpec spec_;
+  NoiseModel noise_;
+  std::uint64_t seed_;
+  double app_clock_mhz_;
+  PowerControls controls_;
+  ThermalSpec thermal_;
+};
+
+}  // namespace gpufreq::sim

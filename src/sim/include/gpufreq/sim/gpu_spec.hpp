@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpufreq::sim {
+
+/// Static description of a simulated GPU. The presets mirror the paper's
+/// Table 1 (NVIDIA GA100 / GV100) plus the physical parameters of the
+/// analytic power/performance model the simulator substitutes for real
+/// hardware (see DESIGN.md §2).
+struct GpuSpec {
+  std::string name;          ///< e.g. "GA100"
+  std::string architecture;  ///< e.g. "Ampere"
+
+  // --- DVFS design space (Table 1) ------------------------------------
+  double core_min_mhz = 210.0;     ///< lowest supported core clock
+  double core_max_mhz = 1410.0;    ///< highest supported core clock
+  double core_step_mhz = 15.0;     ///< grid step between configurations
+  double default_core_mhz = 1410.0;
+  double used_min_mhz = 510.0;     ///< below this, the paper excludes configs
+  double memory_mhz = 1597.0;      ///< fixed memory clock
+  double memory_gb = 80.0;
+
+  // --- Throughput peaks -------------------------------------------------
+  double peak_fp64_gflops = 9700.0;   ///< FP64 peak at core_max_mhz
+  double peak_fp32_gflops = 19500.0;  ///< FP32 peak at core_max_mhz
+  double peak_bw_gbs = 2039.0;        ///< peak DRAM bandwidth (Table 1)
+  int sm_count = 108;
+
+  // --- Power model parameters ------------------------------------------
+  double tdp_w = 500.0;
+  double static_power_w = 45.0;      ///< leakage + board, clock-independent
+  double clock_tree_power_w = 40.0;  ///< clock distribution at f_max, V_max
+  double sm_dyn_power_w = 445.0;     ///< SM dynamic power at f_max, V_max, u=1
+  double mem_power_w = 90.0;         ///< DRAM interface power at dram_active=1
+  double pcie_power_w_per_gbps = 0.4;
+
+  // --- Voltage/frequency curve: V(f) = v_min + (v_max - v_min) * x^gamma,
+  //     x = (f - core_min) / (core_max - core_min). Convex (gamma > 1):
+  //     voltage climbs steeply near the top of the DVFS range, which is what
+  //     produces the interior EDP/ED2P optima the paper reports.
+  double v_min = 0.72;
+  double v_max = 1.08;
+  double v_gamma = 2.2;
+
+  // --- Achievable-bandwidth curve: B(f) = peak_bw * tanh(f / bw_knee) /
+  //     tanh(core_max / bw_knee). Saturates above the knee (~900 MHz on
+  //     GA100, Figure 1(h)).
+  double bw_knee_mhz = 900.0;
+
+  // --- Latency scaling: latency-bound time ~ (f_max / f)^latency_exp.
+  double latency_exp = 0.35;
+
+  /// Relative SM power cost of an FP32-pipe-active cycle vs an FP64 one.
+  double fp32_power_weight = 0.85;
+
+  /// All supported DVFS core frequencies (core_min..core_max, step).
+  std::vector<double> supported_frequencies() const;
+
+  /// The configurations actually used by the paper's methodology
+  /// (used_min..core_max) — 61 on GA100, 117 on GV100.
+  std::vector<double> used_frequencies() const;
+
+  /// Snap an arbitrary frequency onto the supported grid (nearest step,
+  /// clamped to [core_min, core_max]).
+  double nearest_frequency(double mhz) const;
+
+  /// True if `mhz` is (within tolerance) one of the supported steps.
+  bool is_supported(double mhz) const;
+
+  /// Validate internal consistency; throws InvalidArgument on violation.
+  void validate() const;
+
+  /// Paper presets (Table 1).
+  static GpuSpec ga100();
+  static GpuSpec gv100();
+};
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gpufreq/sim/counters.hpp"
+#include "gpufreq/util/rng.hpp"
+
+namespace gpufreq::sim {
+
+/// Measurement/run-to-run variability applied on top of the noise-free
+/// model. All components are multiplicative log-normal so that strictly
+/// positive quantities stay positive. Sigmas are in relative units.
+struct NoiseModel {
+  double run_time_sigma = 0.012;    ///< run-to-run wall-time jitter
+  double run_power_sigma = 0.015;   ///< run-to-run mean-power jitter
+  double sample_power_sigma = 0.03; ///< per-20ms-sample power noise
+  double counter_sigma = 0.015;     ///< per-sample counter noise
+  double run_counter_sigma = 0.008; ///< run-to-run counter bias
+  bool enabled = true;
+
+  /// Noise model with everything disabled (ground truth pass-through).
+  static NoiseModel none();
+
+  /// Per-run multiplicative factors, deterministic given the rng stream.
+  struct RunJitter {
+    double time_factor = 1.0;
+    double power_factor = 1.0;
+    double counter_factor = 1.0;
+  };
+  RunJitter sample_run_jitter(Rng& rng) const;
+
+  /// Apply per-sample noise to a counter snapshot (exec_time untouched —
+  /// it is a run-level quantity). `phase` in [0,1) adds a small
+  /// deterministic within-run activity modulation so time series are not
+  /// white noise.
+  CounterSet perturb_sample(const CounterSet& truth, const RunJitter& jitter,
+                            double phase, Rng& rng) const;
+};
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "gpufreq/sim/gpu_spec.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::sim {
+
+/// Thrown when a simulated run becomes unstable (e.g. undervolted below
+/// the stability margin) — the simulator's fault-injection channel.
+class SimulatedFault : public Error {
+ public:
+  explicit SimulatedFault(const std::string& what) : Error(what) {}
+};
+
+/// Additional power-management controls beyond application clocks. These
+/// model the knobs the paper's conclusion points to as future work
+/// ("evaluate the voltage design space") plus the standard data-center
+/// alternative to DVFS, power capping (nvidia-smi -pl).
+struct PowerControls {
+  /// Core-voltage offset in volts (negative = undervolt). Applied on top
+  /// of the spec's V/f curve; dynamic power scales with (V + offset)^2.
+  double voltage_offset_v = 0.0;
+
+  /// Board power limit in watts; 0 disables capping. When the steady power
+  /// at the requested clock exceeds the limit, the device lowers the
+  /// effective clock along the grid until it fits (as real boards do).
+  double power_limit_w = 0.0;
+
+  /// Enable the first-order thermal model: steady temperature
+  /// T = ambient + R_th * P; above the throttle temperature the effective
+  /// clock is reduced until the steady temperature fits.
+  bool thermal_enabled = false;
+};
+
+/// Thermal parameters of a (simulated) board.
+struct ThermalSpec {
+  double ambient_c = 30.0;
+  double resistance_c_per_w = 0.105;  ///< steady-state °C per watt
+  double throttle_temp_c = 88.0;      ///< clocks reduced above this
+};
+
+/// Maximum stable undervolt (volts, positive number) at a core clock:
+/// the headroom shrinks as the clock rises. Offsets below -headroom make
+/// runs fault (SimulatedFault).
+double undervolt_headroom_v(const GpuSpec& spec, double core_mhz);
+
+/// Validate a controls struct against a spec; throws InvalidArgument for
+/// out-of-range values (offset beyond [-0.15, +0.10] V, negative limit).
+void validate_controls(const GpuSpec& spec, const PowerControls& controls);
+
+/// Steady-state board temperature for a given power draw.
+double steady_temperature_c(const ThermalSpec& thermal, double power_w);
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "gpufreq/sim/gpu_spec.hpp"
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::sim {
+
+struct CounterSet;  // counters.hpp (mutual include avoided)
+
+/// Noise-free board power (W) for a workload at a core clock, given its
+/// derived utilization counters:
+///
+///   P = P_static
+///     + (P_clock + P_sm * u_sm) * (f/f_max) * (V(f)/V_max)^2
+///     + P_mem * dram_active
+///     + P_pcie_per_gbps * (tx + rx)
+///
+/// where u_sm blends warp residency with pipe activity:
+///   u_sm = 0.15 * sm_active + 0.85 * (fp64_active + w32 * fp32_active).
+///
+/// The clock-tree term burns power whenever the GPU is clocked high even at
+/// low utilization — that is what gives low-utilization workloads (LSTM)
+/// large energy savings with no performance cost, as the paper observes.
+double simulate_power(const GpuSpec& spec, const workloads::WorkloadDescriptor& wl,
+                      double core_mhz, const CounterSet& counters,
+                      double voltage_offset_v = 0.0);
+
+/// SM utilization blend used by simulate_power (exposed for tests).
+double sm_power_utilization(const GpuSpec& spec, const CounterSet& counters);
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,75 @@
+#include "gpufreq/sim/counters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpufreq/sim/curves.hpp"
+#include "gpufreq/sim/power_model.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::sim {
+
+const std::array<std::string, 12>& CounterSet::metric_names() {
+  static const std::array<std::string, 12> names = {
+      "fp64_active",   "fp32_active",   "sm_app_clock", "dram_active",
+      "gr_engine_active", "gpu_utilization", "power_usage", "sm_active",
+      "sm_occupancy",  "pcie_tx_bytes", "pcie_rx_bytes", "exec_time"};
+  return names;
+}
+
+double CounterSet::value(const std::string& metric) const {
+  if (metric == "fp64_active") return fp64_active;
+  if (metric == "fp32_active") return fp32_active;
+  if (metric == "sm_app_clock") return sm_app_clock;
+  if (metric == "dram_active") return dram_active;
+  if (metric == "gr_engine_active") return gr_engine_active;
+  if (metric == "gpu_utilization") return gpu_utilization;
+  if (metric == "power_usage") return power_usage;
+  if (metric == "sm_active") return sm_active;
+  if (metric == "sm_occupancy") return sm_occupancy;
+  if (metric == "pcie_tx_bytes") return pcie_tx_bytes;
+  if (metric == "pcie_rx_bytes") return pcie_rx_bytes;
+  if (metric == "exec_time") return exec_time;
+  if (metric == "fp_active") return fp_active();
+  throw InvalidArgument("CounterSet: unknown metric '" + metric + "'");
+}
+
+CounterSet derive_counters(const GpuSpec& spec, const workloads::WorkloadDescriptor& wl,
+                           double core_mhz, const ExecutionBreakdown& eb,
+                           double voltage_offset_v) {
+  GPUFREQ_REQUIRE(eb.total_s > 0.0, "derive_counters: empty execution");
+  CounterSet c;
+  c.sm_app_clock = core_mhz;
+  c.exec_time = eb.total_s;
+
+  // Pipe-active fractions: busy seconds of each pipe over the elapsed time.
+  // Busy seconds = work / pipe-rate(f); the serial tail dilutes them, which
+  // is what makes low-utilization apps (GROMACS, LSTM) look different from
+  // dense kernels even at equal compute balance.
+  const double f64_work = wl.gflop_fp64 / (wl.gflop_fp64 + wl.gflop_fp32 + 1e-300) * eb.gflop;
+  const double f32_work = eb.gflop - f64_work;
+  if (f64_work > 0.0) {
+    c.fp64_active = std::min(1.0, f64_work / fp64_peak_at(spec, core_mhz) / eb.total_s);
+  }
+  if (f32_work > 0.0) {
+    c.fp32_active = std::min(1.0, f32_work / fp32_peak_at(spec, core_mhz) / eb.total_s);
+  }
+  if (eb.gbytes > 0.0) {
+    c.dram_active = std::min(1.0, eb.gbytes / bandwidth_at(spec, core_mhz) / eb.total_s);
+  }
+
+  const double gpu_frac = eb.gpu_s / eb.total_s;
+  c.gr_engine_active = gpu_frac;
+  c.sm_active = std::min(1.0, gpu_frac * wl.sm_busy);
+  c.sm_occupancy = wl.occupancy;
+  // DCGM's coarse utilization counter saturates easily; quantize to 1%.
+  c.gpu_utilization = std::round(std::min(1.0, gpu_frac * 1.02) * 100.0) / 100.0;
+
+  c.pcie_tx_bytes = wl.pcie_tx_gbps * 1e9;
+  c.pcie_rx_bytes = wl.pcie_rx_gbps * 1e9;
+
+  c.power_usage = simulate_power(spec, wl, core_mhz, c, voltage_offset_v);
+  return c;
+}
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,50 @@
+#include "gpufreq/sim/curves.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpufreq::sim {
+
+double voltage_at(const GpuSpec& spec, double core_mhz) {
+  const double f = std::clamp(core_mhz, spec.core_min_mhz, spec.core_max_mhz);
+  const double x = (f - spec.core_min_mhz) / (spec.core_max_mhz - spec.core_min_mhz);
+  return spec.v_min + (spec.v_max - spec.v_min) * std::pow(x, spec.v_gamma);
+}
+
+double dynamic_power_factor(const GpuSpec& spec, double core_mhz,
+                            double voltage_offset_v) {
+  const double f = std::clamp(core_mhz, spec.core_min_mhz, spec.core_max_mhz);
+  const double v = std::max(0.0, voltage_at(spec, f) + voltage_offset_v);
+  const double v_ratio = v / spec.v_max;
+  return (f / spec.core_max_mhz) * v_ratio * v_ratio;
+}
+
+double bandwidth_at(const GpuSpec& spec, double core_mhz) {
+  const double f = std::clamp(core_mhz, spec.core_min_mhz, spec.core_max_mhz);
+  const double norm = std::tanh(spec.core_max_mhz / spec.bw_knee_mhz);
+  return spec.peak_bw_gbs * std::tanh(f / spec.bw_knee_mhz) / norm;
+}
+
+double fp64_peak_at(const GpuSpec& spec, double core_mhz) {
+  const double f = std::clamp(core_mhz, spec.core_min_mhz, spec.core_max_mhz);
+  return spec.peak_fp64_gflops * f / spec.core_max_mhz;
+}
+
+double fp32_peak_at(const GpuSpec& spec, double core_mhz) {
+  const double f = std::clamp(core_mhz, spec.core_min_mhz, spec.core_max_mhz);
+  return spec.peak_fp32_gflops * f / spec.core_max_mhz;
+}
+
+double mixed_fp_peak_at(const GpuSpec& spec, double core_mhz, double fp64_frac) {
+  const double f64 = std::clamp(fp64_frac, 0.0, 1.0);
+  const double inv = f64 / fp64_peak_at(spec, core_mhz) +
+                     (1.0 - f64) / fp32_peak_at(spec, core_mhz);
+  return 1.0 / inv;
+}
+
+double latency_time_factor(const GpuSpec& spec, double core_mhz) {
+  const double f = std::clamp(core_mhz, spec.core_min_mhz, spec.core_max_mhz);
+  return std::pow(spec.core_max_mhz / f, spec.latency_exp);
+}
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,43 @@
+#include "gpufreq/sim/exec_model.hpp"
+
+#include <cmath>
+
+#include "gpufreq/sim/curves.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::sim {
+
+ExecutionBreakdown simulate_execution(const GpuSpec& spec,
+                                      const workloads::WorkloadDescriptor& wl,
+                                      double core_mhz, double input_scale) {
+  GPUFREQ_REQUIRE(input_scale > 0.0, "simulate_execution: input_scale must be positive");
+  GPUFREQ_REQUIRE(core_mhz >= spec.core_min_mhz - 1e-6 && core_mhz <= spec.core_max_mhz + 1e-6,
+                  "simulate_execution: clock outside the supported range");
+
+  ExecutionBreakdown eb;
+  eb.gflop = wl.total_gflop(input_scale);
+  eb.gbytes = wl.total_gbytes(input_scale);
+
+  if (eb.gflop > 0.0) {
+    const double rate = mixed_fp_peak_at(spec, core_mhz, wl.fp64_fraction());
+    eb.compute_s = eb.gflop / (rate * wl.fp_issue_eff);
+  }
+  if (eb.gbytes > 0.0) {
+    eb.memory_s = eb.gbytes / (bandwidth_at(spec, core_mhz) * wl.mem_eff);
+  }
+  const double lat = wl.scaled_latency_seconds(input_scale);
+  if (lat > 0.0) {
+    eb.latency_s = lat * latency_time_factor(spec, core_mhz);
+  }
+
+  // Smooth-max overlap of the three GPU-resident components.
+  const double p = kOverlapOrder;
+  eb.gpu_s = std::pow(std::pow(eb.compute_s, p) + std::pow(eb.memory_s, p) +
+                          std::pow(eb.latency_s, p),
+                      1.0 / p);
+  eb.serial_s = wl.serial_seconds;
+  eb.total_s = eb.gpu_s + eb.serial_s;
+  return eb;
+}
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,150 @@
+#include "gpufreq/sim/gpu_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/logging.hpp"
+#include "gpufreq/util/stats.hpp"
+
+namespace gpufreq::sim {
+
+GpuDevice::GpuDevice(GpuSpec spec, std::uint64_t seed, NoiseModel noise)
+    : spec_(std::move(spec)), noise_(noise), seed_(seed),
+      app_clock_mhz_(spec_.default_core_mhz) {
+  spec_.validate();
+}
+
+double GpuDevice::set_app_clock(double mhz) {
+  GPUFREQ_REQUIRE(mhz >= spec_.core_min_mhz - 1e-6 && mhz <= spec_.core_max_mhz + 1e-6,
+                  "set_app_clock: " + std::to_string(mhz) + " MHz outside [" +
+                      std::to_string(spec_.core_min_mhz) + ", " +
+                      std::to_string(spec_.core_max_mhz) + "]");
+  app_clock_mhz_ = spec_.nearest_frequency(mhz);
+  log::debug("sim") << spec_.name << ": app clock set to " << app_clock_mhz_ << " MHz";
+  return app_clock_mhz_;
+}
+
+void GpuDevice::reset_clocks() { app_clock_mhz_ = spec_.default_core_mhz; }
+
+void GpuDevice::set_power_controls(const PowerControls& controls) {
+  validate_controls(spec_, controls);
+  controls_ = controls;
+}
+
+double GpuDevice::effective_clock_for(const workloads::WorkloadDescriptor& wl,
+                                      double input_scale) const {
+  double f = app_clock_mhz_;
+  if (controls_.power_limit_w <= 0.0 && !controls_.thermal_enabled) return f;
+
+  // Walk down the frequency grid until both the power limit and the
+  // thermal budget are honored (noise-free steady-state estimates).
+  while (true) {
+    const ExecutionBreakdown eb = simulate_execution(spec_, wl, f, input_scale);
+    const CounterSet c = derive_counters(spec_, wl, f, eb, controls_.voltage_offset_v);
+    const bool over_cap =
+        controls_.power_limit_w > 0.0 && c.power_usage > controls_.power_limit_w;
+    const bool over_temp =
+        controls_.thermal_enabled &&
+        steady_temperature_c(thermal_, c.power_usage) > thermal_.throttle_temp_c;
+    if (!over_cap && !over_temp) return f;
+    const double next = f - spec_.core_step_mhz;
+    if (next < spec_.core_min_mhz - 1e-9) return spec_.core_min_mhz;
+    f = next;
+  }
+}
+
+RunResult GpuDevice::run(const workloads::WorkloadDescriptor& wl, const RunOptions& opts) const {
+  GPUFREQ_REQUIRE(opts.input_scale > 0.0, "run: input_scale must be positive");
+  GPUFREQ_REQUIRE(opts.sample_interval_s > 0.0, "run: sample interval must be positive");
+  wl.validate();
+
+  // Undervolting below the stability margin faults the run.
+  if (controls_.voltage_offset_v < -undervolt_headroom_v(spec_, app_clock_mhz_)) {
+    throw SimulatedFault("run: voltage offset " + std::to_string(controls_.voltage_offset_v) +
+                         " V below the stability margin at " +
+                         std::to_string(app_clock_mhz_) + " MHz");
+  }
+
+  const double effective = effective_clock_for(wl, opts.input_scale);
+
+  RunResult r;
+  r.effective_clock_mhz = effective;
+  r.breakdown = simulate_execution(spec_, wl, effective, opts.input_scale);
+  const CounterSet truth =
+      derive_counters(spec_, wl, effective, r.breakdown, controls_.voltage_offset_v);
+  r.steady_temperature_c = steady_temperature_c(thermal_, truth.power_usage);
+  r.power_capped =
+      controls_.power_limit_w > 0.0 && effective < app_clock_mhz_ - 1e-9 &&
+      truth.power_usage >= controls_.power_limit_w - spec_.sm_dyn_power_w * 0.05;
+  r.thermally_throttled = controls_.thermal_enabled && effective < app_clock_mhz_ - 1e-9 &&
+                          !r.power_capped;
+
+  // Deterministic noise stream for this exact (device, workload, clock,
+  // scale, run) tuple.
+  std::uint64_t label = Rng::hash_string(wl.name.c_str());
+  label = Rng::hash_combine(label, Rng::hash_string(spec_.name.c_str()));
+  label = Rng::hash_combine(label, static_cast<std::uint64_t>(std::llround(effective * 8.0)));
+  label = Rng::hash_combine(label, static_cast<std::uint64_t>(std::llround(opts.input_scale * 4096.0)));
+  label = Rng::hash_combine(label, static_cast<std::uint64_t>(opts.run_index));
+  Rng rng = Rng(seed_).fork(label);
+
+  const NoiseModel::RunJitter jitter = noise_.sample_run_jitter(rng);
+  r.exec_time_s = r.breakdown.total_s * jitter.time_factor;
+
+  // Sample the run at the configured interval; decimate to max_samples so
+  // long runs do not produce unbounded series.
+  const auto raw_samples = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(r.exec_time_s / opts.sample_interval_s)));
+  const std::size_t n_samples = std::min(raw_samples, std::max<std::size_t>(1, opts.max_samples));
+  const double stride_s = r.exec_time_s / static_cast<double>(n_samples);
+
+  stats::RunningStats power_acc;
+  CounterSet mean{};
+  if (opts.collect_samples) r.samples.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * stride_s;
+    const double phase = t / r.exec_time_s;
+    CounterSet sample = noise_.perturb_sample(truth, jitter, phase, rng);
+    sample.exec_time = r.exec_time_s;
+    power_acc.add(sample.power_usage);
+    mean.fp64_active += sample.fp64_active;
+    mean.fp32_active += sample.fp32_active;
+    mean.dram_active += sample.dram_active;
+    mean.gr_engine_active += sample.gr_engine_active;
+    mean.gpu_utilization += sample.gpu_utilization;
+    mean.sm_active += sample.sm_active;
+    mean.sm_occupancy += sample.sm_occupancy;
+    mean.pcie_tx_bytes += sample.pcie_tx_bytes;
+    mean.pcie_rx_bytes += sample.pcie_rx_bytes;
+    if (opts.collect_samples) r.samples.push_back({t, sample});
+  }
+  const double inv_n = 1.0 / static_cast<double>(n_samples);
+  mean.fp64_active *= inv_n;
+  mean.fp32_active *= inv_n;
+  mean.dram_active *= inv_n;
+  mean.gr_engine_active *= inv_n;
+  mean.gpu_utilization *= inv_n;
+  mean.sm_active *= inv_n;
+  mean.sm_occupancy *= inv_n;
+  mean.pcie_tx_bytes *= inv_n;
+  mean.pcie_rx_bytes *= inv_n;
+  mean.sm_app_clock = effective;
+  mean.power_usage = power_acc.mean();
+  mean.exec_time = r.exec_time_s;
+
+  r.mean_counters = mean;
+  r.avg_power_w = power_acc.mean();
+  r.energy_j = r.avg_power_w * r.exec_time_s;
+  r.achieved_gflops = r.breakdown.gflop / r.exec_time_s;
+  r.achieved_bandwidth_gbs = r.breakdown.gbytes / r.exec_time_s;
+  return r;
+}
+
+RunResult GpuDevice::run_at(const workloads::WorkloadDescriptor& wl, double mhz,
+                            const RunOptions& opts) {
+  set_app_clock(mhz);
+  return run(wl, opts);
+}
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,122 @@
+#include "gpufreq/sim/gpu_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::sim {
+
+std::vector<double> GpuSpec::supported_frequencies() const {
+  std::vector<double> out;
+  const auto steps = static_cast<std::size_t>(
+      std::llround((core_max_mhz - core_min_mhz) / core_step_mhz));
+  out.reserve(steps + 1);
+  for (std::size_t i = 0; i <= steps; ++i) {
+    out.push_back(core_min_mhz + static_cast<double>(i) * core_step_mhz);
+  }
+  return out;
+}
+
+std::vector<double> GpuSpec::used_frequencies() const {
+  std::vector<double> out;
+  for (double f : supported_frequencies()) {
+    if (f >= used_min_mhz - 1e-9) out.push_back(f);
+  }
+  return out;
+}
+
+double GpuSpec::nearest_frequency(double mhz) const {
+  const double clamped = std::clamp(mhz, core_min_mhz, core_max_mhz);
+  const double steps = std::round((clamped - core_min_mhz) / core_step_mhz);
+  return std::clamp(core_min_mhz + steps * core_step_mhz, core_min_mhz, core_max_mhz);
+}
+
+bool GpuSpec::is_supported(double mhz) const {
+  if (mhz < core_min_mhz - 1e-6 || mhz > core_max_mhz + 1e-6) return false;
+  return std::abs(nearest_frequency(mhz) - mhz) < 1e-6;
+}
+
+void GpuSpec::validate() const {
+  GPUFREQ_REQUIRE(!name.empty(), "GpuSpec: name must not be empty");
+  GPUFREQ_REQUIRE(core_min_mhz > 0.0 && core_max_mhz > core_min_mhz,
+                  "GpuSpec: invalid core frequency range");
+  GPUFREQ_REQUIRE(core_step_mhz > 0.0, "GpuSpec: step must be positive");
+  GPUFREQ_REQUIRE(used_min_mhz >= core_min_mhz && used_min_mhz <= core_max_mhz,
+                  "GpuSpec: used_min out of range");
+  GPUFREQ_REQUIRE(is_supported(default_core_mhz), "GpuSpec: default clock not on grid");
+  GPUFREQ_REQUIRE(peak_fp64_gflops > 0.0 && peak_fp32_gflops > 0.0,
+                  "GpuSpec: peaks must be positive");
+  GPUFREQ_REQUIRE(peak_bw_gbs > 0.0, "GpuSpec: bandwidth must be positive");
+  GPUFREQ_REQUIRE(tdp_w > 0.0, "GpuSpec: TDP must be positive");
+  GPUFREQ_REQUIRE(static_power_w >= 0.0 && clock_tree_power_w >= 0.0 &&
+                      sm_dyn_power_w >= 0.0 && mem_power_w >= 0.0,
+                  "GpuSpec: negative power parameter");
+  GPUFREQ_REQUIRE(v_min > 0.0 && v_max > v_min, "GpuSpec: invalid voltage range");
+  GPUFREQ_REQUIRE(v_gamma > 0.0, "GpuSpec: v_gamma must be positive");
+  GPUFREQ_REQUIRE(bw_knee_mhz > 0.0, "GpuSpec: bandwidth knee must be positive");
+  GPUFREQ_REQUIRE(latency_exp >= 0.0 && latency_exp <= 1.0,
+                  "GpuSpec: latency_exp out of [0,1]");
+  GPUFREQ_REQUIRE(fp32_power_weight > 0.0 && fp32_power_weight <= 1.0,
+                  "GpuSpec: fp32_power_weight out of (0,1]");
+}
+
+GpuSpec GpuSpec::ga100() {
+  GpuSpec s;
+  s.name = "GA100";
+  s.architecture = "Ampere";
+  s.core_min_mhz = 210.0;
+  s.core_max_mhz = 1410.0;
+  s.core_step_mhz = 15.0;
+  s.default_core_mhz = 1410.0;
+  s.used_min_mhz = 510.0;
+  s.memory_mhz = 1597.0;
+  s.memory_gb = 80.0;
+  s.peak_fp64_gflops = 9700.0;
+  s.peak_fp32_gflops = 19500.0;
+  s.peak_bw_gbs = 2039.0;
+  s.sm_count = 108;
+  s.tdp_w = 500.0;
+  s.static_power_w = 58.0;
+  s.clock_tree_power_w = 42.0;
+  s.sm_dyn_power_w = 402.0;
+  s.mem_power_w = 90.0;
+  s.v_min = 0.70;
+  s.v_max = 1.08;
+  s.v_gamma = 3.2;
+  s.bw_knee_mhz = 900.0;
+  s.latency_exp = 0.35;
+  s.validate();
+  return s;
+}
+
+GpuSpec GpuSpec::gv100() {
+  GpuSpec s;
+  s.name = "GV100";
+  s.architecture = "Volta";
+  s.core_min_mhz = 135.0;
+  s.core_max_mhz = 1380.0;
+  s.core_step_mhz = 7.5;
+  s.default_core_mhz = 1380.0;
+  s.used_min_mhz = 510.0;
+  s.memory_mhz = 877.0;
+  s.memory_gb = 40.0;
+  s.peak_fp64_gflops = 7800.0;
+  s.peak_fp32_gflops = 15700.0;
+  s.peak_bw_gbs = 900.0;
+  s.sm_count = 80;
+  s.tdp_w = 250.0;
+  s.static_power_w = 28.0;
+  s.clock_tree_power_w = 22.0;
+  s.sm_dyn_power_w = 192.0;
+  s.mem_power_w = 50.0;
+  s.v_min = 0.70;
+  s.v_max = 1.06;
+  s.v_gamma = 3.0;
+  s.bw_knee_mhz = 820.0;
+  s.latency_exp = 0.38;
+  s.validate();
+  return s;
+}
+
+}  // namespace gpufreq::sim

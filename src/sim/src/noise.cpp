@@ -1,0 +1,52 @@
+#include "gpufreq/sim/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpufreq::sim {
+
+NoiseModel NoiseModel::none() {
+  NoiseModel n;
+  n.enabled = false;
+  return n;
+}
+
+NoiseModel::RunJitter NoiseModel::sample_run_jitter(Rng& rng) const {
+  RunJitter j;
+  if (!enabled) return j;
+  j.time_factor = rng.lognormal_jitter(run_time_sigma);
+  j.power_factor = rng.lognormal_jitter(run_power_sigma);
+  j.counter_factor = rng.lognormal_jitter(run_counter_sigma);
+  return j;
+}
+
+CounterSet NoiseModel::perturb_sample(const CounterSet& truth, const RunJitter& jitter,
+                                      double phase, Rng& rng) const {
+  if (!enabled) return truth;
+  CounterSet c = truth;
+
+  // Within-run activity modulation: kernels iterate, so utilization breathes
+  // a little over the run. Amplitude ~2%, one-and-a-half periods per run.
+  const double wave = 1.0 + 0.02 * std::sin(2.0 * 3.141592653589793 * (1.5 * phase + 0.125));
+
+  auto jitter_frac = [&](double v) {
+    const double noisy = v * jitter.counter_factor * wave * rng.lognormal_jitter(counter_sigma);
+    return std::clamp(noisy, 0.0, 1.0);
+  };
+
+  c.fp64_active = jitter_frac(truth.fp64_active);
+  c.fp32_active = jitter_frac(truth.fp32_active);
+  c.dram_active = jitter_frac(truth.dram_active);
+  c.gr_engine_active = jitter_frac(truth.gr_engine_active);
+  c.sm_active = jitter_frac(truth.sm_active);
+  c.sm_occupancy = jitter_frac(truth.sm_occupancy);
+  c.gpu_utilization =
+      std::round(jitter_frac(truth.gpu_utilization) * 100.0) / 100.0;
+  c.pcie_tx_bytes = truth.pcie_tx_bytes * rng.lognormal_jitter(counter_sigma * 2.0);
+  c.pcie_rx_bytes = truth.pcie_rx_bytes * rng.lognormal_jitter(counter_sigma * 2.0);
+  c.power_usage =
+      truth.power_usage * jitter.power_factor * wave * rng.lognormal_jitter(sample_power_sigma);
+  return c;
+}
+
+}  // namespace gpufreq::sim

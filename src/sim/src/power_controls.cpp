@@ -1,0 +1,27 @@
+#include "gpufreq/sim/power_controls.hpp"
+
+#include <algorithm>
+
+namespace gpufreq::sim {
+
+double undervolt_headroom_v(const GpuSpec& spec, double core_mhz) {
+  const double f = std::clamp(core_mhz, spec.core_min_mhz, spec.core_max_mhz);
+  const double x = (f - spec.core_min_mhz) / (spec.core_max_mhz - spec.core_min_mhz);
+  // ~100 mV of headroom at the bottom of the curve, ~40 mV at the top.
+  return 0.100 - 0.060 * x;
+}
+
+void validate_controls(const GpuSpec& spec, const PowerControls& controls) {
+  (void)spec;
+  GPUFREQ_REQUIRE(controls.voltage_offset_v >= -0.150 && controls.voltage_offset_v <= 0.100,
+                  "PowerControls: voltage offset outside [-150, +100] mV");
+  GPUFREQ_REQUIRE(controls.power_limit_w >= 0.0,
+                  "PowerControls: power limit must be non-negative");
+}
+
+double steady_temperature_c(const ThermalSpec& thermal, double power_w) {
+  GPUFREQ_REQUIRE(power_w >= 0.0, "steady_temperature_c: negative power");
+  return thermal.ambient_c + thermal.resistance_c_per_w * power_w;
+}
+
+}  // namespace gpufreq::sim

@@ -1,0 +1,29 @@
+#include "gpufreq/sim/power_model.hpp"
+
+#include <algorithm>
+
+#include "gpufreq/sim/counters.hpp"
+#include "gpufreq/sim/curves.hpp"
+
+namespace gpufreq::sim {
+
+double sm_power_utilization(const GpuSpec& spec, const CounterSet& c) {
+  const double pipe = c.fp64_active + spec.fp32_power_weight * c.fp32_active;
+  return std::min(1.0, 0.15 * c.sm_active + 0.85 * std::min(1.0, pipe));
+}
+
+double simulate_power(const GpuSpec& spec, const workloads::WorkloadDescriptor& wl,
+                      double core_mhz, const CounterSet& c, double voltage_offset_v) {
+  (void)wl;  // power is fully determined by the spec, clock, and counters
+  const double dyn = dynamic_power_factor(spec, core_mhz, voltage_offset_v);
+  const double u_sm = sm_power_utilization(spec, c);
+  const double pcie_gbps = (c.pcie_tx_bytes + c.pcie_rx_bytes) / 1e9;
+
+  double p = spec.static_power_w;
+  p += (spec.clock_tree_power_w + spec.sm_dyn_power_w * u_sm) * dyn;
+  p += spec.mem_power_w * c.dram_active;
+  p += spec.pcie_power_w_per_gbps * pcie_gbps;
+  return std::min(p, spec.tdp_w * 1.02);  // boards clamp at the power limit
+}
+
+}  // namespace gpufreq::sim

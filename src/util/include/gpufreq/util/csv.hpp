@@ -1,0 +1,54 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpufreq::csv {
+
+/// In-memory CSV table: a header row plus string cells. The DCGM-like
+/// profiler persists one file per (workload, frequency, run), mirroring the
+/// paper's launch-module output format (§4.1).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Cell accessors. Throw InvalidArgument on out-of-range indices.
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  double cell_double(std::size_t row, std::size_t col) const;
+
+  /// Column index by name; throws InvalidArgument if absent.
+  std::size_t column_index(const std::string& name) const;
+
+  /// Whole column parsed as doubles.
+  std::vector<double> column_as_double(const std::string& name) const;
+
+  /// Serialize to a stream / file. Values containing commas, quotes, or
+  /// newlines are quoted per RFC 4180.
+  void write(std::ostream& os) const;
+  void save(const std::string& path) const;
+
+  /// Parse from a stream / file. The first row is treated as the header.
+  static Table read(std::istream& is);
+  static Table load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single CSV field if needed (RFC 4180).
+std::string escape_field(const std::string& field);
+
+/// Split one CSV line honoring quotes. Exposed for testing.
+std::vector<std::string> parse_line(const std::string& line);
+
+}  // namespace gpufreq::csv

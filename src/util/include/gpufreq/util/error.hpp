@@ -1,0 +1,46 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gpufreq {
+
+/// Base class for all exceptions thrown by the gpufreq library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes arguments that violate an API contract
+/// (out-of-range frequency, empty dataset, mismatched dimensions, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (missing CSV file, unwritable results path, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing structured text (CSV, serialized models) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& msg) { throw InvalidArgument(msg); }
+}  // namespace detail
+
+/// GPUFREQ_REQUIRE(cond, msg): contract check that throws InvalidArgument.
+/// Used at public API boundaries; internal invariants use assert().
+#define GPUFREQ_REQUIRE(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::gpufreq::detail::throw_invalid(std::string("gpufreq: ") + (msg)); \
+    }                                                                   \
+  } while (false)
+
+}  // namespace gpufreq

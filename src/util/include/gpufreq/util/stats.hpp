@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpufreq::stats {
+
+/// Arithmetic mean. Requires a non-empty span.
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator); 0 for fewer than two elements.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stdev(std::span<const double> xs);
+
+/// Minimum / maximum. Require non-empty spans.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Mean absolute error between same-length vectors.
+double mae(std::span<const double> actual, std::span<const double> predicted);
+
+/// Root mean squared error.
+double rmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Mean absolute percentage error, in percent. Entries with |actual| below
+/// `eps` are skipped (MAPE is undefined at zero); returns 0 if all skipped.
+double mape(std::span<const double> actual, std::span<const double> predicted,
+            double eps = 1e-12);
+
+/// Model "accuracy" as the paper reports it: 100 - MAPE, clamped to >= 0.
+double mape_accuracy(std::span<const double> actual, std::span<const double> predicted);
+
+/// Coefficient of determination R^2 (can be negative for bad fits).
+double r2(std::span<const double> actual, std::span<const double> predicted);
+
+/// Pearson linear correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Index of the smallest element. Requires non-empty input; ties -> first.
+std::size_t argmin(std::span<const double> xs);
+
+/// Index of the largest element. Requires non-empty input; ties -> first.
+std::size_t argmax(std::span<const double> xs);
+
+/// Online mean/variance accumulator (Welford). Useful for streaming samples
+/// out of the DCGM-like profiler without buffering.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  double stdev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gpufreq::stats

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpufreq::strings {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style double formatting with a fixed number of decimals.
+std::string format_double(double value, int decimals);
+
+/// Parse a double; throws ParseError with context on failure.
+double parse_double(std::string_view text);
+
+/// Parse an integer; throws ParseError with context on failure.
+long long parse_int(std::string_view text);
+
+}  // namespace gpufreq::strings

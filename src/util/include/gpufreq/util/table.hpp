@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpufreq::util {
+
+/// Column alignment for AsciiTable rendering.
+enum class Align { kLeft, kRight };
+
+/// Minimal ASCII table renderer used by the bench harnesses to print
+/// paper-style tables (Table 3, Table 4, ...). Cells are strings; numeric
+/// helpers format with fixed decimals.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Append a full row of preformatted cells (width must match header).
+  void add_row(std::vector<std::string> cells);
+
+  /// Start a new row and append cells incrementally.
+  AsciiTable& begin_row();
+  AsciiTable& cell(const std::string& text);
+  AsciiTable& cell(double value, int decimals = 2);
+  AsciiTable& cell(long long value);
+
+  /// Set per-column alignment (default: left for col 0, right otherwise).
+  void set_align(std::size_t col, Align align);
+
+  /// Render with unicode-free box drawing: +----+----+.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+/// Render a simple horizontal bar chart line: label | ######### value.
+/// Used by figure benches to sketch the paper's plots in a terminal.
+std::string bar_line(const std::string& label, double value, double max_value,
+                     int width = 50, int label_width = 18, int decimals = 2);
+
+}  // namespace gpufreq::util

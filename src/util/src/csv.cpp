@@ -1,0 +1,183 @@
+#include "gpufreq/util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/strings.hpp"
+
+namespace gpufreq::csv {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GPUFREQ_REQUIRE(cells.size() == header_.size(), "csv: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  GPUFREQ_REQUIRE(row < rows_.size(), "csv: row out of range");
+  GPUFREQ_REQUIRE(col < header_.size(), "csv: column out of range");
+  return rows_[row][col];
+}
+
+double Table::cell_double(std::size_t row, std::size_t col) const {
+  return strings::parse_double(cell(row, col));
+}
+
+std::size_t Table::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw InvalidArgument("csv: no column named '" + name + "'");
+}
+
+std::vector<double> Table::column_as_double(const std::string& name) const {
+  const std::size_t col = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(strings::parse_double(row[col]));
+  return out;
+}
+
+std::string escape_field(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+void Table::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << escape_field(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << escape_field(row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void Table::save(const std::string& path) const {
+  std::ofstream ofs(path);
+  if (!ofs) throw IoError("csv: cannot open '" + path + "' for writing");
+  write(ofs);
+  if (!ofs) throw IoError("csv: write failed for '" + path + "'");
+}
+
+Table Table::read(std::istream& is) {
+  // Full RFC 4180 record parser: newlines inside quoted fields belong to
+  // the field, so records are assembled character by character rather than
+  // line by line.
+  Table table;
+  bool have_header = false;
+
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool record_has_content = false;
+
+  auto finish_record = [&]() {
+    fields.push_back(std::move(current));
+    current.clear();
+    if (!have_header) {
+      table.header_ = std::move(fields);
+      have_header = true;
+    } else {
+      if (fields.size() != table.header_.size()) {
+        throw ParseError("csv: row width " + std::to_string(fields.size()) +
+                         " != header width " + std::to_string(table.header_.size()));
+      }
+      table.rows_.push_back(std::move(fields));
+    }
+    fields.clear();
+    record_has_content = false;
+  };
+
+  char c = 0;
+  while (is.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (is.peek() == '"') {
+          current += '"';
+          is.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+      record_has_content = true;
+    } else if (c == '"') {
+      in_quotes = true;
+      record_has_content = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      record_has_content = true;
+    } else if (c == '\n') {
+      if (record_has_content || !fields.empty() || !current.empty()) finish_record();
+    } else if (c == '\r') {
+      // CRLF tolerated; the '\n' terminates the record.
+    } else {
+      current += c;
+      record_has_content = true;
+    }
+  }
+  if (in_quotes) throw ParseError("csv: unterminated quoted field");
+  if (record_has_content || !fields.empty() || !current.empty()) finish_record();
+
+  if (!have_header) throw ParseError("csv: empty input (no header row)");
+  return table;
+}
+
+Table Table::load(const std::string& path) {
+  std::ifstream ifs(path);
+  if (!ifs) throw IoError("csv: cannot open '" + path + "' for reading");
+  return read(ifs);
+}
+
+}  // namespace gpufreq::csv

@@ -1,0 +1,150 @@
+#include "gpufreq/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::stats {
+
+double mean(std::span<const double> xs) {
+  GPUFREQ_REQUIRE(!xs.empty(), "mean: empty input");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stdev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  GPUFREQ_REQUIRE(!xs.empty(), "min: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  GPUFREQ_REQUIRE(!xs.empty(), "max: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  GPUFREQ_REQUIRE(!xs.empty(), "percentile: empty input");
+  GPUFREQ_REQUIRE(p >= 0.0 && p <= 100.0, "percentile: p out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+namespace {
+void require_same_size(std::span<const double> a, std::span<const double> b, const char* who) {
+  GPUFREQ_REQUIRE(a.size() == b.size(), std::string(who) + ": size mismatch");
+  GPUFREQ_REQUIRE(!a.empty(), std::string(who) + ": empty input");
+}
+}  // namespace
+
+double mae(std::span<const double> actual, std::span<const double> predicted) {
+  require_same_size(actual, predicted, "mae");
+  double s = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) s += std::abs(actual[i] - predicted[i]);
+  return s / static_cast<double>(actual.size());
+}
+
+double rmse(std::span<const double> actual, std::span<const double> predicted) {
+  require_same_size(actual, predicted, "rmse");
+  double s = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(actual.size()));
+}
+
+double mape(std::span<const double> actual, std::span<const double> predicted, double eps) {
+  require_same_size(actual, predicted, "mape");
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < eps) continue;
+    s += std::abs((actual[i] - predicted[i]) / actual[i]);
+    ++n;
+  }
+  return n > 0 ? 100.0 * s / static_cast<double>(n) : 0.0;
+}
+
+double mape_accuracy(std::span<const double> actual, std::span<const double> predicted) {
+  return std::max(0.0, 100.0 - mape(actual, predicted));
+}
+
+double r2(std::span<const double> actual, std::span<const double> predicted) {
+  require_same_size(actual, predicted, "r2");
+  const double m = mean(actual);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - m) * (actual[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require_same_size(xs, ys, "pearson");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::size_t argmin(std::span<const double> xs) {
+  GPUFREQ_REQUIRE(!xs.empty(), "argmin: empty input");
+  return static_cast<std::size_t>(std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  GPUFREQ_REQUIRE(!xs.empty(), "argmax: empty input");
+  return static_cast<std::size_t>(std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stdev() const { return std::sqrt(variance()); }
+
+}  // namespace gpufreq::stats

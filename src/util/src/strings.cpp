@@ -1,0 +1,81 @@
+#include "gpufreq/util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::strings {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+double parse_double(std::string_view text) {
+  const std::string_view t = trim(text);
+  // std::from_chars<double> is available in GCC 11+; use it for locale safety.
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc{} || ptr != t.data() + t.size()) {
+    throw ParseError("parse_double: cannot parse '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+long long parse_int(std::string_view text) {
+  const std::string_view t = trim(text);
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc{} || ptr != t.data() + t.size()) {
+    throw ParseError("parse_int: cannot parse '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace gpufreq::strings

@@ -1,0 +1,101 @@
+#include "gpufreq/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/strings.hpp"
+
+namespace gpufreq::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  GPUFREQ_REQUIRE(!header_.empty(), "AsciiTable: header must not be empty");
+  align_.assign(header_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  GPUFREQ_REQUIRE(cells.size() == header_.size(), "AsciiTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+AsciiTable& AsciiTable::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+AsciiTable& AsciiTable::cell(const std::string& text) {
+  GPUFREQ_REQUIRE(!rows_.empty(), "AsciiTable: call begin_row() first");
+  GPUFREQ_REQUIRE(rows_.back().size() < header_.size(), "AsciiTable: row overflow");
+  rows_.back().push_back(text);
+  return *this;
+}
+
+AsciiTable& AsciiTable::cell(double value, int decimals) {
+  return cell(strings::format_double(value, decimals));
+}
+
+AsciiTable& AsciiTable::cell(long long value) { return cell(std::to_string(value)); }
+
+void AsciiTable::set_align(std::size_t col, Align align) {
+  GPUFREQ_REQUIRE(col < align_.size(), "AsciiTable: column out of range");
+  align_[col] = align;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = widths[c] - text.size();
+      os << ' ';
+      if (align_[c] == Align::kLeft) {
+        os << text << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << text;
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit_row(header_);
+  rule();
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+  return os.str();
+}
+
+std::string bar_line(const std::string& label, double value, double max_value,
+                     int width, int label_width, int decimals) {
+  std::ostringstream os;
+  std::string lbl = label;
+  if (static_cast<int>(lbl.size()) > label_width) lbl.resize(static_cast<std::size_t>(label_width));
+  os << lbl << std::string(static_cast<std::size_t>(label_width) - lbl.size(), ' ') << " |";
+  int fill = 0;
+  if (max_value > 0.0) {
+    fill = static_cast<int>(value / max_value * width + 0.5);
+    fill = std::clamp(fill, 0, width);
+  }
+  os << std::string(static_cast<std::size_t>(fill), '#')
+     << std::string(static_cast<std::size_t>(width - fill), ' ') << "| "
+     << strings::format_double(value, decimals);
+  return os.str();
+}
+
+}  // namespace gpufreq::util

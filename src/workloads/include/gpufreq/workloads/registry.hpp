@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "gpufreq/workloads/workload.hpp"
+
+namespace gpufreq::workloads {
+
+/// Tuning knobs used to synthesize a WorkloadDescriptor from a *time budget*
+/// on the GA100 reference GPU. `tc : tm : tl` are the relative magnitudes of
+/// the compute-bound, bandwidth-bound, and latency-bound time components at
+/// the reference maximum clock; `runtime_s` is the total wall time there
+/// (including the `serial_frac` clock-independent share). The registry turns
+/// these into intrinsic work amounts (GFLOP, GB, latency seconds).
+struct TimeBudget {
+  double tc = 1.0;           ///< relative compute-bound time weight
+  double tm = 0.3;           ///< relative bandwidth-bound time weight
+  double tl = 0.05;          ///< relative latency-bound time weight
+  double runtime_s = 10.0;   ///< total runtime at GA100 f_max (s)
+  double serial_frac = 0.03; ///< clock-independent fraction of runtime_s
+  double fp64_frac = 1.0;    ///< FP64 share of the floating-point work
+  double fp_issue_eff = 0.85;
+  double mem_eff = 0.85;
+  double occupancy = 0.5;
+  double sm_busy = 0.9;
+  double flop_scale_exp = 1.0;
+  double byte_scale_exp = 1.0;
+  double pcie_tx_gbps = 0.5;
+  double pcie_rx_gbps = 0.5;
+};
+
+/// Reference GA100 constants used to convert time budgets into intrinsic
+/// work. They intentionally match the sim module's GA100 preset so that a
+/// descriptor built for a budget reproduces that budget when simulated.
+struct ReferenceGpu {
+  double peak_fp64_gflops = 9700.0;
+  double peak_fp32_gflops = 19500.0;
+  double achievable_bw_gbs = 1866.0;  ///< bw at f_max after the knee curve
+};
+
+/// Build a descriptor from a time budget (exposed so tests and users can
+/// define custom workloads the same way the built-in registry does).
+WorkloadDescriptor make_descriptor(std::string_view name, Suite suite, Role role,
+                                   Category category, const TimeBudget& budget,
+                                   const ReferenceGpu& ref = {});
+
+/// All 27 workloads of the paper's Table 2: DGEMM, STREAM, the 19 SPEC ACCEL
+/// benchmarks (training), and the six real applications (evaluation).
+const std::vector<WorkloadDescriptor>& all();
+
+/// Lookup by case-insensitive name; throws InvalidArgument if unknown.
+const WorkloadDescriptor& find(std::string_view name);
+
+/// True if a workload with this name exists.
+bool contains(std::string_view name);
+
+/// The 21 training workloads (micro-benchmarks + SPEC ACCEL).
+std::vector<WorkloadDescriptor> training_set();
+
+/// The six real-world evaluation applications.
+std::vector<WorkloadDescriptor> evaluation_set();
+
+/// Names of every registered workload, in registry order.
+std::vector<std::string> names();
+
+}  // namespace gpufreq::workloads

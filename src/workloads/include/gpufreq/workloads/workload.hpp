@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpufreq::workloads {
+
+/// Which benchmark suite a workload belongs to (paper Table 2).
+enum class Suite { kMicro, kSpecAccel, kRealWorld };
+
+/// Paper role: training workloads feed the offline phase; evaluation
+/// workloads are the unseen real applications of §5.
+enum class Role { kTraining, kEvaluation };
+
+/// Dominant computational-intensity class (used for reporting and for
+/// property tests; the simulator derives behaviour from the work amounts,
+/// not from this label).
+enum class Category { kCompute, kMemory, kMixed, kLatency };
+
+const char* to_string(Suite suite);
+const char* to_string(Role role);
+const char* to_string(Category category);
+
+/// Intrinsic, hardware-independent description of a GPU workload.
+///
+/// A workload is modeled as four kinds of "work":
+///   * `gflop_fp64` / `gflop_fp32`  — floating-point work, consumed at the
+///     GPU's (frequency-scaled) pipe throughput;
+///   * `gbytes_dram`                — DRAM traffic, consumed at the GPU's
+///     (knee-saturating) achievable bandwidth;
+///   * `latency_seconds`            — memory-latency/divergence-bound time
+///     at the reference maximum clock, which improves only weakly with
+///     frequency;
+///   * `serial_seconds`             — host/driver/launch time that does not
+///     depend on the GPU core clock at all.
+///
+/// The quantities are calibrated on the GA100 reference in the registry but
+/// are *intrinsic*: executing the same descriptor on a GV100 spec yields
+/// different times/power because that GPU has different peaks — which is
+/// exactly how the paper's cross-architecture portability study works.
+struct WorkloadDescriptor {
+  std::string name;
+  Suite suite = Suite::kMicro;
+  Role role = Role::kTraining;
+  Category category = Category::kMixed;
+
+  // Work amounts at input_scale = 1.
+  double gflop_fp64 = 0.0;      ///< FP64 work (GFLOP)
+  double gflop_fp32 = 0.0;      ///< FP32 work (GFLOP)
+  double gbytes_dram = 0.0;     ///< DRAM traffic (GB)
+  double latency_seconds = 0.0; ///< latency-bound time at reference f_max (s)
+  double serial_seconds = 0.0;  ///< clock-independent host time (s)
+
+  // Efficiency / shape parameters.
+  double fp_issue_eff = 0.85;   ///< fraction of peak pipe throughput achieved
+  double mem_eff = 0.85;        ///< fraction of achievable bandwidth achieved
+  double occupancy = 0.5;       ///< sm_occupancy counter level [0,1]
+  double sm_busy = 0.9;         ///< sm_active level while GPU work runs [0,1]
+
+  // Input-size scaling laws: work *= scale^exp.
+  double flop_scale_exp = 1.0;
+  double byte_scale_exp = 1.0;
+
+  // PCIe traffic rates while running (GB/s), roughly clock-independent.
+  double pcie_tx_gbps = 0.5;
+  double pcie_rx_gbps = 0.5;
+
+  /// FP64 fraction of total floating-point work (0 if no FP at all).
+  double fp64_fraction() const;
+
+  /// Total floating-point work at the given input scale (GFLOP).
+  double total_gflop(double input_scale = 1.0) const;
+
+  /// DRAM traffic at the given input scale (GB).
+  double total_gbytes(double input_scale = 1.0) const;
+
+  /// Latency-bound seconds at the given input scale.
+  double scaled_latency_seconds(double input_scale = 1.0) const;
+
+  /// Arithmetic intensity (FLOP / byte) — scale-dependent when the scaling
+  /// exponents differ.
+  double arithmetic_intensity(double input_scale = 1.0) const;
+
+  /// Validate invariants (non-negative work, fractions in range). Throws
+  /// InvalidArgument on violation.
+  void validate() const;
+};
+
+}  // namespace gpufreq::workloads

@@ -1,0 +1,264 @@
+#include "gpufreq/workloads/registry.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/strings.hpp"
+
+namespace gpufreq::workloads {
+
+WorkloadDescriptor make_descriptor(std::string_view name, Suite suite, Role role,
+                                   Category category, const TimeBudget& b,
+                                   const ReferenceGpu& ref) {
+  GPUFREQ_REQUIRE(b.runtime_s > 0.0, "make_descriptor: runtime must be positive");
+  GPUFREQ_REQUIRE(b.serial_frac >= 0.0 && b.serial_frac < 1.0,
+                  "make_descriptor: serial_frac out of [0,1)");
+  GPUFREQ_REQUIRE(b.tc >= 0.0 && b.tm >= 0.0 && b.tl >= 0.0,
+                  "make_descriptor: negative time weights");
+  GPUFREQ_REQUIRE(b.tc + b.tm + b.tl > 0.0, "make_descriptor: no GPU work");
+
+  // The GPU-resident portion of the runtime. The execution model overlaps
+  // the three components with a smooth-max of order p, so we scale the
+  // weights such that smoothmax(Tc, Tm, Tl) equals the GPU time budget.
+  constexpr double kOverlapOrder = 8.0;
+  const double t_gpu = b.runtime_s * (1.0 - b.serial_frac);
+  const double norm = std::pow(std::pow(b.tc, kOverlapOrder) + std::pow(b.tm, kOverlapOrder) +
+                                   std::pow(b.tl, kOverlapOrder),
+                               1.0 / kOverlapOrder);
+  const double tc = b.tc / norm * t_gpu;
+  const double tm = b.tm / norm * t_gpu;
+  const double tl = b.tl / norm * t_gpu;
+
+  // Convert compute time into FLOP work split across precisions. The mixed
+  // pipe throughput is the harmonic mean weighted by the precision split.
+  double gflop = 0.0;
+  if (tc > 0.0) {
+    const double f64 = b.fp64_frac;
+    const double inv_mix = f64 / ref.peak_fp64_gflops + (1.0 - f64) / ref.peak_fp32_gflops;
+    const double mix_rate = inv_mix > 0.0 ? 1.0 / inv_mix : ref.peak_fp32_gflops;
+    gflop = tc * mix_rate * b.fp_issue_eff;
+  }
+
+  WorkloadDescriptor d;
+  d.name = std::string(name);
+  d.suite = suite;
+  d.role = role;
+  d.category = category;
+  d.gflop_fp64 = gflop * b.fp64_frac;
+  d.gflop_fp32 = gflop * (1.0 - b.fp64_frac);
+  d.gbytes_dram = tm * ref.achievable_bw_gbs * b.mem_eff;
+  d.latency_seconds = tl;
+  d.serial_seconds = b.runtime_s * b.serial_frac;
+  d.fp_issue_eff = b.fp_issue_eff;
+  d.mem_eff = b.mem_eff;
+  d.occupancy = b.occupancy;
+  d.sm_busy = b.sm_busy;
+  d.flop_scale_exp = b.flop_scale_exp;
+  d.byte_scale_exp = b.byte_scale_exp;
+  d.pcie_tx_gbps = b.pcie_tx_gbps;
+  d.pcie_rx_gbps = b.pcie_rx_gbps;
+  d.validate();
+  return d;
+}
+
+namespace {
+
+std::vector<WorkloadDescriptor> build_registry() {
+  std::vector<WorkloadDescriptor> v;
+  v.reserve(27);
+  const Suite kMicro = Suite::kMicro;
+  const Suite kSpec = Suite::kSpecAccel;
+  const Suite kReal = Suite::kRealWorld;
+  const Role kTrain = Role::kTraining;
+  const Role kEval = Role::kEvaluation;
+
+  // --- Micro-benchmarks (training) -------------------------------------
+  // DGEMM: the canonical compute-bound kernel; ~TDP power at f_max.
+  v.push_back(make_descriptor("dgemm", kMicro, kTrain, Category::kCompute,
+      {.tc = 1.0, .tm = 0.22, .tl = 0.01, .runtime_s = 12.0, .serial_frac = 0.02,
+       .fp64_frac = 1.0, .fp_issue_eff = 0.92, .mem_eff = 0.80,
+       .occupancy = 0.62, .sm_busy = 0.98,
+       .flop_scale_exp = 3.0, .byte_scale_exp = 2.75,
+       .pcie_tx_gbps = 0.3, .pcie_rx_gbps = 0.8}));
+  // STREAM: the canonical bandwidth-bound kernel; ~50% TDP at f_max.
+  v.push_back(make_descriptor("stream", kMicro, kTrain, Category::kMemory,
+      {.tc = 0.04, .tm = 1.0, .tl = 0.03, .runtime_s = 10.0, .serial_frac = 0.02,
+       .fp64_frac = 1.0, .fp_issue_eff = 0.90, .mem_eff = 0.93,
+       .occupancy = 0.82, .sm_busy = 0.96,
+       .flop_scale_exp = 1.0, .byte_scale_exp = 1.0,
+       .pcie_tx_gbps = 0.2, .pcie_rx_gbps = 0.4}));
+
+  // --- SPEC ACCEL (training) -------------------------------------------
+  v.push_back(make_descriptor("tpacf", kSpec, kTrain, Category::kCompute,
+      {.tc = 0.95, .tm = 0.18, .tl = 0.06, .runtime_s = 22.0, .serial_frac = 0.04,
+       .fp64_frac = 0.90, .fp_issue_eff = 0.78, .mem_eff = 0.55,
+       .occupancy = 0.48, .sm_busy = 0.95, .flop_scale_exp = 2.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("stencil", kSpec, kTrain, Category::kMemory,
+      {.tc = 0.30, .tm = 0.95, .tl = 0.08, .runtime_s = 18.0, .serial_frac = 0.03,
+       .fp64_frac = 0.80, .fp_issue_eff = 0.55, .mem_eff = 0.82,
+       .occupancy = 0.70, .sm_busy = 0.94, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("lbm", kSpec, kTrain, Category::kMemory,
+      {.tc = 0.24, .tm = 1.0, .tl = 0.07, .runtime_s = 25.0, .serial_frac = 0.03,
+       .fp64_frac = 1.0, .fp_issue_eff = 0.50, .mem_eff = 0.88,
+       .occupancy = 0.75, .sm_busy = 0.95, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("fft", kSpec, kTrain, Category::kMixed,
+      {.tc = 0.72, .tm = 0.74, .tl = 0.05, .runtime_s = 15.0, .serial_frac = 0.05,
+       .fp64_frac = 0.50, .fp_issue_eff = 0.68, .mem_eff = 0.72,
+       .occupancy = 0.58, .sm_busy = 0.93, .flop_scale_exp = 1.1, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("spmv", kSpec, kTrain, Category::kMemory,
+      {.tc = 0.14, .tm = 0.88, .tl = 0.42, .runtime_s = 14.0, .serial_frac = 0.04,
+       .fp64_frac = 1.0, .fp_issue_eff = 0.35, .mem_eff = 0.62,
+       .occupancy = 0.52, .sm_busy = 0.90, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("mriq", kSpec, kTrain, Category::kCompute,
+      {.tc = 1.0, .tm = 0.14, .tl = 0.03, .runtime_s = 16.0, .serial_frac = 0.03,
+       .fp64_frac = 0.05, .fp_issue_eff = 0.85, .mem_eff = 0.45,
+       .occupancy = 0.55, .sm_busy = 0.97, .flop_scale_exp = 2.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("histo", kSpec, kTrain, Category::kMemory,
+      {.tc = 0.18, .tm = 0.80, .tl = 0.48, .runtime_s = 12.0, .serial_frac = 0.06,
+       .fp64_frac = 0.20, .fp_issue_eff = 0.30, .mem_eff = 0.58,
+       .occupancy = 0.45, .sm_busy = 0.88, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("bfs", kSpec, kTrain, Category::kLatency,
+      {.tc = 0.07, .tm = 0.50, .tl = 1.0, .runtime_s = 11.0, .serial_frac = 0.10,
+       .fp64_frac = 0.0, .fp_issue_eff = 0.20, .mem_eff = 0.40,
+       .occupancy = 0.35, .sm_busy = 0.80, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("cutcp", kSpec, kTrain, Category::kCompute,
+      {.tc = 0.95, .tm = 0.22, .tl = 0.05, .runtime_s = 19.0, .serial_frac = 0.03,
+       .fp64_frac = 0.10, .fp_issue_eff = 0.80, .mem_eff = 0.50,
+       .occupancy = 0.60, .sm_busy = 0.96, .flop_scale_exp = 2.0, .byte_scale_exp = 1.3}));
+  v.push_back(make_descriptor("kmeans", kSpec, kTrain, Category::kMixed,
+      {.tc = 0.60, .tm = 0.68, .tl = 0.20, .runtime_s = 13.0, .serial_frac = 0.18,
+       .fp64_frac = 0.30, .fp_issue_eff = 0.58, .mem_eff = 0.66,
+       .occupancy = 0.50, .sm_busy = 0.90, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("lavamd", kSpec, kTrain, Category::kCompute,
+      {.tc = 0.90, .tm = 0.28, .tl = 0.10, .runtime_s = 21.0, .serial_frac = 0.04,
+       .fp64_frac = 0.85, .fp_issue_eff = 0.74, .mem_eff = 0.55,
+       .occupancy = 0.56, .sm_busy = 0.95, .flop_scale_exp = 1.5, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("cfd", kSpec, kTrain, Category::kMemory,
+      {.tc = 0.34, .tm = 0.92, .tl = 0.14, .runtime_s = 24.0, .serial_frac = 0.04,
+       .fp64_frac = 1.0, .fp_issue_eff = 0.52, .mem_eff = 0.78,
+       .occupancy = 0.68, .sm_busy = 0.94, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("nw", kSpec, kTrain, Category::kLatency,
+      {.tc = 0.10, .tm = 0.24, .tl = 0.92, .runtime_s = 9.0, .serial_frac = 0.16,
+       .fp64_frac = 0.0, .fp_issue_eff = 0.18, .mem_eff = 0.35,
+       .occupancy = 0.20, .sm_busy = 0.58, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("hotspot", kSpec, kTrain, Category::kMixed,
+      {.tc = 0.55, .tm = 0.78, .tl = 0.10, .runtime_s = 14.0, .serial_frac = 0.05,
+       .fp64_frac = 0.60, .fp_issue_eff = 0.62, .mem_eff = 0.74,
+       .occupancy = 0.64, .sm_busy = 0.93, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("lud", kSpec, kTrain, Category::kCompute,
+      {.tc = 0.85, .tm = 0.32, .tl = 0.14, .runtime_s = 17.0, .serial_frac = 0.05,
+       .fp64_frac = 0.90, .fp_issue_eff = 0.70, .mem_eff = 0.52,
+       .occupancy = 0.46, .sm_busy = 0.92, .flop_scale_exp = 2.6, .byte_scale_exp = 2.0}));
+  v.push_back(make_descriptor("ge", kSpec, kTrain, Category::kCompute,
+      {.tc = 0.80, .tm = 0.38, .tl = 0.10, .runtime_s = 15.0, .serial_frac = 0.06,
+       .fp64_frac = 0.95, .fp_issue_eff = 0.66, .mem_eff = 0.56,
+       .occupancy = 0.50, .sm_busy = 0.93, .flop_scale_exp = 2.6, .byte_scale_exp = 2.0}));
+  v.push_back(make_descriptor("srad", kSpec, kTrain, Category::kMixed,
+      {.tc = 0.50, .tm = 0.82, .tl = 0.12, .runtime_s = 12.0, .serial_frac = 0.05,
+       .fp64_frac = 0.40, .fp_issue_eff = 0.54, .mem_eff = 0.76,
+       .occupancy = 0.60, .sm_busy = 0.92, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("heartwall", kSpec, kTrain, Category::kMixed,
+      {.tc = 0.64, .tm = 0.58, .tl = 0.24, .runtime_s = 20.0, .serial_frac = 0.15,
+       .fp64_frac = 0.25, .fp_issue_eff = 0.60, .mem_eff = 0.60,
+       .occupancy = 0.42, .sm_busy = 0.88, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+  v.push_back(make_descriptor("bplustree", kSpec, kTrain, Category::kLatency,
+      {.tc = 0.11, .tm = 0.30, .tl = 0.88, .runtime_s = 10.0, .serial_frac = 0.30,
+       .fp64_frac = 0.0, .fp_issue_eff = 0.16, .mem_eff = 0.38,
+       .occupancy = 0.24, .sm_busy = 0.62, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0}));
+
+  // --- Real-world applications (evaluation, unseen in training) ---------
+  // Unlike dense kernels, whole applications interleave compute-, memory-,
+  // and latency-bound kernels, so their wall time is much less
+  // clock-sensitive than DGEMM (the paper's Table 5 shows ~9% slowdown for
+  // a ~21% downclock on LAMMPS).
+  // LAMMPS Lennard-Jones 3D melt: FP64 MD, neighbor-list latency heavy.
+  v.push_back(make_descriptor("lammps", kReal, kEval, Category::kCompute,
+      {.tc = 0.55, .tm = 0.95, .tl = 0.85, .runtime_s = 60.0, .serial_frac = 0.04,
+       .fp64_frac = 0.95, .fp_issue_eff = 0.72, .mem_eff = 0.68,
+       .occupancy = 0.55, .sm_busy = 0.95, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0,
+       .pcie_tx_gbps = 0.6, .pcie_rx_gbps = 0.6}));
+  // NAMD ApoA1: mixed-precision MD with some host-side integration.
+  v.push_back(make_descriptor("namd", kReal, kEval, Category::kCompute,
+      {.tc = 0.55, .tm = 0.95, .tl = 0.82, .runtime_s = 80.0, .serial_frac = 0.07,
+       .fp64_frac = 0.30, .fp_issue_eff = 0.68, .mem_eff = 0.62,
+       .occupancy = 0.52, .sm_busy = 0.93, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0,
+       .pcie_tx_gbps = 0.9, .pcie_rx_gbps = 0.9}));
+  // GROMACS water box: large CPU share -> GPU clock has little effect on
+  // wall time (the paper observed exactly this, §5.1).
+  v.push_back(make_descriptor("gromacs", kReal, kEval, Category::kMixed,
+      {.tc = 0.45, .tm = 0.50, .tl = 1.0, .runtime_s = 45.0, .serial_frac = 0.58,
+       .fp64_frac = 0.40, .fp_issue_eff = 0.60, .mem_eff = 0.62,
+       .occupancy = 0.48, .sm_busy = 0.90, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0,
+       .pcie_tx_gbps = 1.2, .pcie_rx_gbps = 1.2}));
+  // LSTM sentiment classifier: tiny kernels, input-pipeline stalls -> low
+  // utilization, almost DVFS-insensitive runtime.
+  v.push_back(make_descriptor("lstm", kReal, kEval, Category::kLatency,
+      {.tc = 0.12, .tm = 0.65, .tl = 0.85, .runtime_s = 30.0, .serial_frac = 0.62,
+       .fp64_frac = 0.0, .fp_issue_eff = 0.22, .mem_eff = 0.30,
+       .occupancy = 0.16, .sm_busy = 0.55, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0,
+       .pcie_tx_gbps = 1.5, .pcie_rx_gbps = 2.5}));
+  // BERT fine-tuning on the movie-review set: FP32/TF32 compute heavy but
+  // attention kernels are bandwidth-hungry.
+  v.push_back(make_descriptor("bert", kReal, kEval, Category::kCompute,
+      {.tc = 0.58, .tm = 1.0, .tl = 0.60, .runtime_s = 40.0, .serial_frac = 0.08,
+       .fp64_frac = 0.0, .fp_issue_eff = 0.78, .mem_eff = 0.70,
+       .occupancy = 0.58, .sm_busy = 0.94, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0,
+       .pcie_tx_gbps = 1.0, .pcie_rx_gbps = 2.0}));
+  // ResNet50 on CIFAR-10: convolution-dominated, the most clock-sensitive
+  // of the evaluation apps (the paper's outlier in Tables 5/6).
+  v.push_back(make_descriptor("resnet50", kReal, kEval, Category::kCompute,
+      {.tc = 1.0, .tm = 0.62, .tl = 0.30, .runtime_s = 50.0, .serial_frac = 0.04,
+       .fp64_frac = 0.0, .fp_issue_eff = 0.84, .mem_eff = 0.70,
+       .occupancy = 0.62, .sm_busy = 0.97, .flop_scale_exp = 1.0, .byte_scale_exp = 1.0,
+       .pcie_tx_gbps = 0.8, .pcie_rx_gbps = 3.0}));
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<WorkloadDescriptor>& all() {
+  static const std::vector<WorkloadDescriptor> registry = build_registry();
+  return registry;
+}
+
+const WorkloadDescriptor& find(std::string_view name) {
+  const std::string lower = strings::to_lower(name);
+  for (const auto& w : all()) {
+    if (w.name == lower) return w;
+  }
+  throw InvalidArgument("workloads: unknown workload '" + std::string(name) + "'");
+}
+
+bool contains(std::string_view name) {
+  const std::string lower = strings::to_lower(name);
+  for (const auto& w : all()) {
+    if (w.name == lower) return true;
+  }
+  return false;
+}
+
+std::vector<WorkloadDescriptor> training_set() {
+  std::vector<WorkloadDescriptor> out;
+  for (const auto& w : all()) {
+    if (w.role == Role::kTraining) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<WorkloadDescriptor> evaluation_set() {
+  std::vector<WorkloadDescriptor> out;
+  for (const auto& w : all()) {
+    if (w.role == Role::kEvaluation) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<std::string> names() {
+  std::vector<std::string> out;
+  out.reserve(all().size());
+  for (const auto& w : all()) out.push_back(w.name);
+  return out;
+}
+
+}  // namespace gpufreq::workloads

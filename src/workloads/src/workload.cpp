@@ -1,0 +1,77 @@
+#include "gpufreq/workloads/workload.hpp"
+
+#include <cmath>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::workloads {
+
+const char* to_string(Suite suite) {
+  switch (suite) {
+    case Suite::kMicro: return "micro";
+    case Suite::kSpecAccel: return "spec-accel";
+    case Suite::kRealWorld: return "real-world";
+  }
+  return "?";
+}
+
+const char* to_string(Role role) {
+  switch (role) {
+    case Role::kTraining: return "training";
+    case Role::kEvaluation: return "evaluation";
+  }
+  return "?";
+}
+
+const char* to_string(Category category) {
+  switch (category) {
+    case Category::kCompute: return "compute";
+    case Category::kMemory: return "memory";
+    case Category::kMixed: return "mixed";
+    case Category::kLatency: return "latency";
+  }
+  return "?";
+}
+
+double WorkloadDescriptor::fp64_fraction() const {
+  const double total = gflop_fp64 + gflop_fp32;
+  return total > 0.0 ? gflop_fp64 / total : 0.0;
+}
+
+double WorkloadDescriptor::total_gflop(double input_scale) const {
+  return (gflop_fp64 + gflop_fp32) * std::pow(input_scale, flop_scale_exp);
+}
+
+double WorkloadDescriptor::total_gbytes(double input_scale) const {
+  return gbytes_dram * std::pow(input_scale, byte_scale_exp);
+}
+
+double WorkloadDescriptor::scaled_latency_seconds(double input_scale) const {
+  // Latency-bound sections (pointer chasing, divergence) scale with the
+  // traversal size, which we tie to the byte scaling law.
+  return latency_seconds * std::pow(input_scale, byte_scale_exp);
+}
+
+double WorkloadDescriptor::arithmetic_intensity(double input_scale) const {
+  const double bytes = total_gbytes(input_scale);
+  return bytes > 0.0 ? total_gflop(input_scale) / bytes : 0.0;
+}
+
+void WorkloadDescriptor::validate() const {
+  GPUFREQ_REQUIRE(!name.empty(), "workload: name must not be empty");
+  GPUFREQ_REQUIRE(gflop_fp64 >= 0.0 && gflop_fp32 >= 0.0, "workload: negative FLOP work");
+  GPUFREQ_REQUIRE(gbytes_dram >= 0.0, "workload: negative DRAM traffic");
+  GPUFREQ_REQUIRE(latency_seconds >= 0.0, "workload: negative latency work");
+  GPUFREQ_REQUIRE(serial_seconds >= 0.0, "workload: negative serial time");
+  GPUFREQ_REQUIRE(fp_issue_eff > 0.0 && fp_issue_eff <= 1.0, "workload: fp_issue_eff out of (0,1]");
+  GPUFREQ_REQUIRE(mem_eff > 0.0 && mem_eff <= 1.0, "workload: mem_eff out of (0,1]");
+  GPUFREQ_REQUIRE(occupancy >= 0.0 && occupancy <= 1.0, "workload: occupancy out of [0,1]");
+  GPUFREQ_REQUIRE(sm_busy >= 0.0 && sm_busy <= 1.0, "workload: sm_busy out of [0,1]");
+  GPUFREQ_REQUIRE(flop_scale_exp >= 0.0 && byte_scale_exp >= 0.0,
+                  "workload: scaling exponents must be non-negative");
+  GPUFREQ_REQUIRE(pcie_tx_gbps >= 0.0 && pcie_rx_gbps >= 0.0, "workload: negative PCIe rate");
+  GPUFREQ_REQUIRE(gflop_fp64 + gflop_fp32 + gbytes_dram + latency_seconds + serial_seconds > 0.0,
+                  "workload: descriptor has no work at all");
+}
+
+}  // namespace gpufreq::workloads

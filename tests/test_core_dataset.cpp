@@ -1,0 +1,135 @@
+#include "gpufreq/core/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <limits>
+
+#include "gpufreq/dcgm/collection.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::core {
+namespace {
+
+dcgm::CollectionResult collect_small(sim::GpuDevice& gpu) {
+  dcgm::CollectionConfig c;
+  c.frequencies_mhz = {510.0, 960.0, 1410.0};
+  c.runs = 2;
+  c.samples_per_run = 3;
+  dcgm::ProfilingSession session(gpu, c);
+  return session.profile_suite({workloads::find("dgemm"), workloads::find("stream")});
+}
+
+TEST(FeatureConfig, DefaultIsPaperTopThree) {
+  const FeatureConfig f;
+  ASSERT_EQ(f.dim(), 3u);
+  EXPECT_EQ(f.metrics[0], "fp_active");
+  EXPECT_EQ(f.metrics[1], "dram_active");
+  EXPECT_EQ(f.metrics[2], "sm_app_clock");
+}
+
+TEST(FeatureConfig, ExtractConvertsUnits) {
+  sim::CounterSet c;
+  c.fp64_active = 0.6;
+  c.fp32_active = 0.1;
+  c.dram_active = 0.3;
+  c.sm_app_clock = 1410.0;
+  c.pcie_tx_bytes = 2e9;
+  const FeatureConfig f;
+  const auto row = f.extract(c);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_FLOAT_EQ(row[0], 0.7f);    // merged fp activity
+  EXPECT_FLOAT_EQ(row[1], 0.3f);
+  EXPECT_FLOAT_EQ(row[2], 1.41f);   // GHz
+
+  FeatureConfig pcie;
+  pcie.metrics = {"pcie_tx_bytes"};
+  EXPECT_FLOAT_EQ(pcie.extract(c)[0], 2.0f);  // GB/s
+}
+
+TEST(FeatureConfig, UnknownMetricThrows) {
+  FeatureConfig f;
+  f.metrics = {"warp_divergence"};
+  sim::CounterSet c;
+  EXPECT_THROW(f.extract(c), InvalidArgument);
+}
+
+TEST(Dataset, ShapesAndProvenance) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const auto result = collect_small(gpu);
+  const Dataset ds = build_dataset(result, gpu.spec());
+  // 2 workloads x 3 freqs x 2 runs x 3 samples
+  EXPECT_EQ(ds.size(), 36u);
+  EXPECT_EQ(ds.x.cols(), 3u);
+  EXPECT_EQ(ds.y_power.size(), 36u);
+  EXPECT_EQ(ds.y_slowdown.size(), 36u);
+  EXPECT_EQ(ds.workload.size(), 36u);
+  EXPECT_EQ(ds.feature_names.size(), 3u);
+}
+
+TEST(Dataset, PowerTargetIsTdpFraction) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const auto result = collect_small(gpu);
+  const Dataset ds = build_dataset(result, gpu.spec());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_GT(ds.y_power[i], 0.0);
+    EXPECT_LE(ds.y_power[i], 1.05);
+    EXPECT_NEAR(ds.y_power[i] * gpu.spec().tdp_w,
+                result.samples[i].counters.power_usage, 1e-6);
+  }
+}
+
+TEST(Dataset, SlowdownIsOneAtMaxFrequency) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const auto result = collect_small(gpu);
+  const Dataset ds = build_dataset(result, gpu.spec());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.frequency_mhz[i] == 1410.0) {
+      EXPECT_NEAR(ds.y_slowdown[i], 1.0, 0.05) << ds.workload[i];
+    } else if (ds.frequency_mhz[i] == 510.0) {
+      EXPECT_GT(ds.y_slowdown[i], 1.2) << ds.workload[i];
+    }
+  }
+}
+
+TEST(Dataset, SlowdownLargerForComputeBound) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const auto result = collect_small(gpu);
+  const Dataset ds = build_dataset(result, gpu.spec());
+  double dgemm_slow = 0.0, stream_slow = 0.0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.frequency_mhz[i] != 510.0) continue;
+    if (ds.workload[i] == "dgemm") dgemm_slow = std::max(dgemm_slow, ds.y_slowdown[i]);
+    if (ds.workload[i] == "stream") stream_slow = std::max(stream_slow, ds.y_slowdown[i]);
+  }
+  EXPECT_GT(dgemm_slow, stream_slow);
+}
+
+TEST(Dataset, TargetMatricesAreColumns) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const Dataset ds = build_dataset(collect_small(gpu), gpu.spec());
+  const nn::Matrix yp = ds.power_targets();
+  const nn::Matrix ys = ds.slowdown_targets();
+  EXPECT_EQ(yp.rows(), ds.size());
+  EXPECT_EQ(yp.cols(), 1u);
+  EXPECT_EQ(ys.rows(), ds.size());
+  EXPECT_FLOAT_EQ(yp(0, 0), static_cast<float>(ds.y_power[0]));
+}
+
+TEST(Dataset, CustomFeatureSet) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  FeatureConfig f;
+  f.metrics = {"fp64_active", "fp32_active", "dram_active", "sm_active", "sm_app_clock"};
+  const Dataset ds = build_dataset(collect_small(gpu), gpu.spec(), f);
+  EXPECT_EQ(ds.x.cols(), 5u);
+}
+
+TEST(Dataset, EmptyResultThrows) {
+  const dcgm::CollectionResult empty;
+  EXPECT_THROW(build_dataset(empty, sim::GpuSpec::ga100()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpufreq::core

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "gpufreq/core/model_cache.hpp"
+#include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::core {
+namespace {
+
+// Small-but-real training setup shared by the tests in this file.
+OfflineConfig tiny_config() {
+  OfflineConfig cfg;
+  cfg.collection.frequencies_mhz = {510.0, 780.0, 1050.0, 1185.0, 1410.0};
+  cfg.collection.runs = 1;
+  cfg.collection.samples_per_run = 2;
+  cfg.power_model.epochs = 20;
+  cfg.time_model.epochs = 12;
+  return cfg;
+}
+
+PowerTimeModels train_tiny() {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const OfflineTrainer trainer(tiny_config());
+  return trainer.train(gpu, {workloads::find("dgemm"), workloads::find("stream"),
+                             workloads::find("fft"), workloads::find("bfs"),
+                             workloads::find("stencil"), workloads::find("mriq")});
+}
+
+TEST(ModelConfig, PaperEpochCounts) {
+  EXPECT_EQ(ModelConfig::paper_power_model().epochs, 100u);  // Figure 6(a)
+  EXPECT_EQ(ModelConfig::paper_time_model().epochs, 25u);    // Figure 6(b)
+  EXPECT_EQ(ModelConfig::paper_power_model().batch_size, 64u);
+  EXPECT_EQ(ModelConfig::paper_power_model().optimizer, "rmsprop");
+  EXPECT_EQ(ModelConfig::paper_power_model().activation, nn::Activation::kSelu);
+}
+
+TEST(DnnModel, UntrainedGuards) {
+  DnnModel model;
+  EXPECT_FALSE(model.trained());
+  EXPECT_THROW(model.predict(nn::Matrix(1, 3)), InvalidArgument);
+}
+
+TEST(DnnModel, TrainingProducesHistoryAndSanePredictions) {
+  const PowerTimeModels models = train_tiny();
+  EXPECT_TRUE(models.power.trained());
+  EXPECT_TRUE(models.time.trained());
+  EXPECT_EQ(models.power_history.train_loss.size(), 20u);
+  EXPECT_EQ(models.time_history.train_loss.size(), 12u);
+  // Losses should have dropped substantially from epoch 0.
+  EXPECT_LT(models.power_history.final_train_loss(),
+            0.5 * models.power_history.train_loss.front());
+
+  // Compute-bound features at max clock -> near-TDP power fraction.
+  nn::Matrix x(1, 3);
+  x(0, 0) = 0.85f;  // fp_active
+  x(0, 1) = 0.15f;  // dram_active
+  x(0, 2) = 1.41f;  // clock GHz
+  const double frac = models.power.predict(x).front();
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 1.2);
+
+  // Same features at a low clock -> clearly lower power, higher slowdown.
+  nn::Matrix x_low = x;
+  x_low(0, 2) = 0.51f;
+  EXPECT_LT(models.power.predict(x_low).front(), 0.6 * frac);
+  EXPECT_GT(models.time.predict(x_low).front(), 1.5);
+  EXPECT_NEAR(models.time.predict(x).front(), 1.0, 0.15);
+}
+
+TEST(ModelCache, DefaultDirHonorsEnvironment) {
+  ::setenv("GPUFREQ_CACHE_DIR", "/tmp/gpufreq_test_cache_env", 1);
+  EXPECT_EQ(ModelCache::default_dir(), "/tmp/gpufreq_test_cache_env");
+  ::unsetenv("GPUFREQ_CACHE_DIR");
+  EXPECT_EQ(ModelCache::default_dir(), ".gpufreq_cache");
+}
+
+TEST(ModelCache, MissIsNullopt) {
+  const ModelCache cache(::testing::TempDir() + "/gpufreq_cache_miss");
+  EXPECT_FALSE(cache.load("never_stored").has_value());
+}
+
+TEST(ModelCache, StoreLoadRoundTripPreservesPredictions) {
+  const PowerTimeModels models = train_tiny();
+  const ModelCache cache(::testing::TempDir() + "/gpufreq_cache_rt");
+  cache.store("tiny", models);
+
+  const auto loaded = cache.load("tiny");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->features.metrics, models.features.metrics);
+  EXPECT_EQ(loaded->power_history.train_loss.size(),
+            models.power_history.train_loss.size());
+
+  nn::Matrix x(1, 3);
+  x(0, 0) = 0.4f;
+  x(0, 1) = 0.5f;
+  x(0, 2) = 1.0f;
+  EXPECT_NEAR(loaded->power.predict(x).front(), models.power.predict(x).front(), 1e-6);
+  EXPECT_NEAR(loaded->time.predict(x).front(), models.time.predict(x).front(), 1e-6);
+}
+
+TEST(ModelCache, CorruptEntryIsTreatedAsMiss) {
+  const std::string dir = ::testing::TempDir() + "/gpufreq_cache_corrupt";
+  const ModelCache cache(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(cache.path_for("bad")) << "garbage bytes";
+  EXPECT_FALSE(cache.load("bad").has_value());
+}
+
+TEST(ModelCache, InvalidateRemoves) {
+  const PowerTimeModels models = train_tiny();
+  const ModelCache cache(::testing::TempDir() + "/gpufreq_cache_inv");
+  cache.store("gone", models);
+  ASSERT_TRUE(cache.load("gone").has_value());
+  cache.invalidate("gone");
+  EXPECT_FALSE(cache.load("gone").has_value());
+  cache.invalidate("gone");  // idempotent
+}
+
+TEST(SaveLoadModels, FileErrors) {
+  EXPECT_THROW(load_models("/nonexistent/dir/m.gfpm"), IoError);
+  const PowerTimeModels models = train_tiny();
+  EXPECT_THROW(save_models(models, "/nonexistent/dir/m.gfpm"), IoError);
+}
+
+}  // namespace
+}  // namespace gpufreq::core

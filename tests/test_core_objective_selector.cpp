@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpufreq/core/objective.hpp"
+#include "gpufreq/core/profiles.hpp"
+#include "gpufreq/core/selector.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::core {
+namespace {
+
+// Synthetic profile with a controlled shape: P grows superlinearly with f,
+// T falls as 1/f plus a floor -> interior EDP optimum.
+DvfsProfile synth_profile() {
+  DvfsProfile p;
+  p.workload = "synthetic";
+  p.gpu = "GA100";
+  for (int f = 500; f <= 1400; f += 100) {
+    const double fr = f / 1400.0;
+    const double power = 50.0 + 400.0 * fr * fr * fr;
+    const double time = 2.0 + 8.0 / fr;
+    p.frequency_mhz.push_back(f);
+    p.power_w.push_back(power);
+    p.time_s.push_back(time);
+    p.energy_j.push_back(power * time);
+  }
+  return p;
+}
+
+TEST(Objective, EdpAndEd2pScores) {
+  const Objective edp = Objective::edp();
+  const Objective ed2p = Objective::ed2p();
+  EXPECT_DOUBLE_EQ(edp.score(10.0, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(ed2p.score(10.0, 2.0), 40.0);
+  EXPECT_EQ(edp.name(), "EDP");
+  EXPECT_EQ(ed2p.name(), "ED2P");
+}
+
+TEST(Objective, ExponentGeneralization) {
+  const Objective e3 = Objective::edp_exponent(3.0);
+  EXPECT_DOUBLE_EQ(e3.score(2.0, 2.0), 16.0);
+  const Objective e0 = Objective::edp_exponent(0.0);
+  EXPECT_DOUBLE_EQ(e0.score(5.0, 100.0), 5.0);  // pure energy
+  EXPECT_THROW(Objective::edp_exponent(-1.0), InvalidArgument);
+}
+
+TEST(Objective, CustomFunction) {
+  const Objective custom =
+      Objective::custom("weighted", [](double e, double t) { return 0.7 * e + 0.3 * t; });
+  EXPECT_DOUBLE_EQ(custom.score(10.0, 10.0), 10.0);
+  EXPECT_EQ(custom.name(), "weighted");
+  EXPECT_THROW(Objective::custom("null", nullptr), InvalidArgument);
+}
+
+TEST(Objective, ScoresVectorized) {
+  const Objective edp = Objective::edp();
+  const auto s = edp.scores({1.0, 2.0}, {3.0, 4.0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 8.0);
+  EXPECT_THROW(edp.scores({1.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Profile, ValidationCatchesProblems) {
+  DvfsProfile p = synth_profile();
+  EXPECT_NO_THROW(p.validate());
+  p.time_s[2] = -1.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+
+  p = synth_profile();
+  std::swap(p.frequency_mhz[0], p.frequency_mhz[1]);
+  EXPECT_THROW(p.validate(), InvalidArgument);
+
+  p = synth_profile();
+  p.power_w.pop_back();
+  EXPECT_THROW(p.validate(), InvalidArgument);
+
+  DvfsProfile empty;
+  EXPECT_THROW(empty.validate(), InvalidArgument);
+}
+
+TEST(Profile, ChangePercentagesAgainstMaxFrequency) {
+  const DvfsProfile p = synth_profile();
+  const std::size_t last = p.size() - 1;
+  EXPECT_DOUBLE_EQ(p.max_frequency_index(), last);
+  EXPECT_DOUBLE_EQ(p.energy_change_pct(last), 0.0);
+  EXPECT_DOUBLE_EQ(p.time_change_pct(last), 0.0);
+  EXPECT_GT(p.time_change_pct(0), 0.0);   // slower at low clock
+  EXPECT_THROW(p.energy_change_pct(99), InvalidArgument);
+}
+
+TEST(Selector, FindsArgminOfObjective) {
+  const DvfsProfile p = synth_profile();
+  const Selection sel = select_optimal_frequency(p, Objective::edp());
+  const auto scores = Objective::edp().scores(p.energy_j, p.time_s);
+  for (double s : scores) EXPECT_LE(sel.score, s + 1e-12);
+  EXPECT_DOUBLE_EQ(p.frequency_mhz[sel.index], sel.frequency_mhz);
+  EXPECT_FALSE(sel.threshold_applied);
+}
+
+TEST(Selector, Ed2pNeverPicksLowerFrequencyThanEdp) {
+  // ED2P weighs delay more, so its optimum sits at >= the EDP optimum.
+  const DvfsProfile p = synth_profile();
+  const Selection edp = select_optimal_frequency(p, Objective::edp());
+  const Selection ed2p = select_optimal_frequency(p, Objective::ed2p());
+  EXPECT_GE(ed2p.frequency_mhz, edp.frequency_mhz);
+}
+
+TEST(Selector, PerformanceDegradationSemantics) {
+  const DvfsProfile p = synth_profile();
+  const auto deg = performance_degradation(p);
+  ASSERT_EQ(deg.size(), p.size());
+  // Fastest configuration has zero degradation; all values in [0, 1).
+  EXPECT_DOUBLE_EQ(*std::min_element(deg.begin(), deg.end()), 0.0);
+  for (double d : deg) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  // Lower frequencies degrade more on this profile.
+  EXPECT_GT(deg.front(), deg.back());
+}
+
+TEST(Selector, ThresholdWalksTowardHigherFrequency) {
+  const DvfsProfile p = synth_profile();
+  const Selection unconstrained = select_optimal_frequency(p, Objective::edp());
+  const double deg_at_opt =
+      performance_degradation(p)[unconstrained.index];
+  ASSERT_GT(deg_at_opt, 0.01);  // the synthetic optimum costs performance
+
+  const Selection strict = select_optimal_frequency(p, Objective::edp(), 0.01);
+  EXPECT_TRUE(strict.threshold_applied);
+  EXPECT_GT(strict.frequency_mhz, unconstrained.frequency_mhz);
+  EXPECT_LT(strict.perf_degradation, 0.01);
+}
+
+TEST(Selector, ThresholdSatisfiedAtOptimumChangesNothing) {
+  const DvfsProfile p = synth_profile();
+  const Selection loose = select_optimal_frequency(p, Objective::edp(), 0.99);
+  const Selection unconstrained = select_optimal_frequency(p, Objective::edp());
+  EXPECT_DOUBLE_EQ(loose.frequency_mhz, unconstrained.frequency_mhz);
+  EXPECT_FALSE(loose.threshold_applied);
+}
+
+TEST(Selector, ImpossibleThresholdEndsAtFastestConfig) {
+  // Threshold 0 can never be met below the fastest config; Algorithm 1's
+  // walk must terminate at the maximum frequency (Table 6's ResNet50 rows).
+  const DvfsProfile p = synth_profile();
+  const Selection sel = select_optimal_frequency(p, Objective::edp(), 0.0);
+  EXPECT_DOUBLE_EQ(sel.frequency_mhz, p.frequency_mhz.back());
+}
+
+TEST(Selector, NegativeThresholdRejected) {
+  const DvfsProfile p = synth_profile();
+  EXPECT_THROW(select_optimal_frequency(p, Objective::edp(), -0.1), InvalidArgument);
+}
+
+TEST(Selector, SingleConfigProfile) {
+  DvfsProfile p;
+  p.frequency_mhz = {1000.0};
+  p.power_w = {100.0};
+  p.time_s = {2.0};
+  p.energy_j = {200.0};
+  const Selection sel = select_optimal_frequency(p, Objective::ed2p());
+  EXPECT_DOUBLE_EQ(sel.frequency_mhz, 1000.0);
+  EXPECT_DOUBLE_EQ(sel.perf_degradation, 0.0);
+}
+
+// Property sweep on simulated measured profiles of every real application.
+class SelectorOnApps : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SelectorOnApps, InvariantsHoldOnMeasuredProfiles) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  // Coarse grid keeps the test fast.
+  std::vector<double> freqs;
+  for (double f = 510.0; f <= 1410.0; f += 90.0) freqs.push_back(f);
+  const DvfsProfile p =
+      measure_profile(gpu, workloads::find(GetParam()), freqs, /*runs=*/1);
+
+  const Selection edp = select_optimal_frequency(p, Objective::edp());
+  const Selection ed2p = select_optimal_frequency(p, Objective::ed2p());
+  // §5.2: estimated ED2P optimal frequencies are higher than EDP ones.
+  EXPECT_GE(ed2p.frequency_mhz, edp.frequency_mhz);
+  // §5.2: optimal frequencies are below the maximum core frequency
+  // (ResNet50's ED2P pick is the paper's one exception).
+  EXPECT_LE(edp.frequency_mhz, p.frequency_mhz.back());
+  // Thresholding can only raise the chosen frequency.
+  const Selection strict = select_optimal_frequency(p, Objective::edp(), 0.01);
+  EXPECT_GE(strict.frequency_mhz, edp.frequency_mhz);
+  EXPECT_TRUE(strict.perf_degradation < 0.01 ||
+              strict.frequency_mhz == p.frequency_mhz.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(RealApps, SelectorOnApps,
+                         ::testing::Values("lammps", "namd", "gromacs", "lstm", "bert",
+                                           "resnet50"));
+
+}  // namespace
+}  // namespace gpufreq::core

@@ -1,0 +1,126 @@
+#include "gpufreq/core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpufreq/core/objective.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::core {
+namespace {
+
+DvfsProfile hand_profile() {
+  // Five points; (t, e): (10, 100) (8, 120) (8.5, 90) (6, 200) (7, 210).
+  // Pareto front: (6,200), (8.5,90) ... check: (7,210) dominated by (6,200);
+  // (8,120) not dominated by (8.5,90)? (8.5,90): t worse, e better -> no;
+  // by (6,200)? e worse -> no. So front = {(6,200), (8,120), (8.5,90)};
+  // (10,100) dominated by (8.5,90).
+  DvfsProfile p;
+  p.workload = "hand";
+  p.frequency_mhz = {500, 600, 700, 800, 900};
+  p.time_s = {10.0, 8.5, 8.0, 7.0, 6.0};
+  p.power_w = {10.0, 10.6, 15.0, 30.0, 33.3};
+  p.energy_j = {100.0, 90.0, 120.0, 210.0, 200.0};
+  return p;
+}
+
+TEST(Pareto, HandComputedFront) {
+  const auto front = pareto_front(hand_profile());
+  ASSERT_EQ(front.size(), 3u);
+  // Sorted by ascending time.
+  EXPECT_DOUBLE_EQ(front[0].time_s, 6.0);
+  EXPECT_DOUBLE_EQ(front[0].energy_j, 200.0);
+  EXPECT_DOUBLE_EQ(front[1].time_s, 8.0);
+  EXPECT_DOUBLE_EQ(front[1].energy_j, 120.0);
+  EXPECT_DOUBLE_EQ(front[2].time_s, 8.5);
+  EXPECT_DOUBLE_EQ(front[2].energy_j, 90.0);
+}
+
+TEST(Pareto, IsParetoOptimalAgreesWithFront) {
+  const DvfsProfile p = hand_profile();
+  EXPECT_TRUE(is_pareto_optimal(p, 1));   // (8.5, 90)
+  EXPECT_TRUE(is_pareto_optimal(p, 2));   // (8, 120)
+  EXPECT_TRUE(is_pareto_optimal(p, 4));   // (6, 200)
+  EXPECT_FALSE(is_pareto_optimal(p, 0));  // (10, 100) dominated
+  EXPECT_FALSE(is_pareto_optimal(p, 3));  // (7, 210) dominated
+  EXPECT_THROW(is_pareto_optimal(p, 99), InvalidArgument);
+}
+
+TEST(Pareto, FrontEnergyStrictlyDecreasing) {
+  const auto front = pareto_front(hand_profile());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].time_s, front[i - 1].time_s);
+    EXPECT_LT(front[i].energy_j, front[i - 1].energy_j);
+  }
+}
+
+TEST(Pareto, SinglePointProfile) {
+  DvfsProfile p;
+  p.frequency_mhz = {1000};
+  p.time_s = {1.0};
+  p.power_w = {100.0};
+  p.energy_j = {100.0};
+  const auto front = pareto_front(p);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_TRUE(is_pareto_optimal(p, 0));
+}
+
+TEST(Pareto, HypervolumePositiveAndMonotone) {
+  const auto front = pareto_front(hand_profile());
+  const double hv = pareto_hypervolume(front, 250.0, 12.0);
+  EXPECT_GT(hv, 0.0);
+  // A larger reference box gives a larger hypervolume.
+  EXPECT_GT(pareto_hypervolume(front, 300.0, 14.0), hv);
+  EXPECT_THROW(pareto_hypervolume({}, 1.0, 1.0), InvalidArgument);
+}
+
+TEST(Pareto, KneeLiesOnFront) {
+  const auto front = pareto_front(hand_profile());
+  const ParetoPoint knee = pareto_knee(front);
+  bool found = false;
+  for (const auto& p : front) found |= p.index == knee.index;
+  EXPECT_TRUE(found);
+  // For this front the middle point (8, 120) is the knee: the extremes have
+  // zero chord distance by construction.
+  EXPECT_DOUBLE_EQ(knee.time_s, 8.0);
+}
+
+TEST(Pareto, KneeOfTinyFronts) {
+  DvfsProfile p;
+  p.frequency_mhz = {900, 1000};
+  p.time_s = {2.0, 1.0};
+  p.power_w = {50.0, 200.0};
+  p.energy_j = {100.0, 200.0};
+  const auto front = pareto_front(p);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_NO_THROW(pareto_knee(front));
+  EXPECT_THROW(pareto_knee({}), InvalidArgument);
+}
+
+// The property connecting the paper's single-pick interface to the related
+// work's Pareto interface: every EDP/ED2P optimum is Pareto-optimal.
+class ParetoOnApps : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParetoOnApps, ObjectiveOptimaLieOnTheFront) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  std::vector<double> freqs;
+  for (double f = 510.0; f <= 1410.0; f += 45.0) freqs.push_back(f);
+  const DvfsProfile p = measure_profile(gpu, workloads::find(GetParam()), freqs, 1);
+
+  const Selection edp = select_optimal_frequency(p, Objective::edp());
+  const Selection ed2p = select_optimal_frequency(p, Objective::ed2p());
+  EXPECT_TRUE(is_pareto_optimal(p, edp.index)) << GetParam();
+  EXPECT_TRUE(is_pareto_optimal(p, ed2p.index)) << GetParam();
+
+  // The front is a small subset of the 21-point profile but never empty.
+  const auto front = pareto_front(p);
+  EXPECT_GE(front.size(), 2u);
+  EXPECT_LE(front.size(), p.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RealApps, ParetoOnApps,
+                         ::testing::Values("lammps", "namd", "gromacs", "lstm", "bert",
+                                           "resnet50", "dgemm", "stream"));
+
+}  // namespace
+}  // namespace gpufreq::core

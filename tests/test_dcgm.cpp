@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "gpufreq/dcgm/collection.hpp"
+#include "gpufreq/dcgm/fields.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::dcgm {
+namespace {
+
+sim::GpuDevice make_gpu() { return sim::GpuDevice(sim::GpuSpec::ga100()); }
+
+CollectionConfig small_config() {
+  CollectionConfig c;
+  c.frequencies_mhz = {510.0, 960.0, 1410.0};
+  c.runs = 2;
+  c.samples_per_run = 3;
+  return c;
+}
+
+TEST(Fields, TwelveFieldsMatchPaper) {
+  EXPECT_EQ(all_fields().size(), 12u);
+  // §4.1's enumeration order: fp64, fp32, clock, dram, gr_engine, util,
+  // power, sm_active, occupancy, pcie tx/rx, exec_time.
+  EXPECT_EQ(all_fields().front(), FieldId::kFp64Active);
+  EXPECT_EQ(all_fields().back(), FieldId::kExecTime);
+}
+
+TEST(Fields, NameRoundTrip) {
+  for (FieldId id : all_fields()) {
+    EXPECT_EQ(field_from_name(field_name(id)), id);
+  }
+  EXPECT_THROW(field_from_name("not_a_field"), InvalidArgument);
+}
+
+TEST(Fields, DcgmNumericIdsForProfFields) {
+  EXPECT_EQ(static_cast<int>(FieldId::kPowerUsage), 155);
+  EXPECT_EQ(static_cast<int>(FieldId::kFp64Active), 1006);
+  EXPECT_EQ(static_cast<int>(FieldId::kDramActive), 1005);
+}
+
+TEST(ProfilingSession, DefaultsToUsedFrequencies) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, CollectionConfig{});
+  EXPECT_EQ(session.frequencies().size(), 61u);
+}
+
+TEST(ProfilingSession, RejectsOffGridFrequencies) {
+  auto gpu = make_gpu();
+  CollectionConfig c;
+  c.frequencies_mhz = {1007.0};
+  EXPECT_THROW(ProfilingSession(gpu, c), InvalidArgument);
+}
+
+TEST(ProfilingSession, RejectsBadConfig) {
+  auto gpu = make_gpu();
+  CollectionConfig c;
+  c.runs = 0;
+  EXPECT_THROW(ProfilingSession(gpu, c), InvalidArgument);
+  c = CollectionConfig{};
+  c.sample_interval_s = 0.0;
+  EXPECT_THROW(ProfilingSession(gpu, c), InvalidArgument);
+  c = CollectionConfig{};
+  c.samples_per_run = 0;
+  EXPECT_THROW(ProfilingSession(gpu, c), InvalidArgument);
+}
+
+TEST(ProfilingSession, ProfileProducesExpectedCounts) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, small_config());
+  const CollectionResult r = session.profile(workloads::find("fft"));
+  EXPECT_EQ(r.runs.size(), 3u * 2u);
+  EXPECT_EQ(r.samples.size(), 3u * 2u * 3u);
+  // Clock restored after the campaign (the control module cleans up).
+  EXPECT_DOUBLE_EQ(gpu.app_clock_mhz(), 1410.0);
+}
+
+TEST(ProfilingSession, RowsCarryProvenance) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, small_config());
+  const CollectionResult r = session.profile(workloads::find("stream"));
+  for (const auto& s : r.samples) {
+    EXPECT_EQ(s.workload, "stream");
+    EXPECT_EQ(s.gpu, "GA100");
+    EXPECT_TRUE(s.frequency_mhz == 510.0 || s.frequency_mhz == 960.0 ||
+                s.frequency_mhz == 1410.0);
+    EXPECT_DOUBLE_EQ(s.counters.sm_app_clock, s.frequency_mhz);
+  }
+}
+
+TEST(ProfilingSession, ProfileSuiteConcatenates) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, small_config());
+  const CollectionResult r =
+      session.profile_suite({workloads::find("dgemm"), workloads::find("stream")});
+  EXPECT_EQ(r.runs.size(), 2u * 6u);
+  EXPECT_EQ(r.samples.size(), 2u * 18u);
+}
+
+TEST(ProfilingSession, ProfileAtMaxSingleFrequency) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, small_config());
+  const CollectionResult r = session.profile_at_max(workloads::find("lstm"));
+  EXPECT_EQ(r.runs.size(), 2u);
+  for (const auto& run : r.runs) EXPECT_DOUBLE_EQ(run.frequency_mhz, 1410.0);
+}
+
+TEST(ProfilingSession, RunSummariesAreConsistent) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, small_config());
+  const CollectionResult r = session.profile(workloads::find("lammps"));
+  for (const auto& run : r.runs) {
+    EXPECT_GT(run.exec_time_s, 0.0);
+    EXPECT_GT(run.avg_power_w, 0.0);
+    EXPECT_NEAR(run.energy_j, run.exec_time_s * run.avg_power_w, 1e-6);
+    EXPECT_GT(run.achieved_gflops, 0.0);
+  }
+}
+
+TEST(CollectionResult, SamplesTableShape) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, small_config());
+  const CollectionResult r = session.profile(workloads::find("fft"));
+  const csv::Table t = r.samples_table();
+  EXPECT_EQ(t.num_rows(), r.samples.size());
+  EXPECT_EQ(t.num_cols(), 5u + 12u);
+  // Columns addressable by the paper's metric names.
+  EXPECT_NO_THROW(t.column_index("fp64_active"));
+  EXPECT_NO_THROW(t.column_index("power_usage"));
+  const auto powers = t.column_as_double("power_usage");
+  EXPECT_GT(powers.front(), 0.0);
+}
+
+TEST(CollectionResult, RunsTableShapeAndValues) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, small_config());
+  const CollectionResult r = session.profile(workloads::find("fft"));
+  const csv::Table t = r.runs_table();
+  EXPECT_EQ(t.num_rows(), r.runs.size());
+  const auto e = t.column_as_double("energy_j");
+  EXPECT_EQ(e.size(), r.runs.size());
+  EXPECT_NEAR(e.front(), r.runs.front().energy_j, 1e-3);
+}
+
+TEST(CollectionResult, AppendMerges) {
+  CollectionResult a, b;
+  a.samples.resize(3);
+  a.runs.resize(1);
+  b.samples.resize(2);
+  b.runs.resize(2);
+  a.append(std::move(b));
+  EXPECT_EQ(a.samples.size(), 5u);
+  EXPECT_EQ(a.runs.size(), 3u);
+}
+
+TEST(ProfilingSession, HigherFrequencyDrawsMorePower) {
+  auto gpu = make_gpu();
+  ProfilingSession session(gpu, small_config());
+  const CollectionResult r = session.profile(workloads::find("dgemm"));
+  double p_low = 0.0, p_high = 0.0;
+  for (const auto& run : r.runs) {
+    if (run.frequency_mhz == 510.0) p_low = run.avg_power_w;
+    if (run.frequency_mhz == 1410.0) p_high = run.avg_power_w;
+  }
+  EXPECT_GT(p_high, 2.0 * p_low);
+}
+
+}  // namespace
+}  // namespace gpufreq::dcgm

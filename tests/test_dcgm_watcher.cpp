@@ -1,0 +1,106 @@
+#include "gpufreq/dcgm/watcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::dcgm {
+namespace {
+
+sim::GpuDevice make_gpu() { return sim::GpuDevice(sim::GpuSpec::ga100()); }
+
+TEST(FieldGroup, AddIsIdempotent) {
+  FieldGroup g;
+  g.add(FieldId::kPowerUsage);
+  g.add(FieldId::kPowerUsage);
+  g.add(FieldId::kDramActive);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.contains(FieldId::kPowerUsage));
+  EXPECT_FALSE(g.contains(FieldId::kFp64Active));
+}
+
+TEST(FieldGroup, PaperFieldsHasAllTwelve) {
+  const FieldGroup g = FieldGroup::paper_fields();
+  EXPECT_EQ(g.size(), 12u);
+  for (FieldId id : all_fields()) EXPECT_TRUE(g.contains(id));
+}
+
+TEST(FieldWatcher, ConstructionValidation) {
+  auto gpu = make_gpu();
+  EXPECT_THROW(FieldWatcher(gpu, FieldGroup{}), InvalidArgument);
+  EXPECT_THROW(FieldWatcher(gpu, FieldGroup({FieldId::kPowerUsage}), 0.0), InvalidArgument);
+}
+
+TEST(FieldWatcher, DeliversEveryWatchedField) {
+  auto gpu = make_gpu();
+  FieldWatcher watcher(gpu, FieldGroup({FieldId::kPowerUsage, FieldId::kDramActive}));
+  std::size_t power_updates = 0, dram_updates = 0;
+  const std::size_t samples = watcher.watch(
+      workloads::find("stream"),
+      [&](const FieldValue& v) {
+        if (v.field == FieldId::kPowerUsage) ++power_updates;
+        if (v.field == FieldId::kDramActive) ++dram_updates;
+        EXPECT_GE(v.timestamp_s, 0.0);
+        return true;
+      },
+      32);
+  EXPECT_EQ(samples, 32u);
+  EXPECT_EQ(power_updates, 32u);
+  EXPECT_EQ(dram_updates, 32u);
+}
+
+TEST(FieldWatcher, CallbackCanStopEarly) {
+  auto gpu = make_gpu();
+  FieldWatcher watcher(gpu, FieldGroup({FieldId::kPowerUsage}));
+  std::size_t seen = 0;
+  const std::size_t delivered = watcher.watch(
+      workloads::find("stream"),
+      [&](const FieldValue&) { return ++seen < 5; }, 64);
+  EXPECT_EQ(delivered, 5u);
+}
+
+TEST(FieldWatcher, AggregatesMatchDeliveredValues) {
+  auto gpu = make_gpu();
+  FieldWatcher watcher(gpu, FieldGroup({FieldId::kPowerUsage}));
+  double sum = 0.0;
+  std::size_t n = 0;
+  watcher.watch(workloads::find("dgemm"),
+                [&](const FieldValue& v) {
+                  sum += v.value;
+                  ++n;
+                  return true;
+                },
+                16);
+  const auto& agg = watcher.field_stats(FieldId::kPowerUsage);
+  EXPECT_EQ(agg.count(), n);
+  EXPECT_NEAR(agg.mean(), sum / static_cast<double>(n), 1e-9);
+  EXPECT_GT(agg.mean(), 300.0);  // DGEMM is power-hungry
+}
+
+TEST(FieldWatcher, UnwatchedFieldStatsThrow) {
+  auto gpu = make_gpu();
+  FieldWatcher watcher(gpu, FieldGroup({FieldId::kPowerUsage}));
+  watcher.watch(workloads::find("fft"), [](const FieldValue&) { return true; }, 4);
+  EXPECT_THROW(watcher.field_stats(FieldId::kDramActive), InvalidArgument);
+}
+
+TEST(FieldWatcher, WatchRespectsCurrentClock) {
+  auto gpu = make_gpu();
+  gpu.set_app_clock(510.0);
+  FieldWatcher watcher(gpu, FieldGroup({FieldId::kSmAppClock}));
+  watcher.watch(workloads::find("fft"), [](const FieldValue&) { return true; }, 4);
+  EXPECT_DOUBLE_EQ(watcher.field_stats(FieldId::kSmAppClock).mean(), 510.0);
+}
+
+TEST(FieldWatcher, InvalidWatchArguments) {
+  auto gpu = make_gpu();
+  FieldWatcher watcher(gpu, FieldGroup({FieldId::kPowerUsage}));
+  EXPECT_THROW(watcher.watch(workloads::find("fft"), nullptr), InvalidArgument);
+  EXPECT_THROW(
+      watcher.watch(workloads::find("fft"), [](const FieldValue&) { return true; }, 0),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpufreq::dcgm

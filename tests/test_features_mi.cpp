@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpufreq/features/mutual_information.hpp"
+#include "gpufreq/features/ranking.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/rng.hpp"
+
+namespace gpufreq::features {
+namespace {
+
+constexpr double kEulerMascheroni = 0.5772156649015329;
+
+TEST(Digamma, KnownValues) {
+  EXPECT_NEAR(digamma(1.0), -kEulerMascheroni, 1e-10);
+  EXPECT_NEAR(digamma(2.0), 1.0 - kEulerMascheroni, 1e-10);
+  EXPECT_NEAR(digamma(0.5), -2.0 * std::log(2.0) - kEulerMascheroni, 1e-10);
+  // psi(x+1) = psi(x) + 1/x
+  EXPECT_NEAR(digamma(5.5), digamma(4.5) + 1.0 / 4.5, 1e-10);
+  EXPECT_THROW(digamma(0.0), InvalidArgument);
+  EXPECT_THROW(digamma(-1.0), InvalidArgument);
+}
+
+std::vector<double> gaussian(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(Ksg, IndependentVariablesNearZero) {
+  Rng rng(1);
+  const auto x = gaussian(600, rng);
+  const auto y = gaussian(600, rng);
+  EXPECT_LT(mutual_information_ksg(x, y), 0.08);
+}
+
+TEST(Ksg, DeterministicFunctionHasHighMi) {
+  Rng rng(2);
+  const auto x = gaussian(600, rng);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 2.0 * x[i] + 1.0;
+  EXPECT_GT(mutual_information_ksg(x, y), 1.5);
+}
+
+TEST(Ksg, GaussianMiMatchesClosedForm) {
+  // For bivariate normals, I = -0.5 * log(1 - rho^2).
+  Rng rng(3);
+  const double rho = 0.8;
+  const std::size_t n = 1500;
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    x[i] = a;
+    y[i] = rho * a + std::sqrt(1.0 - rho * rho) * b;
+  }
+  const double truth = -0.5 * std::log(1.0 - rho * rho);
+  EXPECT_NEAR(mutual_information_ksg(x, y), truth, 0.12);
+}
+
+TEST(Ksg, OrderingReflectsDependenceStrength) {
+  Rng rng(4);
+  const auto x = gaussian(800, rng);
+  std::vector<double> strong(x.size()), weak(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    strong[i] = x[i] + 0.1 * rng.normal();
+    weak[i] = x[i] + 2.0 * rng.normal();
+  }
+  EXPECT_GT(mutual_information_ksg(x, strong), mutual_information_ksg(x, weak));
+}
+
+TEST(Ksg, InvariantUnderAffineRescaling) {
+  Rng rng(5);
+  const auto x = gaussian(500, rng);
+  std::vector<double> y(x.size()), y_scaled(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = std::sin(x[i]) + 0.2 * rng.normal();
+    y_scaled[i] = 1000.0 * y[i] - 7.0;
+  }
+  EXPECT_NEAR(mutual_information_ksg(x, y), mutual_information_ksg(x, y_scaled), 0.05);
+}
+
+TEST(Ksg, NonlinearDependenceDetected) {
+  // Pearson correlation of (x, x^2) on symmetric data is ~0; MI is not.
+  Rng rng(6);
+  const auto x = gaussian(800, rng);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * x[i];
+  EXPECT_GT(mutual_information_ksg(x, y), 0.5);
+}
+
+TEST(Ksg, HandlesTiedValues) {
+  // Counter data contains repeats; the tie-breaking jitter must cope.
+  std::vector<double> x(300), y(300);
+  Rng rng(7);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x[i] = static_cast<double>(i % 4);
+    y[i] = x[i] * 10.0 + rng.normal() * 0.01;
+  }
+  EXPECT_GT(mutual_information_ksg(x, y), 0.8);
+}
+
+TEST(Ksg, ArgumentValidation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(mutual_information_ksg(x, y), InvalidArgument);
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(mutual_information_ksg(tiny, tiny), InvalidArgument);
+  KsgOptions opt;
+  opt.k = 0;
+  const std::vector<double> ok(32, 1.0);
+  EXPECT_THROW(mutual_information_ksg(ok, ok, opt), InvalidArgument);
+}
+
+TEST(HistMi, AgreesQualitativelyWithKsg) {
+  Rng rng(8);
+  const auto x = gaussian(1000, rng);
+  std::vector<double> dep(x.size());
+  const auto indep = gaussian(1000, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) dep[i] = x[i] + 0.3 * rng.normal();
+  EXPECT_GT(mutual_information_hist(x, dep), mutual_information_hist(x, indep));
+}
+
+TEST(HistMi, ConstantColumnIsZero) {
+  const std::vector<double> c(100, 5.0);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) y[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(mutual_information_hist(c, y), 0.0);
+}
+
+TEST(HistMi, Validation) {
+  const std::vector<double> x = {1.0, 2.0};
+  EXPECT_THROW(mutual_information_hist(x, x, 1), InvalidArgument);
+  EXPECT_THROW(mutual_information_hist({}, {}), InvalidArgument);
+}
+
+TEST(Ranker, RanksByDependence) {
+  Rng rng(9);
+  const std::size_t n = 600;
+  std::vector<double> target(n), strong(n), medium(n), noise(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    target[i] = rng.normal();
+    strong[i] = target[i] + 0.05 * rng.normal();
+    medium[i] = target[i] + 1.0 * rng.normal();
+    noise[i] = rng.normal();
+  }
+  FeatureRanker ranker;
+  ranker.add_feature("noise", noise);
+  ranker.add_feature("strong", strong);
+  ranker.add_feature("medium", medium);
+  const auto scores = ranker.rank(target);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_EQ(scores[0].feature, "strong");
+  EXPECT_EQ(scores[1].feature, "medium");
+  EXPECT_EQ(scores[2].feature, "noise");
+  EXPECT_DOUBLE_EQ(scores[0].mi_normalized, 1.0);
+  EXPECT_LT(scores[2].mi_normalized, scores[1].mi_normalized);
+
+  const auto top = ranker.top_k(target, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], "strong");
+}
+
+TEST(Ranker, Validation) {
+  FeatureRanker ranker;
+  EXPECT_THROW(ranker.rank({1.0, 2.0}), InvalidArgument);
+  ranker.add_feature("a", std::vector<double>(10, 1.0));
+  EXPECT_THROW(ranker.add_feature("b", std::vector<double>(5, 1.0)), InvalidArgument);
+  EXPECT_THROW(ranker.add_feature("", std::vector<double>(10, 1.0)), InvalidArgument);
+  EXPECT_THROW(ranker.rank(std::vector<double>(9, 1.0)), InvalidArgument);
+}
+
+TEST(Ranker, TopKClampsToFeatureCount) {
+  Rng rng(10);
+  FeatureRanker ranker;
+  std::vector<double> t(64), f(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    t[i] = rng.normal();
+    f[i] = t[i] + rng.normal();
+  }
+  ranker.add_feature("only", f);
+  EXPECT_EQ(ranker.top_k(t, 10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace gpufreq::features

@@ -1,0 +1,191 @@
+// Integration tests of the full offline -> online methodology on reduced
+// campaigns: train on benchmark workloads, predict unseen applications,
+// select optimal frequencies — the whole of the paper's Figure 2 flow.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpufreq/core/evaluation.hpp"
+#include "gpufreq/core/model_cache.hpp"
+#include "gpufreq/features/ranking.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::core {
+namespace {
+
+std::vector<double> coarse_grid(const sim::GpuSpec& spec, double step = 90.0) {
+  std::vector<double> freqs;
+  for (double f = spec.used_min_mhz; f <= spec.core_max_mhz + 1e-9; f += step) {
+    freqs.push_back(spec.nearest_frequency(f));
+  }
+  if (freqs.back() != spec.core_max_mhz) freqs.push_back(spec.core_max_mhz);
+  return freqs;
+}
+
+OfflineConfig reduced_config(const sim::GpuSpec& spec) {
+  OfflineConfig cfg;
+  cfg.collection.frequencies_mhz = coarse_grid(spec);
+  cfg.collection.runs = 2;
+  cfg.collection.samples_per_run = 3;
+  cfg.power_model.epochs = 60;
+  cfg.time_model.epochs = 25;
+  return cfg;
+}
+
+// Train once for the whole test binary (expensive-ish), share thereafter.
+const PowerTimeModels& shared_models() {
+  static const PowerTimeModels models = [] {
+    sim::GpuDevice gpu(sim::GpuSpec::ga100());
+    return OfflineTrainer(reduced_config(gpu.spec())).train(gpu, workloads::training_set());
+  }();
+  return models;
+}
+
+TEST(Integration, OfflineDatasetCoversDesignSpace) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const OfflineTrainer trainer(reduced_config(gpu.spec()));
+  const Dataset ds = trainer.collect_dataset(
+      gpu, {workloads::find("dgemm"), workloads::find("stream")});
+  const auto freqs = coarse_grid(gpu.spec());
+  EXPECT_EQ(ds.size(), 2u * freqs.size() * 2u * 3u);
+}
+
+TEST(Integration, TrainingLossCurvesConvergeLikeFigure6) {
+  const auto& m = shared_models();
+  // Train and validation losses both drop by >5x and end close together
+  // (no heavy overfitting) — the qualitative content of Figure 6.
+  EXPECT_LT(m.power_history.final_train_loss(), 0.2 * m.power_history.train_loss.front());
+  EXPECT_LT(m.time_history.final_train_loss(), 0.25 * m.time_history.train_loss.front());
+  EXPECT_LT(m.power_history.final_val_loss(), 3.0 * m.power_history.final_train_loss());
+  EXPECT_LT(m.time_history.final_val_loss(), 3.0 * m.time_history.final_train_loss());
+}
+
+TEST(Integration, OnlinePredictionProfilesAreValid) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const OnlinePredictor predictor(shared_models());
+  const DvfsProfile p =
+      predictor.predict(gpu, workloads::find("lammps"), coarse_grid(gpu.spec()));
+  EXPECT_TRUE(p.predicted);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.size(), coarse_grid(gpu.spec()).size());
+  // Predicted power rises with clock; predicted time falls.
+  EXPECT_GT(p.power_w.back(), p.power_w.front());
+  EXPECT_LT(p.time_s.back(), p.time_s.front());
+}
+
+TEST(Integration, UnseenAppsPredictedAccurately) {
+  // The headline claim (§5.1 / Table 3): models trained only on benchmarks
+  // predict unseen real applications with high accuracy.
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const auto evals = evaluate_suite(shared_models(), gpu, workloads::evaluation_set(),
+                                    coarse_grid(gpu.spec()), /*measure_runs=*/1);
+  ASSERT_EQ(evals.size(), 6u);
+  for (const auto& ev : evals) {
+    EXPECT_GT(ev.power_accuracy_pct, 80.0) << ev.app;
+    EXPECT_GT(ev.time_accuracy_pct, 85.0) << ev.app;
+  }
+  // Mean accuracy should be comfortably high.
+  double pacc = 0.0;
+  for (const auto& ev : evals) pacc += ev.power_accuracy_pct;
+  EXPECT_GT(pacc / 6.0, 87.0);
+}
+
+TEST(Integration, SelectorsSaveEnergyOnMeasuredOutcomes) {
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const auto evals = evaluate_suite(shared_models(), gpu, workloads::evaluation_set(),
+                                    coarse_grid(gpu.spec()), /*measure_runs=*/1);
+  double energy_sum = 0.0;
+  for (const auto& ev : evals) {
+    // The P-ED2P choice must yield a real measured energy saving vs f_max
+    // for at least the DVFS-sensitive apps; never a large loss for any.
+    const double de = ev.measured_energy_change_pct(ev.p_ed2p);
+    EXPECT_LT(de, 5.0) << ev.app;
+    energy_sum += de;
+    // ED2P never selects a lower frequency than EDP on the same profile.
+    EXPECT_GE(ev.p_ed2p.frequency_mhz, ev.p_edp.frequency_mhz) << ev.app;
+    EXPECT_GE(ev.m_ed2p.frequency_mhz, ev.m_edp.frequency_mhz) << ev.app;
+  }
+  EXPECT_LT(energy_sum / 6.0, -8.0);  // average saving across the suite
+}
+
+TEST(Integration, ThresholdImprovesWorstCasePerformance) {
+  // Table 6: applying a 5% threshold bounds the time loss of the outliers.
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const auto& wl = workloads::find("resnet50");
+  const auto grid = coarse_grid(gpu.spec());
+  const AppEvaluation nil = evaluate_app(shared_models(), gpu, wl, grid, 1);
+  const AppEvaluation capped = evaluate_app(shared_models(), gpu, wl, grid, 1, 0.05);
+  EXPECT_LE(capped.m_edp.perf_degradation, 0.05 + 1e-9);
+  EXPECT_GE(capped.m_edp.frequency_mhz, nil.m_edp.frequency_mhz);
+}
+
+TEST(Integration, CrossArchitecturePortability) {
+  // §5.1: models trained on GA100 transfer to GV100 with high accuracy.
+  sim::GpuDevice volta(sim::GpuSpec::gv100());
+  const auto grid = coarse_grid(volta.spec());
+  const auto evals = evaluate_suite(shared_models(), volta, workloads::evaluation_set(),
+                                    grid, /*measure_runs=*/1);
+  for (const auto& ev : evals) {
+    EXPECT_EQ(ev.gpu, "GV100");
+    EXPECT_GT(ev.power_accuracy_pct, 75.0) << ev.app;
+    EXPECT_GT(ev.time_accuracy_pct, 80.0) << ev.app;
+  }
+}
+
+TEST(Integration, MutualInformationSelectsPaperFeatures) {
+  // §4.2.1 / Figure 3: on DGEMM+STREAM data, fp_active, sm_app_clock and
+  // dram_active are the top features for both power and time.
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  dcgm::CollectionConfig cc;
+  cc.frequencies_mhz = coarse_grid(gpu.spec());
+  cc.runs = 2;
+  cc.samples_per_run = 4;
+  dcgm::ProfilingSession session(gpu, cc);
+  const auto result =
+      session.profile_suite({workloads::find("dgemm"), workloads::find("stream")});
+
+  features::FeatureRanker ranker;
+  std::vector<double> power, time;
+  std::vector<std::vector<double>> cols(10);
+  const std::vector<std::string> candidates = {
+      "fp_active", "sm_app_clock", "dram_active", "gr_engine_active", "gpu_utilization",
+      "sm_active", "sm_occupancy", "pcie_tx_bytes", "pcie_rx_bytes", "fp32_active"};
+  for (const auto& s : result.samples) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      cols[i].push_back(s.counters.value(candidates[i]));
+    }
+    power.push_back(s.counters.power_usage);
+    time.push_back(s.counters.exec_time);
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ranker.add_feature(candidates[i], cols[i]);
+  }
+
+  const auto top_power = ranker.top_k(power, 3);
+  std::set<std::string> top_set(top_power.begin(), top_power.end());
+  // fp activity and the clock must be in the power top-3 (dram_active vs
+  // fp32_active can swap depending on noise — both are fp/memory signals).
+  EXPECT_TRUE(top_set.count("fp_active") || top_set.count("fp32_active"));
+  EXPECT_TRUE(top_set.count("sm_app_clock"));
+
+  const auto time_scores = ranker.rank(time);
+  EXPECT_GT(time_scores.front().mi, 0.0);
+}
+
+TEST(Integration, CachedModelsReproduceEvaluations) {
+  const ModelCache cache(::testing::TempDir() + "/gpufreq_cache_integration");
+  cache.store("paper", shared_models());
+  const auto loaded = cache.load("paper");
+  ASSERT_TRUE(loaded.has_value());
+
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  const auto grid = coarse_grid(gpu.spec());
+  const auto& wl = workloads::find("bert");
+  const AppEvaluation a = evaluate_app(shared_models(), gpu, wl, grid, 1);
+  const AppEvaluation b = evaluate_app(*loaded, gpu, wl, grid, 1);
+  EXPECT_DOUBLE_EQ(a.p_edp.frequency_mhz, b.p_edp.frequency_mhz);
+  EXPECT_NEAR(a.power_accuracy_pct, b.power_accuracy_pct, 1e-6);
+}
+
+}  // namespace
+}  // namespace gpufreq::core

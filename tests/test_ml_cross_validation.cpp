@@ -1,0 +1,81 @@
+#include "gpufreq/ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpufreq/ml/linear.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/rng.hpp"
+
+namespace gpufreq::ml {
+namespace {
+
+std::pair<nn::Matrix, std::vector<double>> linear_data(std::size_t n, double noise,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x(i, 1) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    y[i] = 3.0 * x(i, 0) - x(i, 1) + 2.0 + noise * rng.normal();
+  }
+  return {std::move(x), std::move(y)};
+}
+
+RegressorFactory mlr_factory() {
+  return [] { return std::make_unique<LinearRegressor>(); };
+}
+
+TEST(CrossValidation, FoldCountsAndShapes) {
+  auto [x, y] = linear_data(103, 0.1, 1);  // non-divisible row count
+  const CvResult r = k_fold_cv(x, y, 5, mlr_factory());
+  EXPECT_EQ(r.fold_rmse.size(), 5u);
+  EXPECT_EQ(r.fold_mape_accuracy.size(), 5u);
+  EXPECT_EQ(r.fold_r2.size(), 5u);
+}
+
+TEST(CrossValidation, NearPerfectOnNoiselessLinearData) {
+  auto [x, y] = linear_data(200, 0.0, 2);
+  const CvResult r = k_fold_cv(x, y, 4, mlr_factory());
+  EXPECT_LT(r.mean_rmse(), 1e-4);
+  EXPECT_GT(r.mean_r2(), 0.9999);
+}
+
+TEST(CrossValidation, RmseTracksNoiseLevel) {
+  auto [x1, y1] = linear_data(400, 0.1, 3);
+  auto [x2, y2] = linear_data(400, 1.0, 3);
+  const double low = k_fold_cv(x1, y1, 5, mlr_factory()).mean_rmse();
+  const double high = k_fold_cv(x2, y2, 5, mlr_factory()).mean_rmse();
+  EXPECT_GT(high, 3.0 * low);
+  EXPECT_NEAR(low, 0.1, 0.05);   // RMSE estimates the noise sigma
+  EXPECT_NEAR(high, 1.0, 0.25);
+}
+
+TEST(CrossValidation, DeterministicGivenSeed) {
+  auto [x, y] = linear_data(150, 0.3, 4);
+  const CvResult a = k_fold_cv(x, y, 3, mlr_factory(), 99);
+  const CvResult b = k_fold_cv(x, y, 3, mlr_factory(), 99);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a.fold_rmse[i], b.fold_rmse[i]);
+  const CvResult c = k_fold_cv(x, y, 3, mlr_factory(), 100);
+  EXPECT_NE(a.fold_rmse[0], c.fold_rmse[0]);
+}
+
+TEST(CrossValidation, ArgumentValidation) {
+  auto [x, y] = linear_data(10, 0.1, 5);
+  EXPECT_THROW(k_fold_cv(x, y, 1, mlr_factory()), InvalidArgument);
+  EXPECT_THROW(k_fold_cv(x, y, 11, mlr_factory()), InvalidArgument);
+  EXPECT_THROW(k_fold_cv(x, y, 2, nullptr), InvalidArgument);
+  y.pop_back();
+  EXPECT_THROW(k_fold_cv(x, y, 2, mlr_factory()), InvalidArgument);
+}
+
+TEST(CrossValidation, EveryRowTestedExactlyOnce) {
+  // With k = n (leave-one-out) each fold holds exactly one row.
+  auto [x, y] = linear_data(12, 0.0, 6);
+  const CvResult r = k_fold_cv(x, y, 12, mlr_factory());
+  EXPECT_EQ(r.fold_rmse.size(), 12u);
+  for (double rmse : r.fold_rmse) EXPECT_LT(rmse, 1e-3);
+}
+
+}  // namespace
+}  // namespace gpufreq::ml

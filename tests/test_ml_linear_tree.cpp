@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpufreq/ml/linear.hpp"
+#include "gpufreq/ml/tree.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/rng.hpp"
+#include "gpufreq/util/stats.hpp"
+
+namespace gpufreq::ml {
+namespace {
+
+std::pair<nn::Matrix, std::vector<double>> linear_data(std::size_t n, std::uint64_t seed,
+                                                       double noise = 0.0) {
+  Rng rng(seed);
+  nn::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = static_cast<float>(rng.uniform(-2.0, 2.0));
+    y[i] = 1.5 * x(i, 0) - 2.0 * x(i, 1) + 0.25 * x(i, 2) + 4.0 + noise * rng.normal();
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(Linear, RecoversExactCoefficients) {
+  auto [x, y] = linear_data(200, 1);
+  LinearRegressor lr;
+  lr.fit(x, y);
+  ASSERT_EQ(lr.coefficients().size(), 3u);
+  EXPECT_NEAR(lr.coefficients()[0], 1.5, 1e-4);
+  EXPECT_NEAR(lr.coefficients()[1], -2.0, 1e-4);
+  EXPECT_NEAR(lr.coefficients()[2], 0.25, 1e-4);
+  EXPECT_NEAR(lr.intercept(), 4.0, 1e-4);
+}
+
+TEST(Linear, PredictMatchesModel) {
+  auto [x, y] = linear_data(100, 2);
+  LinearRegressor lr;
+  lr.fit(x, y);
+  const std::vector<float> probe = {1.0f, 1.0f, 1.0f};
+  EXPECT_NEAR(lr.predict_one(probe), 1.5 - 2.0 + 0.25 + 4.0, 1e-3);
+}
+
+TEST(Linear, HandlesNoise) {
+  auto [x, y] = linear_data(2000, 3, 0.5);
+  LinearRegressor lr;
+  lr.fit(x, y);
+  EXPECT_NEAR(lr.coefficients()[0], 1.5, 0.05);
+}
+
+TEST(Linear, GuardsMisuse) {
+  LinearRegressor lr;
+  EXPECT_FALSE(lr.fitted());
+  EXPECT_THROW(lr.predict_one(std::vector<float>{1.0f}), InvalidArgument);
+  nn::Matrix x(0, 2);
+  EXPECT_THROW(lr.fit(x, {}), InvalidArgument);
+  auto [x2, y2] = linear_data(10, 4);
+  y2.pop_back();
+  EXPECT_THROW(lr.fit(x2, y2), InvalidArgument);
+  lr.fit(x2, linear_data(10, 4).second);
+  EXPECT_THROW(lr.predict_one(std::vector<float>{1.0f}), InvalidArgument);
+}
+
+TEST(Linear, PredictBatch) {
+  auto [x, y] = linear_data(50, 5);
+  LinearRegressor lr;
+  lr.fit(x, y);
+  const auto pred = lr.predict(x);
+  EXPECT_EQ(pred.size(), 50u);
+  EXPECT_GT(stats::r2(y, pred), 0.999);
+}
+
+// ------------------------------- Tree -----------------------------------
+
+TEST(Tree, FitsStepFunctionExactly) {
+  nn::Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<float>(i) / 100.0f;
+    y[i] = x(i, 0) < 0.5f ? 1.0 : 5.0;
+  }
+  DecisionTreeRegressor tree({.max_depth = 3, .min_samples_leaf = 1, .min_samples_split = 2});
+  tree.fit(x, y);
+  EXPECT_NEAR(tree.predict_one(std::vector<float>{0.2f}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict_one(std::vector<float>{0.8f}), 5.0, 1e-9);
+}
+
+TEST(Tree, DepthLimitRespected) {
+  auto [x, y] = linear_data(300, 6);
+  DecisionTreeRegressor tree({.max_depth = 4, .min_samples_leaf = 1, .min_samples_split = 2});
+  tree.fit(x, y);
+  EXPECT_LE(tree.depth(), 5u);  // root at depth 1, 4 splits below
+  EXPECT_GT(tree.node_count(), 1u);
+}
+
+TEST(Tree, PureTargetsYieldSingleLeaf) {
+  nn::Matrix x(20, 2);
+  Rng rng(7);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  const std::vector<double> y(20, 3.5);
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_one(x.row(3)), 3.5);
+}
+
+TEST(Tree, ImprovesOverMeanPredictor) {
+  auto [x, y] = linear_data(500, 8, 0.1);
+  DecisionTreeRegressor tree({.max_depth = 8, .min_samples_leaf = 2, .min_samples_split = 4});
+  tree.fit(x, y);
+  EXPECT_GT(stats::r2(y, tree.predict(x)), 0.9);
+}
+
+TEST(Tree, MinSamplesLeafRespected) {
+  nn::Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<float>(i);
+    y[i] = static_cast<double>(i);
+  }
+  DecisionTreeRegressor coarse({.max_depth = 20, .min_samples_leaf = 5, .min_samples_split = 10});
+  coarse.fit(x, y);
+  // With min 5 samples per leaf on 10 points, at most one split is possible.
+  EXPECT_LE(coarse.node_count(), 3u);
+}
+
+TEST(Tree, DeterministicAcrossFits) {
+  auto [x, y] = linear_data(200, 9, 0.2);
+  DecisionTreeRegressor t1({}, 42), t2({}, 42);
+  t1.fit(x, y);
+  t2.fit(x, y);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(t1.predict_one(x.row(i)), t2.predict_one(x.row(i)));
+  }
+}
+
+TEST(Tree, FitRowsSubset) {
+  auto [x, y] = linear_data(100, 10);
+  DecisionTreeRegressor tree;
+  std::vector<std::size_t> rows = {0, 1, 2, 3, 4, 5, 6, 7};
+  tree.fit_rows(x, y, rows);
+  EXPECT_TRUE(tree.fitted());
+  EXPECT_THROW(tree.fit_rows(x, y, {}), InvalidArgument);
+}
+
+TEST(Tree, PredictBeforeFitThrows) {
+  DecisionTreeRegressor tree;
+  EXPECT_THROW(tree.predict_one(std::vector<float>{1.0f}), InvalidArgument);
+}
+
+TEST(Tree, ConfigValidation) {
+  EXPECT_THROW(DecisionTreeRegressor({.max_depth = 0, .min_samples_leaf = 1,
+                                      .min_samples_split = 2}),
+               InvalidArgument);
+  EXPECT_THROW(DecisionTreeRegressor({.max_depth = 2, .min_samples_leaf = 0,
+                                      .min_samples_split = 2}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpufreq::ml

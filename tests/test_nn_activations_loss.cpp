@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpufreq/nn/activations.hpp"
+#include "gpufreq/nn/loss.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+namespace {
+
+constexpr Activation kAll[] = {Activation::kLinear, Activation::kRelu, Activation::kElu,
+                               Activation::kLeakyRelu, Activation::kSelu, Activation::kSigmoid,
+                               Activation::kTanh, Activation::kSoftplus, Activation::kSoftsign};
+
+TEST(Activations, SeluUsesPaperConstants) {
+  // Equation 2: alpha = 1.67326324, scale = 1.05070098.
+  EXPECT_NEAR(kSeluAlpha, 1.67326324f, 1e-7f);
+  EXPECT_NEAR(kSeluScale, 1.05070098f, 1e-7f);
+  EXPECT_FLOAT_EQ(activate(Activation::kSelu, 2.0f), kSeluScale * 2.0f);
+  EXPECT_NEAR(activate(Activation::kSelu, -1.0f),
+              kSeluScale * kSeluAlpha * (std::exp(-1.0f) - 1.0f), 1e-6f);
+}
+
+TEST(Activations, SeluFixedPointNearZero) {
+  // SELU is continuous at 0 and selu(0) = 0.
+  EXPECT_NEAR(activate(Activation::kSelu, 0.0f), 0.0f, 1e-7f);
+  EXPECT_NEAR(activate(Activation::kSelu, 1e-6f), activate(Activation::kSelu, -1e-6f), 1e-5f);
+}
+
+TEST(Activations, KnownValues) {
+  EXPECT_FLOAT_EQ(activate(Activation::kRelu, -2.0f), 0.0f);
+  EXPECT_FLOAT_EQ(activate(Activation::kRelu, 2.0f), 2.0f);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 0.0f), 0.5f, 1e-7f);
+  EXPECT_NEAR(activate(Activation::kTanh, 0.0f), 0.0f, 1e-7f);
+  EXPECT_NEAR(activate(Activation::kSoftplus, 0.0f), std::log(2.0f), 1e-6f);
+  EXPECT_NEAR(activate(Activation::kSoftsign, 1.0f), 0.5f, 1e-7f);
+  EXPECT_NEAR(activate(Activation::kElu, -50.0f), -1.0f, 1e-4f);
+}
+
+TEST(Activations, SoftplusIsOverflowSafe) {
+  EXPECT_NEAR(activate(Activation::kSoftplus, 80.0f), 80.0f, 1e-3f);
+  EXPECT_NEAR(activate(Activation::kSoftplus, -80.0f), 0.0f, 1e-6f);
+}
+
+TEST(Activations, StringRoundTrip) {
+  for (Activation a : kAll) {
+    EXPECT_EQ(activation_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW(activation_from_string("swish"), InvalidArgument);
+}
+
+TEST(Activations, VectorizedMatchesScalar) {
+  const std::vector<float> z = {-2.0f, -0.5f, 0.0f, 0.5f, 2.0f};
+  std::vector<float> out(z.size());
+  for (Activation a : kAll) {
+    activate(a, z, out);
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      EXPECT_FLOAT_EQ(out[i], activate(a, z[i])) << to_string(a);
+    }
+  }
+}
+
+TEST(Activations, SizeMismatchThrows) {
+  const std::vector<float> z = {1.0f};
+  std::vector<float> out(2);
+  EXPECT_THROW(activate(Activation::kRelu, z, out), InvalidArgument);
+}
+
+TEST(Activations, LecunStddev) {
+  EXPECT_FLOAT_EQ(lecun_normal_stddev(4), 0.5f);
+  EXPECT_THROW(lecun_normal_stddev(0), InvalidArgument);
+}
+
+class ActivationDerivative : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationDerivative, MatchesFiniteDifference) {
+  const Activation a = GetParam();
+  const float h = 1e-3f;
+  for (float x : {-1.7f, -0.6f, 0.3f, 1.2f, 2.5f}) {
+    const float fd = (activate(a, x + h) - activate(a, x - h)) / (2.0f * h);
+    EXPECT_NEAR(activate_derivative(a, x), fd, 5e-3f)
+        << to_string(a) << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ActivationDerivative, ::testing::ValuesIn(kAll),
+                         [](const auto& info) { return to_string(info.param); });
+
+// ------------------------------- Loss -----------------------------------
+
+Matrix col(std::initializer_list<float> vals) {
+  Matrix m(vals.size(), 1);
+  std::size_t i = 0;
+  for (float v : vals) m(i++, 0) = v;
+  return m;
+}
+
+TEST(Loss, MseValue) {
+  const Matrix p = col({1.0f, 2.0f});
+  const Matrix t = col({0.0f, 4.0f});
+  EXPECT_NEAR(compute_loss(Loss::kMse, p, t), (1.0 + 4.0) / 2.0, 1e-6);
+}
+
+TEST(Loss, MaeValue) {
+  const Matrix p = col({1.0f, 2.0f});
+  const Matrix t = col({0.0f, 4.0f});
+  EXPECT_NEAR(compute_loss(Loss::kMae, p, t), 1.5, 1e-6);
+}
+
+TEST(Loss, HuberBlendsQuadraticAndLinear) {
+  const Matrix p = col({0.5f, 3.0f});
+  const Matrix t = col({0.0f, 0.0f});
+  // |0.5| <= 1 -> 0.5*0.25; |3| > 1 -> 1*(3-0.5)
+  EXPECT_NEAR(compute_loss(Loss::kHuber, p, t), (0.125 + 2.5) / 2.0, 1e-6);
+}
+
+TEST(Loss, ZeroAtPerfectPrediction) {
+  const Matrix p = col({1.0f, -2.0f, 3.0f});
+  for (Loss l : {Loss::kMse, Loss::kMae, Loss::kHuber}) {
+    EXPECT_DOUBLE_EQ(compute_loss(l, p, p), 0.0);
+  }
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  const Matrix p = col({1.0f});
+  const Matrix t = col({1.0f, 2.0f});
+  Matrix g;
+  EXPECT_THROW(compute_loss(Loss::kMse, p, t), InvalidArgument);
+  EXPECT_THROW(loss_gradient(Loss::kMse, p, t, g), InvalidArgument);
+}
+
+TEST(Loss, GradientMatchesFiniteDifferenceMse) {
+  Matrix p = col({0.7f, -0.3f, 1.1f});
+  const Matrix t = col({1.0f, 0.0f, -1.0f});
+  Matrix g;
+  loss_gradient(Loss::kMse, p, t, g);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    Matrix pp = p, pm = p;
+    pp(i, 0) += h;
+    pm(i, 0) -= h;
+    // compute_loss averages over all elements; the layer backward divides
+    // by rows, so compare against d(mean loss)/dp * rows.
+    const double fd =
+        (compute_loss(Loss::kMse, pp, t) - compute_loss(Loss::kMse, pm, t)) / (2.0 * h);
+    EXPECT_NEAR(g(i, 0), fd * static_cast<double>(p.rows()), 5e-3);
+  }
+}
+
+TEST(Loss, ToStringNames) {
+  EXPECT_STREQ(to_string(Loss::kMse), "mse");
+  EXPECT_STREQ(to_string(Loss::kMae), "mae");
+  EXPECT_STREQ(to_string(Loss::kHuber), "huber");
+}
+
+}  // namespace
+}  // namespace gpufreq::nn

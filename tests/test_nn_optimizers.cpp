@@ -1,0 +1,130 @@
+#include "gpufreq/nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+namespace {
+
+// Minimize f(p) = 0.5 * sum_i a_i * (p_i - t_i)^2 with exact gradients and
+// return the final distance to the optimum.
+double run_quadratic(Optimizer& opt, int steps) {
+  const std::vector<float> a = {1.0f, 4.0f, 0.5f};
+  const std::vector<float> target = {2.0f, -1.0f, 0.5f};
+  std::vector<float> p = {0.0f, 0.0f, 0.0f};
+  const std::size_t slot = opt.register_slot(p.size());
+  std::vector<float> g(p.size());
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < p.size(); ++i) g[i] = a[i] * (p[i] - target[i]);
+    opt.update(slot, p, g);
+    opt.tick();
+  }
+  double dist = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    dist += (p[i] - target[i]) * (p[i] - target[i]);
+  }
+  return std::sqrt(dist);
+}
+
+TEST(Optimizer, FactoryKnowsAllPaperOptimizers) {
+  for (const char* name : {"sgd", "rmsprop", "adam", "adamax", "nadam", "adadelta"}) {
+    const auto opt = make_optimizer(name);
+    EXPECT_STREQ(opt->name(), name);
+  }
+  EXPECT_THROW(make_optimizer("lion"), InvalidArgument);
+}
+
+TEST(Optimizer, FactoryHonorsLearningRate) {
+  const auto opt = make_optimizer("sgd", 0.5);
+  EXPECT_DOUBLE_EQ(opt->learning_rate(), 0.5);
+  const auto dflt = make_optimizer("rmsprop");
+  EXPECT_DOUBLE_EQ(dflt->learning_rate(), 1e-3);
+}
+
+TEST(Optimizer, UnregisteredSlotThrows) {
+  Sgd opt(0.1);
+  std::vector<float> p(3), g(3);
+  EXPECT_THROW(opt.update(0, p, g), InvalidArgument);
+}
+
+TEST(Optimizer, SizeMismatchThrows) {
+  Sgd opt(0.1);
+  const std::size_t slot = opt.register_slot(3);
+  std::vector<float> p(3), g(2);
+  EXPECT_THROW(opt.update(slot, p, g), InvalidArgument);
+}
+
+TEST(Optimizer, SgdSingleStepIsExact) {
+  Sgd opt(0.1);
+  const std::size_t slot = opt.register_slot(1);
+  std::vector<float> p = {1.0f};
+  std::vector<float> g = {2.0f};
+  opt.update(slot, p, g);
+  EXPECT_FLOAT_EQ(p[0], 0.8f);
+}
+
+TEST(Optimizer, SgdMomentumAccumulates) {
+  Sgd opt(0.1, 0.9);
+  const std::size_t slot = opt.register_slot(1);
+  std::vector<float> p = {0.0f};
+  const std::vector<float> g = {1.0f};
+  opt.update(slot, p, g);  // v = -0.1, p = -0.1
+  EXPECT_FLOAT_EQ(p[0], -0.1f);
+  opt.update(slot, p, g);  // v = -0.19, p = -0.29
+  EXPECT_NEAR(p[0], -0.29f, 1e-6f);
+}
+
+TEST(Optimizer, RmspropNormalizesStepScale) {
+  // With one constant gradient, the step approaches lr / sqrt(1) regardless
+  // of gradient magnitude -> both parameters should move comparably.
+  RmsProp opt(0.01);
+  const std::size_t slot = opt.register_slot(2);
+  std::vector<float> p = {0.0f, 0.0f};
+  const std::vector<float> g = {100.0f, 0.01f};
+  for (int i = 0; i < 50; ++i) opt.update(slot, p, g);
+  EXPECT_LT(p[0], 0.0f);
+  EXPECT_LT(p[1], 0.0f);
+  EXPECT_NEAR(p[0] / p[1], 1.0, 0.35);
+}
+
+TEST(Optimizer, IndependentSlotsKeepIndependentState) {
+  RmsProp opt(0.01);
+  const std::size_t s1 = opt.register_slot(1);
+  const std::size_t s2 = opt.register_slot(1);
+  std::vector<float> p1 = {0.0f}, p2 = {0.0f};
+  const std::vector<float> big = {10.0f}, small = {0.1f};
+  opt.update(s1, p1, big);
+  opt.update(s2, p2, small);
+  // If state leaked between slots, the second update would be scaled by the
+  // first one's accumulator.
+  EXPECT_NEAR(p1[0], p2[0], 1e-4f);
+}
+
+class OptimizerConvergence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptimizerConvergence, ReachesQuadraticOptimum) {
+  const auto opt = make_optimizer(GetParam());
+  const double dist = run_quadratic(*opt, 8000);
+  EXPECT_LT(dist, 0.1) << GetParam();
+}
+
+TEST_P(OptimizerConvergence, MonotoneTrendOnConvexProblem) {
+  const auto opt = make_optimizer(GetParam());
+  const double early = run_quadratic(*opt, 50);
+  const auto opt2 = make_optimizer(GetParam());
+  const double late = run_quadratic(*opt2, 2000);
+  EXPECT_LT(late, early + 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(All, OptimizerConvergence,
+                         ::testing::Values("sgd", "rmsprop", "adam", "adamax", "nadam",
+                                           "adadelta"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace gpufreq::nn

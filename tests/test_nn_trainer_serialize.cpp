@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "gpufreq/nn/scaler.hpp"
+#include "gpufreq/nn/serialize.hpp"
+#include "gpufreq/nn/trainer.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/rng.hpp"
+
+namespace gpufreq::nn {
+namespace {
+
+std::pair<Matrix, Matrix> synth_regression(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, 2), y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x(i, 1) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    y(i, 0) = 2.0f * x(i, 0) - x(i, 1) + 0.3f * x(i, 0) * x(i, 1);
+  }
+  return {x, y};
+}
+
+// ------------------------------ Scaler ----------------------------------
+
+TEST(Scaler, StandardizesColumns) {
+  auto [x, y] = synth_regression(500, 1);
+  (void)y;
+  for (std::size_t i = 0; i < x.rows(); ++i) x(i, 1) = x(i, 1) * 100.0f + 40.0f;
+  StandardScaler s;
+  s.fit(x);
+  const Matrix z = s.transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < z.rows(); ++i) mean += z(i, c);
+    mean /= static_cast<double>(z.rows());
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+      var += (z(i, c) - mean) * (z(i, c) - mean);
+    }
+    var /= static_cast<double>(z.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(Scaler, InverseTransformRoundTrips) {
+  auto [x, y] = synth_regression(64, 2);
+  (void)y;
+  StandardScaler s;
+  s.fit(x);
+  const Matrix back = s.inverse_transform(s.transform(x));
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(back(i, 0), x(i, 0), 1e-4f);
+    EXPECT_NEAR(back(i, 1), x(i, 1), 1e-4f);
+  }
+}
+
+TEST(Scaler, ConstantColumnGetsUnitScale) {
+  Matrix x(4, 1, 3.0f);
+  StandardScaler s;
+  s.fit(x);
+  const Matrix z = s.transform(x);
+  EXPECT_FLOAT_EQ(z(0, 0), 0.0f);
+  EXPECT_DOUBLE_EQ(s.stddevs()[0], 1.0);
+}
+
+TEST(Scaler, GuardsAgainstMisuse) {
+  StandardScaler s;
+  EXPECT_THROW(s.transform(Matrix(1, 1)), InvalidArgument);
+  EXPECT_THROW(s.fit(Matrix(0, 3)), InvalidArgument);
+  s.fit(Matrix(2, 2, 1.0f));
+  EXPECT_THROW(s.transform(Matrix(1, 3)), InvalidArgument);
+  EXPECT_THROW(s.restore({1.0}, {0.0}), InvalidArgument);
+  EXPECT_THROW(s.restore({}, {}), InvalidArgument);
+}
+
+// ------------------------------ Trainer ---------------------------------
+
+TEST(Trainer, ConfigValidation) {
+  TrainConfig c;
+  c.epochs = 0;
+  EXPECT_THROW(Trainer{c}, InvalidArgument);
+  c = TrainConfig{};
+  c.batch_size = 0;
+  EXPECT_THROW(Trainer{c}, InvalidArgument);
+  c = TrainConfig{};
+  c.validation_split = 1.0;
+  EXPECT_THROW(Trainer{c}, InvalidArgument);
+}
+
+TEST(Trainer, HistoryHasOneEntryPerEpoch) {
+  auto [x, y] = synth_regression(200, 3);
+  Network net(2, {{16, Activation::kSelu}, {1, Activation::kLinear}}, 5);
+  TrainConfig c;
+  c.epochs = 12;
+  c.batch_size = 32;
+  const TrainHistory h = Trainer(c).fit(net, x, y);
+  EXPECT_EQ(h.train_loss.size(), 12u);
+  EXPECT_EQ(h.val_loss.size(), 12u);
+  EXPECT_EQ(h.epochs_run, 12u);
+  EXPECT_GT(h.wall_seconds, 0.0);
+}
+
+TEST(Trainer, LossDecreasesSubstantially) {
+  auto [x, y] = synth_regression(600, 4);
+  Network net(2, {{24, Activation::kSelu}, {24, Activation::kSelu}, {1, Activation::kLinear}},
+              5);
+  TrainConfig c;
+  c.epochs = 40;
+  const TrainHistory h = Trainer(c).fit(net, x, y);
+  EXPECT_LT(h.final_train_loss(), 0.15 * h.train_loss.front());
+  EXPECT_LT(h.final_val_loss(), 0.3 * h.val_loss.front());
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  auto [x, y] = synth_regression(200, 5);
+  Network a(2, {{8, Activation::kSelu}, {1, Activation::kLinear}}, 5);
+  Network b(2, {{8, Activation::kSelu}, {1, Activation::kLinear}}, 5);
+  TrainConfig c;
+  c.epochs = 5;
+  const TrainHistory ha = Trainer(c).fit(a, x, y);
+  const TrainHistory hb = Trainer(c).fit(b, x, y);
+  ASSERT_EQ(ha.train_loss.size(), hb.train_loss.size());
+  for (std::size_t i = 0; i < ha.train_loss.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ha.train_loss[i], hb.train_loss[i]);
+  }
+}
+
+TEST(Trainer, EarlyStoppingStopsBeforeEpochBudget) {
+  auto [x, y] = synth_regression(100, 6);
+  Network net(2, {{4, Activation::kTanh}, {1, Activation::kLinear}}, 5);
+  TrainConfig c;
+  c.epochs = 500;
+  c.early_stop_patience = 3;
+  const TrainHistory h = Trainer(c).fit(net, x, y);
+  EXPECT_LT(h.epochs_run, 500u);
+}
+
+TEST(Trainer, ZeroValidationSplitUsesTrainLoss) {
+  auto [x, y] = synth_regression(64, 7);
+  Network net(2, {{4, Activation::kTanh}, {1, Activation::kLinear}}, 5);
+  TrainConfig c;
+  c.epochs = 3;
+  c.validation_split = 0.0;
+  const TrainHistory h = Trainer(c).fit(net, x, y);
+  EXPECT_EQ(h.val_loss.size(), 3u);
+}
+
+TEST(Trainer, RejectsShapeMismatches) {
+  Network net(2, {{4, Activation::kTanh}, {1, Activation::kLinear}}, 5);
+  const Trainer t;
+  Matrix x(10, 3), y(10, 1);
+  EXPECT_THROW(t.fit(net, x, y), InvalidArgument);
+  Matrix x2(10, 2), y2(9, 1);
+  EXPECT_THROW(t.fit(net, x2, y2), InvalidArgument);
+}
+
+// ----------------------------- Serialize --------------------------------
+
+ModelBundle make_bundle() {
+  auto [x, y] = synth_regression(128, 8);
+  ModelBundle b;
+  b.network = Network(2, {{8, Activation::kSelu}, {1, Activation::kLinear}}, 5);
+  b.input_scaler.fit(x);
+  b.target_scaler.fit(y);
+  TrainConfig c;
+  c.epochs = 5;
+  Trainer(c).fit(b.network, b.input_scaler.transform(x), y);
+  return b;
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  const ModelBundle b = make_bundle();
+  std::stringstream ss;
+  save_model(b, ss);
+  const ModelBundle back = load_model(ss);
+
+  auto [x, y] = synth_regression(16, 9);
+  (void)y;
+  const Matrix p1 = b.network.predict(b.input_scaler.transform(x));
+  const Matrix p2 = back.network.predict(back.input_scaler.transform(x));
+  for (std::size_t i = 0; i < p1.rows(); ++i) EXPECT_FLOAT_EQ(p1(i, 0), p2(i, 0));
+  EXPECT_EQ(back.target_scaler.means(), b.target_scaler.means());
+}
+
+TEST(Serialize, RoundTripThroughFile) {
+  const ModelBundle b = make_bundle();
+  const std::string path = ::testing::TempDir() + "/gpufreq_model_test.bin";
+  save_model(b, path);
+  const ModelBundle back = load_model(path);
+  EXPECT_EQ(back.network.parameter_count(), b.network.parameter_count());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("this is not a model");
+  EXPECT_THROW(load_model(ss), ParseError);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  const ModelBundle b = make_bundle();
+  std::stringstream ss;
+  save_model(b, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_model(cut), ParseError);
+}
+
+TEST(Serialize, MissingFileThrowsIoError) {
+  EXPECT_THROW(load_model("/nonexistent/model.bin"), IoError);
+}
+
+}  // namespace
+}  // namespace gpufreq::nn

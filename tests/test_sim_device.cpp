@@ -1,0 +1,180 @@
+#include "gpufreq/sim/gpu_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <limits>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::sim {
+namespace {
+
+TEST(GpuDevice, StartsAtDefaultClock) {
+  GpuDevice gpu(GpuSpec::ga100());
+  EXPECT_DOUBLE_EQ(gpu.app_clock_mhz(), 1410.0);
+}
+
+TEST(GpuDevice, SetClockSnapsToGrid) {
+  GpuDevice gpu(GpuSpec::ga100());
+  EXPECT_DOUBLE_EQ(gpu.set_app_clock(1001.0), 1005.0);
+  EXPECT_DOUBLE_EQ(gpu.app_clock_mhz(), 1005.0);
+}
+
+TEST(GpuDevice, SetClockRejectsOutOfRange) {
+  GpuDevice gpu(GpuSpec::ga100());
+  EXPECT_THROW(gpu.set_app_clock(100.0), InvalidArgument);
+  EXPECT_THROW(gpu.set_app_clock(1500.0), InvalidArgument);
+  EXPECT_DOUBLE_EQ(gpu.app_clock_mhz(), 1410.0);  // unchanged after rejection
+}
+
+TEST(GpuDevice, ResetRestoresDefault) {
+  GpuDevice gpu(GpuSpec::ga100());
+  gpu.set_app_clock(600.0);
+  gpu.reset_clocks();
+  EXPECT_DOUBLE_EQ(gpu.app_clock_mhz(), 1410.0);
+}
+
+TEST(GpuDevice, RunIsDeterministic) {
+  GpuDevice a(GpuSpec::ga100(), 99);
+  GpuDevice b(GpuSpec::ga100(), 99);
+  const auto& wl = workloads::find("fft");
+  const RunResult ra = a.run_at(wl, 900.0);
+  const RunResult rb = b.run_at(wl, 900.0);
+  EXPECT_DOUBLE_EQ(ra.exec_time_s, rb.exec_time_s);
+  EXPECT_DOUBLE_EQ(ra.avg_power_w, rb.avg_power_w);
+  ASSERT_EQ(ra.samples.size(), rb.samples.size());
+  EXPECT_DOUBLE_EQ(ra.samples[0].counters.power_usage, rb.samples[0].counters.power_usage);
+}
+
+TEST(GpuDevice, DifferentRunIndexGivesDifferentNoise) {
+  GpuDevice gpu(GpuSpec::ga100());
+  const auto& wl = workloads::find("fft");
+  RunOptions o1, o2;
+  o1.run_index = 0;
+  o2.run_index = 1;
+  gpu.set_app_clock(900.0);
+  const RunResult r1 = gpu.run(wl, o1);
+  const RunResult r2 = gpu.run(wl, o2);
+  EXPECT_NE(r1.exec_time_s, r2.exec_time_s);
+  // ... but only by measurement-noise magnitudes.
+  EXPECT_NEAR(r1.exec_time_s / r2.exec_time_s, 1.0, 0.1);
+}
+
+TEST(GpuDevice, DifferentSeedsGiveDifferentDevices) {
+  GpuDevice a(GpuSpec::ga100(), 1);
+  GpuDevice b(GpuSpec::ga100(), 2);
+  const auto& wl = workloads::find("stream");
+  EXPECT_NE(a.run_at(wl, 1410.0).exec_time_s, b.run_at(wl, 1410.0).exec_time_s);
+}
+
+TEST(GpuDevice, NoiselessModeMatchesGroundTruth) {
+  GpuDevice gpu(GpuSpec::ga100(), 1, NoiseModel::none());
+  const auto& wl = workloads::find("dgemm");
+  const RunResult r = gpu.run_at(wl, 1410.0);
+  const ExecutionBreakdown eb = simulate_execution(gpu.spec(), wl, 1410.0);
+  EXPECT_DOUBLE_EQ(r.exec_time_s, eb.total_s);
+  const CounterSet truth = derive_counters(gpu.spec(), wl, 1410.0, eb);
+  EXPECT_NEAR(r.mean_counters.power_usage, truth.power_usage, 1e-9);
+  EXPECT_NEAR(r.mean_counters.fp64_active, truth.fp64_active, 1e-9);
+}
+
+TEST(GpuDevice, EnergyIsPowerTimesTime) {
+  GpuDevice gpu(GpuSpec::ga100());
+  const RunResult r = gpu.run_at(workloads::find("lammps"), 1005.0);
+  EXPECT_NEAR(r.energy_j, r.avg_power_w * r.exec_time_s, 1e-9);
+}
+
+TEST(GpuDevice, SampleCountRespectsInterval) {
+  GpuDevice gpu(GpuSpec::ga100());
+  const auto& wl = workloads::find("stream");  // ~10 s at f_max
+  RunOptions opts;
+  opts.sample_interval_s = 0.02;
+  opts.max_samples = 1000000;  // no decimation
+  const RunResult r = gpu.run_at(wl, 1410.0, opts);
+  const auto expected = static_cast<std::size_t>(std::ceil(r.exec_time_s / 0.02));
+  EXPECT_EQ(r.samples.size(), expected);
+}
+
+TEST(GpuDevice, MaxSamplesDecimates) {
+  GpuDevice gpu(GpuSpec::ga100());
+  RunOptions opts;
+  opts.max_samples = 5;
+  const RunResult r = gpu.run_at(workloads::find("stream"), 1410.0, opts);
+  EXPECT_EQ(r.samples.size(), 5u);
+}
+
+TEST(GpuDevice, CollectSamplesOffKeepsAggregates) {
+  GpuDevice gpu(GpuSpec::ga100());
+  RunOptions opts;
+  opts.collect_samples = false;
+  const RunResult r = gpu.run_at(workloads::find("stream"), 1410.0, opts);
+  EXPECT_TRUE(r.samples.empty());
+  EXPECT_GT(r.avg_power_w, 0.0);
+  EXPECT_GT(r.mean_counters.dram_active, 0.0);
+}
+
+TEST(GpuDevice, SampleTimestampsAscendWithinRun) {
+  GpuDevice gpu(GpuSpec::ga100());
+  RunOptions opts;
+  opts.max_samples = 16;
+  const RunResult r = gpu.run_at(workloads::find("fft"), 1200.0, opts);
+  for (std::size_t i = 1; i < r.samples.size(); ++i) {
+    EXPECT_GT(r.samples[i].timestamp_s, r.samples[i - 1].timestamp_s);
+  }
+  EXPECT_LT(r.samples.back().timestamp_s, r.exec_time_s);
+}
+
+TEST(GpuDevice, MeanPowerConsistentWithSamples) {
+  GpuDevice gpu(GpuSpec::ga100());
+  RunOptions opts;
+  opts.max_samples = 32;
+  const RunResult r = gpu.run_at(workloads::find("bert"), 1200.0, opts);
+  double sum = 0.0;
+  for (const auto& s : r.samples) sum += s.counters.power_usage;
+  EXPECT_NEAR(r.avg_power_w, sum / r.samples.size(), 1e-9);
+}
+
+TEST(GpuDevice, RejectsInvalidRunOptions) {
+  GpuDevice gpu(GpuSpec::ga100());
+  RunOptions opts;
+  opts.input_scale = 0.0;
+  EXPECT_THROW(gpu.run(workloads::find("dgemm"), opts), InvalidArgument);
+  opts = RunOptions{};
+  opts.sample_interval_s = 0.0;
+  EXPECT_THROW(gpu.run(workloads::find("dgemm"), opts), InvalidArgument);
+}
+
+TEST(NoiseModel, NoneDisablesEverything) {
+  const NoiseModel none = NoiseModel::none();
+  EXPECT_FALSE(none.enabled);
+  Rng rng(1);
+  const auto j = none.sample_run_jitter(rng);
+  EXPECT_DOUBLE_EQ(j.time_factor, 1.0);
+  EXPECT_DOUBLE_EQ(j.power_factor, 1.0);
+}
+
+TEST(NoiseModel, PerturbationKeepsFractionsInRange) {
+  NoiseModel noise;
+  noise.counter_sigma = 0.5;  // exaggerated noise
+  Rng rng(3);
+  const auto jitter = noise.sample_run_jitter(rng);
+  CounterSet truth;
+  truth.fp64_active = 0.95;
+  truth.dram_active = 0.9;
+  truth.sm_active = 0.99;
+  truth.power_usage = 400.0;
+  for (int i = 0; i < 200; ++i) {
+    const CounterSet c = noise.perturb_sample(truth, jitter, i / 200.0, rng);
+    EXPECT_GE(c.fp64_active, 0.0);
+    EXPECT_LE(c.fp64_active, 1.0);
+    EXPECT_GE(c.dram_active, 0.0);
+    EXPECT_LE(c.dram_active, 1.0);
+    EXPECT_GT(c.power_usage, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gpufreq::sim

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <limits>
+
+#include "gpufreq/sim/counters.hpp"
+#include "gpufreq/sim/curves.hpp"
+#include "gpufreq/sim/exec_model.hpp"
+#include "gpufreq/sim/power_model.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::sim {
+namespace {
+
+const GpuSpec kGa100 = GpuSpec::ga100();
+
+CounterSet counters_at(const workloads::WorkloadDescriptor& wl, double f,
+                       double scale = 1.0) {
+  const ExecutionBreakdown eb = simulate_execution(kGa100, wl, f, scale);
+  return derive_counters(kGa100, wl, f, eb);
+}
+
+TEST(ExecModel, RejectsBadArguments) {
+  const auto& dgemm = workloads::find("dgemm");
+  EXPECT_THROW(simulate_execution(kGa100, dgemm, 1410.0, 0.0), InvalidArgument);
+  EXPECT_THROW(simulate_execution(kGa100, dgemm, 100.0, 1.0), InvalidArgument);
+  EXPECT_THROW(simulate_execution(kGa100, dgemm, 1500.0, 1.0), InvalidArgument);
+}
+
+TEST(ExecModel, ComputeBoundScalesInverselyWithClock) {
+  const auto& dgemm = workloads::find("dgemm");
+  const double t_max = simulate_execution(kGa100, dgemm, 1410.0).total_s;
+  const double t_705 = simulate_execution(kGa100, dgemm, 705.0).total_s;
+  // DGEMM is compute-dominated: halving the clock ~doubles the time.
+  EXPECT_NEAR(t_705 / t_max, 2.0, 0.12);
+}
+
+TEST(ExecModel, MemoryBoundFlattensAboveKnee) {
+  const auto& stream = workloads::find("stream");
+  const double t_max = simulate_execution(kGa100, stream, 1410.0).total_s;
+  const double t_1200 = simulate_execution(kGa100, stream, 1200.0).total_s;
+  const double t_600 = simulate_execution(kGa100, stream, 600.0).total_s;
+  // Above the ~900 MHz knee STREAM barely slows down...
+  EXPECT_LT(t_1200 / t_max, 1.06);
+  // ...but below it the slowdown is pronounced (Figure 1(f)).
+  EXPECT_GT(t_600 / t_max, 1.3);
+}
+
+TEST(ExecModel, SerialTimeIsClockIndependent) {
+  const auto& gromacs = workloads::find("gromacs");
+  const auto lo = simulate_execution(kGa100, gromacs, 510.0);
+  const auto hi = simulate_execution(kGa100, gromacs, 1410.0);
+  EXPECT_DOUBLE_EQ(lo.serial_s, hi.serial_s);
+  EXPECT_GT(lo.gpu_s, hi.gpu_s);
+}
+
+TEST(ExecModel, BreakdownComposition) {
+  const auto& fft = workloads::find("fft");
+  const auto eb = simulate_execution(kGa100, fft, 1410.0);
+  EXPECT_DOUBLE_EQ(eb.total_s, eb.gpu_s + eb.serial_s);
+  // Smooth-max lies between the max and the sum of its components.
+  const double hard_max = std::max({eb.compute_s, eb.memory_s, eb.latency_s});
+  EXPECT_GE(eb.gpu_s, hard_max);
+  EXPECT_LE(eb.gpu_s, eb.compute_s + eb.memory_s + eb.latency_s);
+}
+
+TEST(ExecModel, AchievedFlopsLinearForCompute) {
+  // Figure 1(d): FLOPS of DGEMM is a direct linear function of frequency.
+  const auto& dgemm = workloads::find("dgemm");
+  const double g_max = simulate_execution(kGa100, dgemm, 1410.0).achieved_gflops();
+  const double g_705 = simulate_execution(kGa100, dgemm, 705.0).achieved_gflops();
+  EXPECT_NEAR(g_705 / g_max, 0.5, 0.06);
+}
+
+TEST(ExecModel, InputScaleGrowsWork) {
+  const auto& stream = workloads::find("stream");
+  const auto small = simulate_execution(kGa100, stream, 1410.0, 0.5);
+  const auto large = simulate_execution(kGa100, stream, 1410.0, 2.0);
+  EXPECT_NEAR(large.gbytes / small.gbytes, 4.0, 1e-9);
+  EXPECT_GT(large.total_s, small.total_s);
+}
+
+TEST(Counters, MetricNamesHasTwelveEntries) {
+  EXPECT_EQ(CounterSet::metric_names().size(), 12u);
+}
+
+TEST(Counters, ValueLookupMatchesFields) {
+  const auto c = counters_at(workloads::find("dgemm"), 1410.0);
+  EXPECT_DOUBLE_EQ(c.value("power_usage"), c.power_usage);
+  EXPECT_DOUBLE_EQ(c.value("sm_app_clock"), 1410.0);
+  EXPECT_DOUBLE_EQ(c.value("fp_active"), c.fp64_active + c.fp32_active);
+  EXPECT_THROW(c.value("bogus"), InvalidArgument);
+}
+
+TEST(Counters, DgemmLooksComputeBound) {
+  const auto c = counters_at(workloads::find("dgemm"), 1410.0);
+  EXPECT_GT(c.fp64_active, 0.7);
+  EXPECT_LT(c.fp32_active, 0.05);
+  EXPECT_LT(c.dram_active, 0.35);
+  EXPECT_GT(c.sm_active, 0.9);
+}
+
+TEST(Counters, StreamLooksMemoryBound) {
+  const auto c = counters_at(workloads::find("stream"), 1410.0);
+  EXPECT_GT(c.dram_active, 0.8);
+  EXPECT_LT(c.fp_active(), 0.15);
+}
+
+TEST(Power, DgemmNearTdpStreamNearHalf) {
+  // §2: at max frequency a compute-intensive workload uses ~100% of TDP,
+  // a memory-intensive one ~50%.
+  const auto dgemm = counters_at(workloads::find("dgemm"), 1410.0);
+  const auto stream = counters_at(workloads::find("stream"), 1410.0);
+  EXPECT_GT(dgemm.power_usage, 0.9 * kGa100.tdp_w);
+  EXPECT_NEAR(stream.power_usage / kGa100.tdp_w, 0.5, 0.1);
+}
+
+TEST(Power, LowClockPowerRoughlyFifthOfTdp) {
+  // §2: at the lowest (used) frequency, power drops to ~1/5 of TDP.
+  const auto dgemm = counters_at(workloads::find("dgemm"), 510.0);
+  EXPECT_LT(dgemm.power_usage, 0.33 * kGa100.tdp_w);
+  EXPECT_GT(dgemm.power_usage, 0.12 * kGa100.tdp_w);
+}
+
+TEST(Power, NeverBelowStaticNorAboveCap) {
+  for (const auto& wl : workloads::all()) {
+    for (double f : {510.0, 900.0, 1410.0}) {
+      const auto c = counters_at(wl, f);
+      EXPECT_GT(c.power_usage, kGa100.static_power_w) << wl.name;
+      EXPECT_LE(c.power_usage, kGa100.tdp_w * 1.02 + 1e-9) << wl.name;
+    }
+  }
+}
+
+TEST(Power, SmUtilizationBlendBounded) {
+  const auto c = counters_at(workloads::find("dgemm"), 1410.0);
+  const double u = sm_power_utilization(kGa100, c);
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+// ---- Property sweeps over all workloads -------------------------------
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  const workloads::WorkloadDescriptor& wl() const { return workloads::find(GetParam()); }
+};
+
+TEST_P(WorkloadSweep, CountersInPhysicalRanges) {
+  for (double f : {510.0, 810.0, 1110.0, 1410.0}) {
+    const auto c = counters_at(wl(), f);
+    for (const char* m : {"fp64_active", "fp32_active", "dram_active", "gr_engine_active",
+                          "gpu_utilization", "sm_active", "sm_occupancy"}) {
+      EXPECT_GE(c.value(m), 0.0) << m << " @" << f;
+      EXPECT_LE(c.value(m), 1.0) << m << " @" << f;
+    }
+    EXPECT_GT(c.exec_time, 0.0);
+    EXPECT_GT(c.power_usage, 0.0);
+  }
+}
+
+TEST_P(WorkloadSweep, TimeMonotoneNonIncreasingInClock) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (double f : kGa100.used_frequencies()) {
+    const double t = simulate_execution(kGa100, wl(), f).total_s;
+    EXPECT_LE(t, prev * (1.0 + 1e-9)) << "at " << f;
+    prev = t;
+  }
+}
+
+TEST_P(WorkloadSweep, PowerMonotoneNonDecreasingInClock) {
+  double prev = 0.0;
+  for (double f : kGa100.used_frequencies()) {
+    const auto c = counters_at(wl(), f);
+    EXPECT_GE(c.power_usage, prev * (1.0 - 5e-3)) << "at " << f;
+    prev = c.power_usage;
+  }
+}
+
+TEST_P(WorkloadSweep, FpActiveDriftBoundedByClockRatio) {
+  // DCGM pipe-activity counters are fractions of (frequency-scaled) peak,
+  // so for memory-bound kernels fp_active can rise at most by the clock
+  // ratio when downclocking; it can never exceed that bound or collapse.
+  const double at_max = counters_at(wl(), 1410.0).fp_active();
+  for (double f : {510.0, 810.0, 1110.0}) {
+    const double v = counters_at(wl(), f).fp_active();
+    EXPECT_LE(v, at_max * (1410.0 / f) * 1.05 + 1e-9) << "at " << f;
+    EXPECT_GE(v, 0.75 * at_max - 1e-9) << "at " << f;
+  }
+}
+
+TEST(FpActive, InvariantAcrossDvfsForPaperMicrobenchmarks) {
+  // §4.2.2 / Figure 4 checks invariance on DGEMM and STREAM specifically:
+  // DGEMM is compute-bound (invariant by construction) and STREAM's fp
+  // activity is tiny, so it is invariant in absolute terms.
+  for (const char* name : {"dgemm", "stream"}) {
+    const auto& w = workloads::find(name);
+    const double at_max =
+        derive_counters(kGa100, w, 1410.0, simulate_execution(kGa100, w, 1410.0)).fp_active();
+    for (double f : {510.0, 810.0, 1110.0}) {
+      const double v =
+          derive_counters(kGa100, w, f, simulate_execution(kGa100, w, f)).fp_active();
+      EXPECT_NEAR(v, at_max, std::max(0.06, 0.12 * at_max)) << name << " at " << f;
+    }
+  }
+}
+
+TEST_P(WorkloadSweep, FpActiveInvariantAcrossInputSize) {
+  // §4.2.3 / Figure 5 (micro-benchmarks use their own scaling laws).
+  const double at_one = counters_at(wl(), 1410.0, 1.0).fp_active();
+  for (double scale : {0.75, 1.5}) {
+    const double v = counters_at(wl(), 1410.0, scale).fp_active();
+    EXPECT_NEAR(v, at_one, std::max(0.1, 0.3 * at_one)) << "scale " << scale;
+  }
+}
+
+TEST_P(WorkloadSweep, EnergyOptimumIsInterior) {
+  // §2: "there is no universally optimal DVFS configuration" — but for
+  // every workload the energy-optimal frequency is below the maximum.
+  std::vector<double> energy;
+  const auto freqs = kGa100.used_frequencies();
+  for (double f : freqs) {
+    const auto eb = simulate_execution(kGa100, wl(), f);
+    const auto c = derive_counters(kGa100, wl(), f, eb);
+    energy.push_back(c.power_usage * eb.total_s);
+  }
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(energy.begin(), energy.end()) - energy.begin());
+  EXPECT_LT(freqs[best], freqs.back()) << "energy min should not sit at f_max";
+  EXPECT_LT(energy[best], energy.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweep,
+                         ::testing::ValuesIn(workloads::names()));
+
+}  // namespace
+}  // namespace gpufreq::sim

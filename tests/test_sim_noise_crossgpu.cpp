@@ -1,0 +1,117 @@
+// Statistical properties of the measurement-noise model and physical
+// consistency properties between the GA100 and GV100 presets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpufreq/sim/curves.hpp"
+#include "gpufreq/sim/gpu_device.hpp"
+#include "gpufreq/util/stats.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::sim {
+namespace {
+
+TEST(NoiseStats, SamplePowerScatterMatchesConfiguredSigma) {
+  GpuDevice gpu(GpuSpec::ga100());
+  RunOptions opts;
+  opts.max_samples = 512;
+  const RunResult r = gpu.run_at(workloads::find("dgemm"), 1110.0, opts);
+
+  std::vector<double> powers;
+  for (const auto& s : r.samples) powers.push_back(s.counters.power_usage);
+  const double cv = stats::stdev(powers) / stats::mean(powers);
+  // Per-sample sigma is 3% plus the 2% activity wave; run-level jitter does
+  // not add scatter within one run.
+  EXPECT_GT(cv, 0.015);
+  EXPECT_LT(cv, 0.07);
+}
+
+TEST(NoiseStats, RunTimeJitterIsSmallAndUnbiased) {
+  GpuDevice gpu(GpuSpec::ga100());
+  const auto& wl = workloads::find("fft");
+  const double truth = simulate_execution(gpu.spec(), wl, 1410.0).total_s;
+  std::vector<double> times;
+  RunOptions opts;
+  opts.collect_samples = false;
+  for (int r = 0; r < 64; ++r) {
+    opts.run_index = r;
+    times.push_back(gpu.run_at(wl, 1410.0, opts).exec_time_s);
+  }
+  EXPECT_NEAR(stats::mean(times), truth, 0.01 * truth);
+  EXPECT_LT(stats::stdev(times) / truth, 0.03);
+  EXPECT_GT(stats::stdev(times), 0.0);
+}
+
+TEST(NoiseStats, MeanCountersCloseToGroundTruth) {
+  GpuDevice gpu(GpuSpec::ga100());
+  const auto& wl = workloads::find("stream");
+  RunOptions opts;
+  opts.max_samples = 256;
+  const RunResult r = gpu.run_at(wl, 1200.0, opts);
+  const auto eb = simulate_execution(gpu.spec(), wl, 1200.0);
+  const CounterSet truth = derive_counters(gpu.spec(), wl, 1200.0, eb);
+  EXPECT_NEAR(r.mean_counters.dram_active, truth.dram_active, 0.05);
+  EXPECT_NEAR(r.avg_power_w, truth.power_usage, 0.05 * truth.power_usage);
+}
+
+TEST(CrossGpu, MemoryBoundWorkloadsSlowerOnVolta) {
+  // Same intrinsic work, less than half the bandwidth: STREAM must take
+  // at least ~2x longer on the GV100 at each GPU's maximum clock.
+  const GpuSpec a = GpuSpec::ga100();
+  const GpuSpec v = GpuSpec::gv100();
+  const auto& stream = workloads::find("stream");
+  const double t_a = simulate_execution(a, stream, a.core_max_mhz).total_s;
+  const double t_v = simulate_execution(v, stream, v.core_max_mhz).total_s;
+  EXPECT_GT(t_v / t_a, 1.8);
+}
+
+TEST(CrossGpu, ComputeBoundRatioTracksPeakFlops) {
+  const GpuSpec a = GpuSpec::ga100();
+  const GpuSpec v = GpuSpec::gv100();
+  const auto& dgemm = workloads::find("dgemm");
+  const double t_a = simulate_execution(a, dgemm, a.core_max_mhz).total_s;
+  const double t_v = simulate_execution(v, dgemm, v.core_max_mhz).total_s;
+  // FP64 peaks: 9.7 vs 7.8 TFLOPS -> ~1.24x, with some memory-side drag.
+  EXPECT_NEAR(t_v / t_a, a.peak_fp64_gflops / v.peak_fp64_gflops, 0.2);
+}
+
+TEST(CrossGpu, VoltaPowerScalesWithItsTdp) {
+  const GpuSpec v = GpuSpec::gv100();
+  const auto& dgemm = workloads::find("dgemm");
+  const auto eb = simulate_execution(v, dgemm, v.core_max_mhz);
+  const CounterSet c = derive_counters(v, dgemm, v.core_max_mhz, eb);
+  EXPECT_GT(c.power_usage, 0.85 * v.tdp_w);
+  EXPECT_LE(c.power_usage, 1.02 * v.tdp_w);
+}
+
+TEST(CrossGpu, NormalizedPowerCurvesAgreeAcrossArchitectures) {
+  // The portability premise: P/TDP as a function of (features, f in GHz)
+  // is similar on both GPUs. Compare DGEMM's normalized power at matched
+  // clocks.
+  const GpuSpec a = GpuSpec::ga100();
+  const GpuSpec v = GpuSpec::gv100();
+  const auto& wl = workloads::find("dgemm");
+  for (double f : {600.0, 900.0, 1200.0}) {
+    const double pa =
+        derive_counters(a, wl, f, simulate_execution(a, wl, f)).power_usage / a.tdp_w;
+    const double pv =
+        derive_counters(v, wl, v.nearest_frequency(f), simulate_execution(v, wl, v.nearest_frequency(f)))
+            .power_usage / v.tdp_w;
+    EXPECT_NEAR(pa, pv, 0.13) << "at " << f;
+  }
+}
+
+TEST(CrossGpu, SameSeedSameDeviceDifferentGpuDiffers) {
+  GpuDevice a(GpuSpec::ga100(), 7);
+  GpuDevice v(GpuSpec::gv100(), 7);
+  const auto& wl = workloads::find("fft");
+  // Same seed, different architecture: noise streams are independent
+  // because the GPU name feeds the per-run hash.
+  const double ta = a.run_at(wl, 1005.0).exec_time_s;
+  const double tv = v.run_at(wl, 1005.0).exec_time_s;
+  EXPECT_NE(ta, tv);
+}
+
+}  // namespace
+}  // namespace gpufreq::sim

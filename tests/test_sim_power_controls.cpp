@@ -1,0 +1,188 @@
+#include "gpufreq/sim/power_controls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpufreq/sim/gpu_device.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+namespace gpufreq::sim {
+namespace {
+
+GpuDevice quiet_gpu() { return GpuDevice(GpuSpec::ga100(), 1, NoiseModel::none()); }
+
+TEST(PowerControls, ValidationRejectsOutOfRange) {
+  const GpuSpec spec = GpuSpec::ga100();
+  PowerControls c;
+  c.voltage_offset_v = -0.2;
+  EXPECT_THROW(validate_controls(spec, c), InvalidArgument);
+  c = PowerControls{};
+  c.voltage_offset_v = 0.2;
+  EXPECT_THROW(validate_controls(spec, c), InvalidArgument);
+  c = PowerControls{};
+  c.power_limit_w = -1.0;
+  EXPECT_THROW(validate_controls(spec, c), InvalidArgument);
+  EXPECT_NO_THROW(validate_controls(spec, PowerControls{}));
+}
+
+TEST(PowerControls, HeadroomShrinksWithClock) {
+  const GpuSpec spec = GpuSpec::ga100();
+  const double at_min = undervolt_headroom_v(spec, spec.core_min_mhz);
+  const double at_max = undervolt_headroom_v(spec, spec.core_max_mhz);
+  EXPECT_GT(at_min, at_max);
+  EXPECT_NEAR(at_min, 0.100, 1e-9);
+  EXPECT_NEAR(at_max, 0.040, 1e-9);
+}
+
+TEST(PowerControls, SteadyTemperatureLinearInPower) {
+  const ThermalSpec t;
+  EXPECT_DOUBLE_EQ(steady_temperature_c(t, 0.0), t.ambient_c);
+  EXPECT_NEAR(steady_temperature_c(t, 500.0), t.ambient_c + 0.105 * 500.0, 1e-9);
+  EXPECT_THROW(steady_temperature_c(t, -1.0), InvalidArgument);
+}
+
+TEST(Undervolting, ReducesPowerWithoutChangingTime) {
+  GpuDevice gpu = quiet_gpu();
+  const auto& wl = workloads::find("dgemm");
+  const RunResult base = gpu.run_at(wl, 1110.0);
+
+  PowerControls c;
+  c.voltage_offset_v = -0.04;  // within headroom at 1110 MHz
+  gpu.set_power_controls(c);
+  const RunResult uv = gpu.run_at(wl, 1110.0);
+
+  EXPECT_DOUBLE_EQ(uv.exec_time_s, base.exec_time_s);
+  EXPECT_LT(uv.avg_power_w, base.avg_power_w);
+  EXPECT_LT(uv.energy_j, base.energy_j);
+}
+
+TEST(Undervolting, BeyondHeadroomFaults) {
+  GpuDevice gpu = quiet_gpu();
+  PowerControls c;
+  c.voltage_offset_v = -0.06;  // headroom at f_max is 40 mV
+  gpu.set_power_controls(c);
+  EXPECT_THROW(gpu.run_at(workloads::find("dgemm"), 1410.0), SimulatedFault);
+  // The same offset is stable at a low clock (headroom ~94 mV at 510 MHz).
+  EXPECT_NO_THROW(gpu.run_at(workloads::find("dgemm"), 510.0));
+}
+
+TEST(Undervolting, OvervoltingIncreasesPower) {
+  GpuDevice gpu = quiet_gpu();
+  const auto& wl = workloads::find("stream");
+  const double base = gpu.run_at(wl, 1200.0).avg_power_w;
+  PowerControls c;
+  c.voltage_offset_v = +0.05;
+  gpu.set_power_controls(c);
+  EXPECT_GT(gpu.run_at(wl, 1200.0).avg_power_w, base);
+}
+
+TEST(PowerCap, LimitsPowerByLoweringClock) {
+  GpuDevice gpu = quiet_gpu();
+  const auto& wl = workloads::find("dgemm");  // ~490 W uncapped at f_max
+  PowerControls c;
+  c.power_limit_w = 300.0;
+  gpu.set_power_controls(c);
+  const RunResult r = gpu.run_at(wl, 1410.0);
+  EXPECT_LE(r.avg_power_w, 300.0 + 1e-6);
+  EXPECT_LT(r.effective_clock_mhz, 1410.0);
+  EXPECT_TRUE(r.power_capped);
+  EXPECT_GT(r.exec_time_s, 0.0);
+  // DCGM would report the throttled SM clock.
+  EXPECT_DOUBLE_EQ(r.mean_counters.sm_app_clock, r.effective_clock_mhz);
+}
+
+TEST(PowerCap, GenerousLimitChangesNothing) {
+  GpuDevice gpu = quiet_gpu();
+  const auto& wl = workloads::find("stream");  // ~250 W at f_max
+  const RunResult base = gpu.run_at(wl, 1410.0);
+  PowerControls c;
+  c.power_limit_w = 400.0;
+  gpu.set_power_controls(c);
+  const RunResult capped = gpu.run_at(wl, 1410.0);
+  EXPECT_DOUBLE_EQ(capped.effective_clock_mhz, 1410.0);
+  EXPECT_FALSE(capped.power_capped);
+  EXPECT_DOUBLE_EQ(capped.avg_power_w, base.avg_power_w);
+}
+
+TEST(PowerCap, ImpossibleLimitBottomsOutAtMinClock) {
+  GpuDevice gpu = quiet_gpu();
+  PowerControls c;
+  c.power_limit_w = 10.0;  // below even static power
+  gpu.set_power_controls(c);
+  const RunResult r = gpu.run_at(workloads::find("dgemm"), 1410.0);
+  EXPECT_DOUBLE_EQ(r.effective_clock_mhz, gpu.spec().core_min_mhz);
+}
+
+TEST(PowerCap, TighterLimitNeverRaisesClock) {
+  GpuDevice gpu = quiet_gpu();
+  const auto& wl = workloads::find("bert");
+  double prev_clock = 1e9;
+  for (double limit : {450.0, 350.0, 250.0, 150.0}) {
+    PowerControls c;
+    c.power_limit_w = limit;
+    gpu.set_power_controls(c);
+    const RunResult r = gpu.run_at(wl, 1410.0);
+    EXPECT_LE(r.effective_clock_mhz, prev_clock) << "limit " << limit;
+    EXPECT_LE(r.avg_power_w, limit + 1e-6) << "limit " << limit;
+    prev_clock = r.effective_clock_mhz;
+  }
+}
+
+TEST(Thermal, DisabledByDefault) {
+  GpuDevice gpu = quiet_gpu();
+  const RunResult r = gpu.run_at(workloads::find("dgemm"), 1410.0);
+  EXPECT_FALSE(r.thermally_throttled);
+  EXPECT_GT(r.steady_temperature_c, 30.0);  // temperature is still reported
+}
+
+TEST(Thermal, HotBoardThrottles) {
+  GpuDevice gpu = quiet_gpu();
+  ThermalSpec hot;
+  hot.ambient_c = 45.0;               // badly cooled rack
+  hot.resistance_c_per_w = 0.105;
+  hot.throttle_temp_c = 80.0;         // 45 + 0.105*P <= 80 -> P <= 333 W
+  gpu.set_thermal_spec(hot);
+  PowerControls c;
+  c.thermal_enabled = true;
+  gpu.set_power_controls(c);
+
+  const RunResult r = gpu.run_at(workloads::find("dgemm"), 1410.0);
+  EXPECT_TRUE(r.thermally_throttled);
+  EXPECT_LT(r.effective_clock_mhz, 1410.0);
+  EXPECT_LE(r.steady_temperature_c, 80.0 + 1e-6);
+
+  // A cool workload at the same settings does not throttle.
+  const RunResult cool = gpu.run_at(workloads::find("lstm"), 1410.0);
+  EXPECT_FALSE(cool.thermally_throttled);
+  EXPECT_DOUBLE_EQ(cool.effective_clock_mhz, 1410.0);
+}
+
+TEST(Thermal, ThrottlingIncreasesRuntime) {
+  GpuDevice gpu = quiet_gpu();
+  const auto& wl = workloads::find("resnet50");
+  const double base_time = gpu.run_at(wl, 1410.0).exec_time_s;
+
+  ThermalSpec hot;
+  hot.ambient_c = 50.0;
+  hot.throttle_temp_c = 75.0;
+  gpu.set_thermal_spec(hot);
+  PowerControls c;
+  c.thermal_enabled = true;
+  gpu.set_power_controls(c);
+  const RunResult r = gpu.run_at(wl, 1410.0);
+  EXPECT_GT(r.exec_time_s, base_time);
+}
+
+TEST(EffectiveClockFor, MatchesRunOutcome) {
+  GpuDevice gpu = quiet_gpu();
+  PowerControls c;
+  c.power_limit_w = 280.0;
+  gpu.set_power_controls(c);
+  gpu.set_app_clock(1410.0);
+  const double predicted = gpu.effective_clock_for(workloads::find("dgemm"));
+  const RunResult r = gpu.run(workloads::find("dgemm"));
+  EXPECT_DOUBLE_EQ(predicted, r.effective_clock_mhz);
+}
+
+}  // namespace
+}  // namespace gpufreq::sim

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "gpufreq/sim/curves.hpp"
+#include "gpufreq/sim/gpu_spec.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::sim {
+namespace {
+
+TEST(GpuSpec, Ga100PaperTable1) {
+  const GpuSpec s = GpuSpec::ga100();
+  EXPECT_EQ(s.name, "GA100");
+  EXPECT_DOUBLE_EQ(s.core_min_mhz, 210.0);
+  EXPECT_DOUBLE_EQ(s.core_max_mhz, 1410.0);
+  EXPECT_DOUBLE_EQ(s.default_core_mhz, 1410.0);
+  EXPECT_DOUBLE_EQ(s.memory_mhz, 1597.0);
+  EXPECT_DOUBLE_EQ(s.tdp_w, 500.0);
+  EXPECT_DOUBLE_EQ(s.peak_bw_gbs, 2039.0);
+  // Table 1: 61 used out of ~80 supported configurations.
+  EXPECT_EQ(s.supported_frequencies().size(), 81u);
+  EXPECT_EQ(s.used_frequencies().size(), 61u);
+  EXPECT_DOUBLE_EQ(s.used_frequencies().front(), 510.0);
+  EXPECT_DOUBLE_EQ(s.used_frequencies().back(), 1410.0);
+}
+
+TEST(GpuSpec, Gv100PaperTable1) {
+  const GpuSpec s = GpuSpec::gv100();
+  EXPECT_EQ(s.name, "GV100");
+  EXPECT_DOUBLE_EQ(s.core_min_mhz, 135.0);
+  EXPECT_DOUBLE_EQ(s.core_max_mhz, 1380.0);
+  EXPECT_DOUBLE_EQ(s.tdp_w, 250.0);
+  EXPECT_DOUBLE_EQ(s.memory_mhz, 877.0);
+  // Table 1: 117 used out of 167 supported configurations.
+  EXPECT_EQ(s.supported_frequencies().size(), 167u);
+  EXPECT_EQ(s.used_frequencies().size(), 117u);
+}
+
+TEST(GpuSpec, NearestFrequencySnapsAndClamps) {
+  const GpuSpec s = GpuSpec::ga100();
+  EXPECT_DOUBLE_EQ(s.nearest_frequency(1000.0), 1005.0);
+  EXPECT_DOUBLE_EQ(s.nearest_frequency(997.0), 990.0);
+  EXPECT_DOUBLE_EQ(s.nearest_frequency(100.0), 210.0);
+  EXPECT_DOUBLE_EQ(s.nearest_frequency(2000.0), 1410.0);
+}
+
+TEST(GpuSpec, IsSupported) {
+  const GpuSpec s = GpuSpec::ga100();
+  EXPECT_TRUE(s.is_supported(1410.0));
+  EXPECT_TRUE(s.is_supported(210.0));
+  EXPECT_TRUE(s.is_supported(1005.0));
+  EXPECT_FALSE(s.is_supported(1007.0));
+  EXPECT_FALSE(s.is_supported(195.0));
+  EXPECT_FALSE(s.is_supported(1425.0));
+}
+
+TEST(GpuSpec, ValidateCatchesBrokenSpecs) {
+  GpuSpec s = GpuSpec::ga100();
+  s.core_max_mhz = s.core_min_mhz - 1.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = GpuSpec::ga100();
+  s.default_core_mhz = 1007.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = GpuSpec::ga100();
+  s.v_max = s.v_min;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = GpuSpec::ga100();
+  s.tdp_w = 0.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+class GpuSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  GpuSpec spec() const {
+    return std::string(GetParam()) == "GA100" ? GpuSpec::ga100() : GpuSpec::gv100();
+  }
+};
+
+TEST_P(GpuSweep, VoltageMonotoneAndBounded) {
+  const GpuSpec s = spec();
+  double prev = 0.0;
+  for (double f : s.supported_frequencies()) {
+    const double v = voltage_at(s, f);
+    EXPECT_GE(v, s.v_min - 1e-12);
+    EXPECT_LE(v, s.v_max + 1e-12);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(voltage_at(s, s.core_min_mhz), s.v_min, 1e-12);
+  EXPECT_NEAR(voltage_at(s, s.core_max_mhz), s.v_max, 1e-12);
+}
+
+TEST_P(GpuSweep, DynamicPowerFactorMonotoneInUnitRange) {
+  const GpuSpec s = spec();
+  double prev = 0.0;
+  for (double f : s.supported_frequencies()) {
+    const double d = dynamic_power_factor(s, f);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 1.0 + 1e-12);
+    EXPECT_GT(d, prev - 1e-12);
+    prev = d;
+  }
+  EXPECT_NEAR(dynamic_power_factor(s, s.core_max_mhz), 1.0, 1e-12);
+}
+
+TEST_P(GpuSweep, BandwidthMonotoneAndSaturating) {
+  const GpuSpec s = spec();
+  double prev = 0.0;
+  for (double f : s.supported_frequencies()) {
+    const double b = bandwidth_at(s, f);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LE(b, s.peak_bw_gbs + 1e-9);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_NEAR(bandwidth_at(s, s.core_max_mhz), s.peak_bw_gbs, 1e-9);
+  // Figure 1(h): bandwidth flattens above the knee — the marginal gain in
+  // the top band is small compared to the bottom band.
+  const double gain_low = bandwidth_at(s, 700.0) - bandwidth_at(s, 550.0);
+  const double gain_high =
+      bandwidth_at(s, s.core_max_mhz) - bandwidth_at(s, s.core_max_mhz - 150.0);
+  EXPECT_GT(gain_low, 2.0 * gain_high);
+}
+
+TEST_P(GpuSweep, FpPeaksLinearInFrequency) {
+  const GpuSpec s = spec();
+  const double half = s.core_max_mhz / 2.0;
+  EXPECT_NEAR(fp64_peak_at(s, half), s.peak_fp64_gflops / 2.0, 1e-6);
+  EXPECT_NEAR(fp32_peak_at(s, half), s.peak_fp32_gflops / 2.0, 1e-6);
+}
+
+TEST_P(GpuSweep, MixedPeakIsHarmonicBlend) {
+  const GpuSpec s = spec();
+  const double f = s.core_max_mhz;
+  EXPECT_NEAR(mixed_fp_peak_at(s, f, 1.0), s.peak_fp64_gflops, 1e-6);
+  EXPECT_NEAR(mixed_fp_peak_at(s, f, 0.0), s.peak_fp32_gflops, 1e-6);
+  const double mixed = mixed_fp_peak_at(s, f, 0.5);
+  EXPECT_GT(mixed, s.peak_fp64_gflops);
+  EXPECT_LT(mixed, s.peak_fp32_gflops);
+  const double harmonic = 1.0 / (0.5 / s.peak_fp64_gflops + 0.5 / s.peak_fp32_gflops);
+  EXPECT_NEAR(mixed, harmonic, 1e-6);
+}
+
+TEST_P(GpuSweep, LatencyFactorWeakerThanLinear) {
+  const GpuSpec s = spec();
+  const double at_half = latency_time_factor(s, s.core_max_mhz / 2.0);
+  EXPECT_GT(at_half, 1.0);
+  EXPECT_LT(at_half, 2.0);  // much weaker than 1/f
+  EXPECT_NEAR(latency_time_factor(s, s.core_max_mhz), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, GpuSweep, ::testing::Values("GA100", "GV100"));
+
+}  // namespace
+}  // namespace gpufreq::sim

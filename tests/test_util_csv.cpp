@@ -1,0 +1,124 @@
+#include "gpufreq/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::csv {
+namespace {
+
+Table make_table() {
+  Table t({"name", "freq", "power"});
+  t.add_row({"dgemm", "1410", "498.5"});
+  t.add_row({"stream", "1005", "211.25"});
+  return t;
+}
+
+TEST(Csv, BasicShape) {
+  const Table t = make_table();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.cell(0, 0), "dgemm");
+  EXPECT_DOUBLE_EQ(t.cell_double(1, 2), 211.25);
+}
+
+TEST(Csv, AddRowRejectsWrongWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgument);
+}
+
+TEST(Csv, CellOutOfRangeThrows) {
+  const Table t = make_table();
+  EXPECT_THROW(t.cell(2, 0), InvalidArgument);
+  EXPECT_THROW(t.cell(0, 3), InvalidArgument);
+}
+
+TEST(Csv, ColumnLookup) {
+  const Table t = make_table();
+  EXPECT_EQ(t.column_index("power"), 2u);
+  EXPECT_THROW(t.column_index("nope"), InvalidArgument);
+  const auto col = t.column_as_double("freq");
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], 1410.0);
+  EXPECT_DOUBLE_EQ(col[1], 1005.0);
+}
+
+TEST(Csv, RoundTripThroughStream) {
+  const Table t = make_table();
+  std::stringstream ss;
+  t.write(ss);
+  const Table back = Table::read(ss);
+  EXPECT_EQ(back.header(), t.header());
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    for (std::size_t c = 0; c < t.num_cols(); ++c) EXPECT_EQ(back.cell(r, c), t.cell(r, c));
+  }
+}
+
+TEST(Csv, QuotingRoundTrip) {
+  Table t({"k", "v"});
+  t.add_row({"comma", "a,b"});
+  t.add_row({"quote", "say \"hi\""});
+  t.add_row({"newline", "line1\nline2"});
+  std::stringstream ss;
+  t.write(ss);
+  const Table back = Table::read(ss);
+  ASSERT_EQ(back.num_rows(), 3u);
+  EXPECT_EQ(back.cell(0, 1), "a,b");
+  EXPECT_EQ(back.cell(1, 1), "say \"hi\"");
+  EXPECT_EQ(back.cell(2, 1), "line1\nline2");
+}
+
+TEST(Csv, ReadRejectsUnterminatedQuote) {
+  std::stringstream ss("a,b\n1,\"unterminated\n");
+  EXPECT_THROW(Table::read(ss), ParseError);
+}
+
+TEST(Csv, EscapeFieldRules) {
+  EXPECT_EQ(escape_field("plain"), "plain");
+  EXPECT_EQ(escape_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape_field("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(Csv, ParseLineHonorsQuotes) {
+  const auto fields = parse_line("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(Csv, ParseLineToleratesCrLf) {
+  const auto fields = parse_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(Csv, ReadRejectsRaggedRows) {
+  std::stringstream ss("a,b\n1,2,3\n");
+  EXPECT_THROW(Table::read(ss), ParseError);
+}
+
+TEST(Csv, ReadRejectsEmptyInput) {
+  std::stringstream ss("");
+  EXPECT_THROW(Table::read(ss), ParseError);
+}
+
+TEST(Csv, LoadMissingFileThrowsIoError) {
+  EXPECT_THROW(Table::load("/nonexistent/path/file.csv"), IoError);
+}
+
+TEST(Csv, SaveAndLoadFile) {
+  const Table t = make_table();
+  const std::string path = ::testing::TempDir() + "/gpufreq_csv_test.csv";
+  t.save(path);
+  const Table back = Table::load(path);
+  EXPECT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.cell(1, 0), "stream");
+}
+
+}  // namespace
+}  // namespace gpufreq::csv

@@ -1,0 +1,162 @@
+#include "gpufreq/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexBoundsAndCoverage) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalJitterPositiveAndCentered) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double j = rng.lognormal_jitter(0.02);
+    EXPECT_GT(j, 0.0);
+    sum += j;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(29);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(perm.size(), 100u);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(31);
+  const auto perm = rng.permutation(64);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) fixed += perm[i] == i;
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(Rng, ForkIsStableAndIndependent) {
+  const Rng base(42);
+  Rng f1 = base.fork(1);
+  Rng f1_again = Rng(42).fork(1);
+  Rng f2 = base.fork(2);
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  Rng f1b = base.fork(1);
+  f1b.next_u64();
+  EXPECT_NE(f1b.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, HashStringStableAndDistinct) {
+  EXPECT_EQ(Rng::hash_string("dgemm"), Rng::hash_string("dgemm"));
+  EXPECT_NE(Rng::hash_string("dgemm"), Rng::hash_string("stream"));
+  EXPECT_NE(Rng::hash_string(""), Rng::hash_string("a"));
+}
+
+TEST(Rng, HashCombineOrderSensitive) {
+  EXPECT_NE(Rng::hash_combine(1, 2), Rng::hash_combine(2, 1));
+  EXPECT_EQ(Rng::hash_combine(5, 9), Rng::hash_combine(5, 9));
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInBoundsAndNonConstant) {
+  Rng rng(GetParam());
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.uniform();
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace gpufreq

@@ -1,0 +1,135 @@
+#include "gpufreq/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/rng.hpp"
+
+namespace gpufreq::stats {
+namespace {
+
+const std::vector<double> kSimple = {1.0, 2.0, 3.0, 4.0, 5.0};
+
+TEST(Stats, Mean) { EXPECT_DOUBLE_EQ(mean(kSimple), 3.0); }
+
+TEST(Stats, MeanThrowsOnEmpty) {
+  EXPECT_THROW(mean(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Stats, VarianceSample) { EXPECT_DOUBLE_EQ(variance(kSimple), 2.5); }
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(Stats, Stdev) { EXPECT_NEAR(stdev(kSimple), std::sqrt(2.5), 1e-12); }
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min(kSimple), 1.0);
+  EXPECT_DOUBLE_EQ(max(kSimple), 5.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(kSimple), 3.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, PercentileEndpointsAndInterp) {
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 12.5), 1.5);
+}
+
+TEST(Stats, PercentileRejectsBadP) {
+  EXPECT_THROW(percentile(kSimple, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile(kSimple, 101.0), InvalidArgument);
+}
+
+TEST(Stats, MaeRmse) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> p = {2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(mae(a, p), 1.0);
+  EXPECT_NEAR(rmse(a, p), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MapeBasics) {
+  const std::vector<double> a = {100.0, 200.0};
+  const std::vector<double> p = {110.0, 180.0};
+  EXPECT_NEAR(mape(a, p), 10.0, 1e-12);
+  EXPECT_NEAR(mape_accuracy(a, p), 90.0, 1e-12);
+}
+
+TEST(Stats, MapeSkipsZeros) {
+  const std::vector<double> a = {0.0, 100.0};
+  const std::vector<double> p = {50.0, 150.0};
+  EXPECT_NEAR(mape(a, p), 50.0, 1e-12);
+}
+
+TEST(Stats, MapeAccuracyClampedAtZero) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> p = {10.0};
+  EXPECT_DOUBLE_EQ(mape_accuracy(a, p), 0.0);
+}
+
+TEST(Stats, MismatchedSizesThrow) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> p = {1.0};
+  EXPECT_THROW(mae(a, p), InvalidArgument);
+  EXPECT_THROW(rmse(a, p), InvalidArgument);
+  EXPECT_THROW(mape(a, p), InvalidArgument);
+  EXPECT_THROW(r2(a, p), InvalidArgument);
+}
+
+TEST(Stats, R2PerfectAndMeanPredictor) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2(a, a), 1.0);
+  const std::vector<double> mean_pred = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r2(a, mean_pred), 0.0);
+}
+
+TEST(Stats, PearsonSignsAndDegenerate) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y_up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> y_down = {8.0, 6.0, 4.0, 2.0};
+  const std::vector<double> y_const = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_NEAR(pearson(x, y_up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y_down), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(x, y_const), 0.0);
+}
+
+TEST(Stats, ArgminArgmaxTiesFirst) {
+  const std::vector<double> v = {3.0, 1.0, 1.0, 5.0, 5.0};
+  EXPECT_EQ(argmin(v), 1u);
+  EXPECT_EQ(argmax(v), 3u);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max(xs));
+}
+
+TEST(Stats, RunningStatsEmptyIsSafe) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace gpufreq::stats

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/strings.hpp"
+#include "gpufreq/util/table.hpp"
+
+namespace gpufreq {
+namespace {
+
+using namespace strings;
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto v = split("a,,b,", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto v = split("hello", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "hello");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("DGeMM-1"), "dgemm-1"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("gpufreq", "gpu"));
+  EXPECT_FALSE(starts_with("gpu", "gpufreq"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("  -2e3 "), -2000.0);
+  EXPECT_THROW(parse_double("abc"), ParseError);
+  EXPECT_THROW(parse_double("1.5x"), ParseError);
+  EXPECT_THROW(parse_double(""), ParseError);
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_THROW(parse_int("4.2"), ParseError);
+  EXPECT_THROW(parse_int(""), ParseError);
+}
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  util::AsciiTable t({"App", "Acc"});
+  t.begin_row().cell("lammps").cell(96.5, 1);
+  t.begin_row().cell("namd").cell(96.8, 1);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("App"), std::string::npos);
+  EXPECT_NE(out.find("lammps"), std::string::npos);
+  EXPECT_NE(out.find("96.5"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(AsciiTable, RowWidthEnforced) {
+  util::AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  t.begin_row().cell("1").cell("2");
+  EXPECT_THROW(t.cell("3"), InvalidArgument);
+}
+
+TEST(AsciiTable, CellBeforeBeginRowThrows) {
+  util::AsciiTable t({"a"});
+  EXPECT_THROW(t.cell("x"), InvalidArgument);
+}
+
+TEST(AsciiTable, EmptyHeaderRejected) {
+  EXPECT_THROW(util::AsciiTable(std::vector<std::string>{}), InvalidArgument);
+}
+
+TEST(AsciiTable, AlignmentConfigurable) {
+  util::AsciiTable t({"n"});
+  t.set_align(0, util::Align::kRight);
+  t.begin_row().cell("7");
+  EXPECT_THROW(t.set_align(1, util::Align::kLeft), InvalidArgument);
+  EXPECT_FALSE(t.render().empty());
+}
+
+TEST(BarLine, ScalesAndClamps) {
+  const std::string full = util::bar_line("x", 10.0, 10.0, 10, 4, 1);
+  const std::string half = util::bar_line("x", 5.0, 10.0, 10, 4, 1);
+  const std::string none = util::bar_line("x", 0.0, 10.0, 10, 4, 1);
+  EXPECT_EQ(std::count(full.begin(), full.end(), '#'), 10);
+  EXPECT_EQ(std::count(half.begin(), half.end(), '#'), 5);
+  EXPECT_EQ(std::count(none.begin(), none.end(), '#'), 0);
+  // Over-range values clamp rather than overflow the bar.
+  const std::string over = util::bar_line("x", 20.0, 10.0, 10, 4, 1);
+  EXPECT_EQ(std::count(over.begin(), over.end(), '#'), 10);
+}
+
+TEST(BarLine, TruncatesLongLabels) {
+  const std::string line = util::bar_line("averyverylonglabel", 1.0, 1.0, 5, 6, 0);
+  EXPECT_EQ(line.substr(0, 6), "averyv");
+}
+
+}  // namespace
+}  // namespace gpufreq

@@ -1,0 +1,174 @@
+#include "gpufreq/workloads/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <limits>
+
+#include <set>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::workloads {
+namespace {
+
+TEST(Registry, PaperTable2Counts) {
+  EXPECT_EQ(all().size(), 27u);            // 2 micro + 19 SPEC ACCEL + 6 real
+  EXPECT_EQ(training_set().size(), 21u);   // paper §4.3: 21 training workloads
+  EXPECT_EQ(evaluation_set().size(), 6u);  // six real applications
+}
+
+TEST(Registry, NamesUnique) {
+  const auto n = names();
+  const std::set<std::string> uniq(n.begin(), n.end());
+  EXPECT_EQ(uniq.size(), n.size());
+}
+
+TEST(Registry, ContainsAllPaperWorkloads) {
+  for (const char* name :
+       {"dgemm", "stream", "tpacf", "stencil", "lbm", "fft", "spmv", "mriq", "histo", "bfs",
+        "cutcp", "kmeans", "lavamd", "cfd", "nw", "hotspot", "lud", "ge", "srad", "heartwall",
+        "bplustree", "lammps", "namd", "gromacs", "lstm", "bert", "resnet50"}) {
+    EXPECT_TRUE(contains(name)) << name;
+  }
+}
+
+TEST(Registry, FindIsCaseInsensitive) {
+  EXPECT_EQ(find("DGEMM").name, "dgemm");
+  EXPECT_EQ(find("ResNet50").name, "resnet50");
+}
+
+TEST(Registry, FindUnknownThrows) { EXPECT_THROW(find("quake3"), InvalidArgument); }
+
+TEST(Registry, RolesMatchSuites) {
+  for (const auto& w : all()) {
+    if (w.suite == Suite::kRealWorld) {
+      EXPECT_EQ(w.role, Role::kEvaluation) << w.name;
+    } else {
+      EXPECT_EQ(w.role, Role::kTraining) << w.name;
+    }
+  }
+}
+
+TEST(Registry, AllDescriptorsValidate) {
+  for (const auto& w : all()) EXPECT_NO_THROW(w.validate()) << w.name;
+}
+
+TEST(Registry, MicroBenchmarkIntensities) {
+  const auto& dgemm = find("dgemm");
+  const auto& stream = find("stream");
+  // DGEMM is compute-dominated, STREAM bandwidth-dominated.
+  EXPECT_GT(dgemm.arithmetic_intensity(), 10.0 * stream.arithmetic_intensity());
+  EXPECT_EQ(dgemm.category, Category::kCompute);
+  EXPECT_EQ(stream.category, Category::kMemory);
+  EXPECT_DOUBLE_EQ(dgemm.fp64_fraction(), 1.0);
+}
+
+TEST(Registry, TrainingSetCoversAllCategories) {
+  std::set<Category> seen;
+  for (const auto& w : training_set()) seen.insert(w.category);
+  EXPECT_EQ(seen.size(), 4u);  // compute, memory, mixed, latency
+}
+
+TEST(Workload, InputScalingLaws) {
+  const auto& dgemm = find("dgemm");
+  // flop_scale_exp = 3 (n^3 work), byte_scale_exp = 2.75.
+  EXPECT_NEAR(dgemm.total_gflop(2.0) / dgemm.total_gflop(1.0), 8.0, 1e-9);
+  EXPECT_NEAR(dgemm.total_gbytes(2.0) / dgemm.total_gbytes(1.0), std::pow(2.0, 2.75), 1e-9);
+  // STREAM is linear in input size.
+  const auto& stream = find("stream");
+  EXPECT_NEAR(stream.total_gflop(3.0) / stream.total_gflop(1.0), 3.0, 1e-9);
+}
+
+TEST(Workload, Fp64FractionDegenerate) {
+  WorkloadDescriptor w;
+  w.name = "x";
+  w.gbytes_dram = 1.0;
+  EXPECT_DOUBLE_EQ(w.fp64_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(w.arithmetic_intensity(), 0.0);
+}
+
+TEST(Workload, ValidateRejectsBadDescriptors) {
+  WorkloadDescriptor w = find("dgemm");
+  w.name = "";
+  EXPECT_THROW(w.validate(), InvalidArgument);
+
+  w = find("dgemm");
+  w.fp_issue_eff = 0.0;
+  EXPECT_THROW(w.validate(), InvalidArgument);
+
+  w = find("dgemm");
+  w.occupancy = 1.5;
+  EXPECT_THROW(w.validate(), InvalidArgument);
+
+  w = find("dgemm");
+  w.gflop_fp64 = -1.0;
+  EXPECT_THROW(w.validate(), InvalidArgument);
+
+  WorkloadDescriptor empty;
+  empty.name = "empty";
+  EXPECT_THROW(empty.validate(), InvalidArgument);
+}
+
+TEST(MakeDescriptor, ReproducesTimeBudgetOnReference) {
+  // A compute-dominated budget should produce compute work that takes
+  // roughly the requested GPU time on the reference machine.
+  TimeBudget b;
+  b.tc = 1.0;
+  b.tm = 0.1;
+  b.tl = 0.0;
+  b.runtime_s = 10.0;
+  b.serial_frac = 0.2;
+  b.fp64_frac = 1.0;
+  b.fp_issue_eff = 0.9;
+  const ReferenceGpu ref;
+  const auto d = make_descriptor("custom", Suite::kMicro, Role::kTraining,
+                                 Category::kCompute, b, ref);
+  EXPECT_DOUBLE_EQ(d.serial_seconds, 2.0);
+  const double tc = d.total_gflop() / (ref.peak_fp64_gflops * b.fp_issue_eff);
+  EXPECT_NEAR(tc, 8.0, 0.1);  // smooth-max normalization keeps it close
+}
+
+TEST(MakeDescriptor, RejectsInvalidBudgets) {
+  TimeBudget b;
+  b.runtime_s = 0.0;
+  EXPECT_THROW(make_descriptor("x", Suite::kMicro, Role::kTraining, Category::kCompute, b),
+               InvalidArgument);
+  b = TimeBudget{};
+  b.serial_frac = 1.0;
+  EXPECT_THROW(make_descriptor("x", Suite::kMicro, Role::kTraining, Category::kCompute, b),
+               InvalidArgument);
+  b = TimeBudget{};
+  b.tc = b.tm = b.tl = 0.0;
+  EXPECT_THROW(make_descriptor("x", Suite::kMicro, Role::kTraining, Category::kCompute, b),
+               InvalidArgument);
+}
+
+TEST(Enums, ToStringCoverage) {
+  EXPECT_STREQ(to_string(Suite::kMicro), "micro");
+  EXPECT_STREQ(to_string(Suite::kSpecAccel), "spec-accel");
+  EXPECT_STREQ(to_string(Suite::kRealWorld), "real-world");
+  EXPECT_STREQ(to_string(Role::kTraining), "training");
+  EXPECT_STREQ(to_string(Role::kEvaluation), "evaluation");
+  EXPECT_STREQ(to_string(Category::kCompute), "compute");
+  EXPECT_STREQ(to_string(Category::kLatency), "latency");
+}
+
+class EvalAppSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EvalAppSweep, RealAppsHaveHostSideWork) {
+  const auto& w = find(GetParam());
+  EXPECT_EQ(w.suite, Suite::kRealWorld);
+  // Real applications all have non-trivial serial/latency components —
+  // that is what distinguishes them from dense kernels in the paper.
+  EXPECT_GT(w.serial_seconds + w.latency_seconds, 0.0);
+  EXPECT_GT(w.pcie_tx_gbps + w.pcie_rx_gbps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RealApps, EvalAppSweep,
+                         ::testing::Values("lammps", "namd", "gromacs", "lstm", "bert",
+                                           "resnet50"));
+
+}  // namespace
+}  // namespace gpufreq::workloads

@@ -1,0 +1,51 @@
+// Calibration inspector: prints the simulated DVFS landscape for each
+// workload on GA100 (and optionally GV100) together with the measured-data
+// EDP / ED2P optima and their energy/time changes relative to f_max.
+// Used to tune the simulator against the qualitative shapes of the paper's
+// Figure 1 and Table 5. Not part of the reproduction harness itself.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gpufreq/sim/gpu_device.hpp"
+#include "gpufreq/util/stats.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+using namespace gpufreq;
+
+int main(int argc, char** argv) {
+  const bool volta = argc > 1 && std::string(argv[1]) == "gv100";
+  const sim::GpuSpec spec = volta ? sim::GpuSpec::gv100() : sim::GpuSpec::ga100();
+  sim::GpuDevice gpu(spec);
+  const std::vector<double> freqs = spec.used_frequencies();
+
+  std::printf("GPU %s: %zu used configs [%g..%g]\n", spec.name.c_str(), freqs.size(),
+              freqs.front(), freqs.back());
+
+  for (const auto& wl : workloads::all()) {
+    std::vector<double> P, T, E, EDP, ED2P;
+    sim::RunOptions opts;
+    opts.collect_samples = false;
+    for (double f : freqs) {
+      auto r = gpu.run_at(wl, f, opts);
+      P.push_back(r.avg_power_w);
+      T.push_back(r.exec_time_s);
+      E.push_back(r.energy_j);
+      EDP.push_back(r.energy_j * r.exec_time_s);
+      ED2P.push_back(r.energy_j * r.exec_time_s * r.exec_time_s);
+    }
+    const std::size_t last = freqs.size() - 1;
+    const std::size_t ie = stats::argmin(E);
+    const std::size_t iedp = stats::argmin(EDP);
+    const std::size_t ied2p = stats::argmin(ED2P);
+    const std::size_t it = stats::argmin(T);
+    auto pct = [&](double now, double ref) { return 100.0 * (now - ref) / ref; };
+    std::printf(
+        "%-10s P[%5.0f..%5.0f]W Tmax/Tmin=%4.2f  fE=%4.0f fT=%4.0f | "
+        "EDP f=%4.0f dE=%+6.1f%% dT=%+6.1f%% | ED2P f=%4.0f dE=%+6.1f%% dT=%+6.1f%%\n",
+        wl.name.c_str(), P.front(), P.back(), T.front() / T[it], freqs[ie], freqs[it],
+        freqs[iedp], pct(E[iedp], E[last]), pct(T[iedp], T[last]),
+        freqs[ied2p], pct(E[ied2p], E[last]), pct(T[ied2p], T[last]));
+  }
+  return 0;
+}

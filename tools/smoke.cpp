@@ -1,0 +1,53 @@
+// End-to-end pipeline smoke: trains the paper models (optionally on a
+// reduced campaign) and prints Table-3/4/5-style rows for the six real
+// applications. Used during development to sanity-check the full stack.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "gpufreq/core/evaluation.hpp"
+#include "gpufreq/core/model_cache.hpp"
+#include "gpufreq/util/logging.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+using namespace gpufreq;
+
+int main(int argc, char** argv) {
+  log::set_level(log::Level::kInfo);
+  const bool fast = argc > 1 && std::string(argv[1]) == "fast";
+
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  core::OfflineConfig cfg;
+  if (fast) {
+    cfg.collection.runs = 1;
+    cfg.collection.samples_per_run = 2;
+    cfg.power_model.epochs = 30;
+    cfg.time_model.epochs = 15;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  core::OfflineTrainer trainer(cfg);
+  const core::Dataset ds = trainer.collect_dataset(gpu, workloads::training_set());
+  std::printf("dataset: %zu rows x %zu features\n", ds.size(), ds.x.cols());
+  const auto t1 = std::chrono::steady_clock::now();
+  const core::PowerTimeModels models = trainer.train_on(ds);
+  const auto t2 = std::chrono::steady_clock::now();
+  std::printf("collect %.1fs | power train %.1fs (final val %.5f) | time train %.1fs (final val %.5f)\n",
+              std::chrono::duration<double>(t1 - t0).count(),
+              models.power_history.wall_seconds, models.power_history.final_val_loss(),
+              models.time_history.wall_seconds, models.time_history.final_val_loss());
+
+  for (const auto& wl : workloads::evaluation_set()) {
+    const core::AppEvaluation ev = core::evaluate_app(models, gpu, wl);
+    std::printf(
+        "%-10s Pacc=%5.1f%% Tacc=%5.1f%% | M-EDP %4.0f P-EDP %4.0f M-ED2P %4.0f P-ED2P %4.0f | "
+        "ED2P(P): dE=%+6.1f%% dT=%+6.1f%% | EDP(P): dE=%+6.1f%% dT=%+6.1f%%\n",
+        ev.app.c_str(), ev.power_accuracy_pct, ev.time_accuracy_pct, ev.m_edp.frequency_mhz,
+        ev.p_edp.frequency_mhz, ev.m_ed2p.frequency_mhz, ev.p_ed2p.frequency_mhz,
+        ev.measured_energy_change_pct(ev.p_ed2p), ev.measured_time_change_pct(ev.p_ed2p),
+        ev.measured_energy_change_pct(ev.p_edp), ev.measured_time_change_pct(ev.p_edp));
+  }
+  std::printf("total %.1fs\n", std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0).count());
+  return 0;
+}
