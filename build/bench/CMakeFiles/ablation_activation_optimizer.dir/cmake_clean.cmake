@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_activation_optimizer.dir/ablation_activation_optimizer.cpp.o"
+  "CMakeFiles/ablation_activation_optimizer.dir/ablation_activation_optimizer.cpp.o.d"
+  "ablation_activation_optimizer"
+  "ablation_activation_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activation_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

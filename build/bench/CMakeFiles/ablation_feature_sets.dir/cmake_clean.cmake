@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feature_sets.dir/ablation_feature_sets.cpp.o"
+  "CMakeFiles/ablation_feature_sets.dir/ablation_feature_sets.cpp.o.d"
+  "ablation_feature_sets"
+  "ablation_feature_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feature_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_dvfs_characterization.dir/fig01_dvfs_characterization.cpp.o"
+  "CMakeFiles/fig01_dvfs_characterization.dir/fig01_dvfs_characterization.cpp.o.d"
+  "fig01_dvfs_characterization"
+  "fig01_dvfs_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_dvfs_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_mutual_information.dir/fig03_mutual_information.cpp.o"
+  "CMakeFiles/fig03_mutual_information.dir/fig03_mutual_information.cpp.o.d"
+  "fig03_mutual_information"
+  "fig03_mutual_information.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_mutual_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

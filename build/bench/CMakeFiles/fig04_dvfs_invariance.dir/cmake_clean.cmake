@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_dvfs_invariance.dir/fig04_dvfs_invariance.cpp.o"
+  "CMakeFiles/fig04_dvfs_invariance.dir/fig04_dvfs_invariance.cpp.o.d"
+  "fig04_dvfs_invariance"
+  "fig04_dvfs_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_dvfs_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

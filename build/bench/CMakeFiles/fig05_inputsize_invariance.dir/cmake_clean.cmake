@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_inputsize_invariance.dir/fig05_inputsize_invariance.cpp.o"
+  "CMakeFiles/fig05_inputsize_invariance.dir/fig05_inputsize_invariance.cpp.o.d"
+  "fig05_inputsize_invariance"
+  "fig05_inputsize_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_inputsize_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

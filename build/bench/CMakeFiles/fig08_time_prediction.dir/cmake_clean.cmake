@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_time_prediction.dir/fig08_time_prediction.cpp.o"
+  "CMakeFiles/fig08_time_prediction.dir/fig08_time_prediction.cpp.o.d"
+  "fig08_time_prediction"
+  "fig08_time_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_time_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_optimal_landscape.dir/fig09_optimal_landscape.cpp.o"
+  "CMakeFiles/fig09_optimal_landscape.dir/fig09_optimal_landscape.cpp.o.d"
+  "fig09_optimal_landscape"
+  "fig09_optimal_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_optimal_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

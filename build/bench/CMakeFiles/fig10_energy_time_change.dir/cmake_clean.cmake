@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_energy_time_change.dir/fig10_energy_time_change.cpp.o"
+  "CMakeFiles/fig10_energy_time_change.dir/fig10_energy_time_change.cpp.o.d"
+  "fig10_energy_time_change"
+  "fig10_energy_time_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy_time_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ml_comparison.dir/fig11_ml_comparison.cpp.o"
+  "CMakeFiles/fig11_ml_comparison.dir/fig11_ml_comparison.cpp.o.d"
+  "fig11_ml_comparison"
+  "fig11_ml_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ml_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_voltage_exploration.dir/future_voltage_exploration.cpp.o"
+  "CMakeFiles/future_voltage_exploration.dir/future_voltage_exploration.cpp.o.d"
+  "future_voltage_exploration"
+  "future_voltage_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_voltage_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_comparison.dir/pareto_comparison.cpp.o"
+  "CMakeFiles/pareto_comparison.dir/pareto_comparison.cpp.o.d"
+  "pareto_comparison"
+  "pareto_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_model_training.dir/perf_model_training.cpp.o"
+  "CMakeFiles/perf_model_training.dir/perf_model_training.cpp.o.d"
+  "perf_model_training"
+  "perf_model_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_model_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powercap_vs_dvfs.dir/powercap_vs_dvfs.cpp.o"
+  "CMakeFiles/powercap_vs_dvfs.dir/powercap_vs_dvfs.cpp.o.d"
+  "powercap_vs_dvfs"
+  "powercap_vs_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powercap_vs_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_optimal_frequencies.dir/table4_optimal_frequencies.cpp.o"
+  "CMakeFiles/table4_optimal_frequencies.dir/table4_optimal_frequencies.cpp.o.d"
+  "table4_optimal_frequencies"
+  "table4_optimal_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_optimal_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_energy_savings.dir/table5_energy_savings.cpp.o"
+  "CMakeFiles/table5_energy_savings.dir/table5_energy_savings.cpp.o.d"
+  "table5_energy_savings"
+  "table5_energy_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_thresholds.dir/table6_thresholds.cpp.o"
+  "CMakeFiles/table6_thresholds.dir/table6_thresholds.cpp.o.d"
+  "table6_thresholds"
+  "table6_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

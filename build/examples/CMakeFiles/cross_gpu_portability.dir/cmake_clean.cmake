@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_gpu_portability.dir/cross_gpu_portability.cpp.o"
+  "CMakeFiles/cross_gpu_portability.dir/cross_gpu_portability.cpp.o.d"
+  "cross_gpu_portability"
+  "cross_gpu_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_gpu_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

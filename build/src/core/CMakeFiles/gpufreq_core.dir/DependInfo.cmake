@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/dataset.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/dataset.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/core/src/evaluation.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/evaluation.cpp.o.d"
+  "/root/repo/src/core/src/model_cache.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/model_cache.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/model_cache.cpp.o.d"
+  "/root/repo/src/core/src/models.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/models.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/models.cpp.o.d"
+  "/root/repo/src/core/src/objective.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/objective.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/objective.cpp.o.d"
+  "/root/repo/src/core/src/pareto.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/pareto.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/pareto.cpp.o.d"
+  "/root/repo/src/core/src/pipeline.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/pipeline.cpp.o.d"
+  "/root/repo/src/core/src/profiles.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/profiles.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/profiles.cpp.o.d"
+  "/root/repo/src/core/src/selector.cpp" "src/core/CMakeFiles/gpufreq_core.dir/src/selector.cpp.o" "gcc" "src/core/CMakeFiles/gpufreq_core.dir/src/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpufreq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpufreq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpufreq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcgm/CMakeFiles/gpufreq_dcgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gpufreq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gpufreq_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/gpufreq_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufreq_core.dir/src/dataset.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/gpufreq_core.dir/src/evaluation.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/evaluation.cpp.o.d"
+  "CMakeFiles/gpufreq_core.dir/src/model_cache.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/model_cache.cpp.o.d"
+  "CMakeFiles/gpufreq_core.dir/src/models.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/models.cpp.o.d"
+  "CMakeFiles/gpufreq_core.dir/src/objective.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/objective.cpp.o.d"
+  "CMakeFiles/gpufreq_core.dir/src/pareto.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/pareto.cpp.o.d"
+  "CMakeFiles/gpufreq_core.dir/src/pipeline.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/pipeline.cpp.o.d"
+  "CMakeFiles/gpufreq_core.dir/src/profiles.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/profiles.cpp.o.d"
+  "CMakeFiles/gpufreq_core.dir/src/selector.cpp.o"
+  "CMakeFiles/gpufreq_core.dir/src/selector.cpp.o.d"
+  "libgpufreq_core.a"
+  "libgpufreq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufreq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcgm/src/collection.cpp" "src/dcgm/CMakeFiles/gpufreq_dcgm.dir/src/collection.cpp.o" "gcc" "src/dcgm/CMakeFiles/gpufreq_dcgm.dir/src/collection.cpp.o.d"
+  "/root/repo/src/dcgm/src/fields.cpp" "src/dcgm/CMakeFiles/gpufreq_dcgm.dir/src/fields.cpp.o" "gcc" "src/dcgm/CMakeFiles/gpufreq_dcgm.dir/src/fields.cpp.o.d"
+  "/root/repo/src/dcgm/src/watcher.cpp" "src/dcgm/CMakeFiles/gpufreq_dcgm.dir/src/watcher.cpp.o" "gcc" "src/dcgm/CMakeFiles/gpufreq_dcgm.dir/src/watcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpufreq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpufreq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpufreq_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

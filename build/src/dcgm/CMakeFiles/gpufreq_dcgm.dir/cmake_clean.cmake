@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufreq_dcgm.dir/src/collection.cpp.o"
+  "CMakeFiles/gpufreq_dcgm.dir/src/collection.cpp.o.d"
+  "CMakeFiles/gpufreq_dcgm.dir/src/fields.cpp.o"
+  "CMakeFiles/gpufreq_dcgm.dir/src/fields.cpp.o.d"
+  "CMakeFiles/gpufreq_dcgm.dir/src/watcher.cpp.o"
+  "CMakeFiles/gpufreq_dcgm.dir/src/watcher.cpp.o.d"
+  "libgpufreq_dcgm.a"
+  "libgpufreq_dcgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufreq_dcgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

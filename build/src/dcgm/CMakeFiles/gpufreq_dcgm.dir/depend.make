@@ -1,0 +1,2 @@
+# Empty dependencies file for gpufreq_dcgm.
+# This may be replaced when dependencies are built.

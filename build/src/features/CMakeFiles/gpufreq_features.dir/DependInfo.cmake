@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/src/mutual_information.cpp" "src/features/CMakeFiles/gpufreq_features.dir/src/mutual_information.cpp.o" "gcc" "src/features/CMakeFiles/gpufreq_features.dir/src/mutual_information.cpp.o.d"
+  "/root/repo/src/features/src/ranking.cpp" "src/features/CMakeFiles/gpufreq_features.dir/src/ranking.cpp.o" "gcc" "src/features/CMakeFiles/gpufreq_features.dir/src/ranking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpufreq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufreq_features.dir/src/mutual_information.cpp.o"
+  "CMakeFiles/gpufreq_features.dir/src/mutual_information.cpp.o.d"
+  "CMakeFiles/gpufreq_features.dir/src/ranking.cpp.o"
+  "CMakeFiles/gpufreq_features.dir/src/ranking.cpp.o.d"
+  "libgpufreq_features.a"
+  "libgpufreq_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufreq_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpufreq_features.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/src/boosting.cpp" "src/ml/CMakeFiles/gpufreq_ml.dir/src/boosting.cpp.o" "gcc" "src/ml/CMakeFiles/gpufreq_ml.dir/src/boosting.cpp.o.d"
+  "/root/repo/src/ml/src/cross_validation.cpp" "src/ml/CMakeFiles/gpufreq_ml.dir/src/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/gpufreq_ml.dir/src/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/src/forest.cpp" "src/ml/CMakeFiles/gpufreq_ml.dir/src/forest.cpp.o" "gcc" "src/ml/CMakeFiles/gpufreq_ml.dir/src/forest.cpp.o.d"
+  "/root/repo/src/ml/src/linear.cpp" "src/ml/CMakeFiles/gpufreq_ml.dir/src/linear.cpp.o" "gcc" "src/ml/CMakeFiles/gpufreq_ml.dir/src/linear.cpp.o.d"
+  "/root/repo/src/ml/src/regressor.cpp" "src/ml/CMakeFiles/gpufreq_ml.dir/src/regressor.cpp.o" "gcc" "src/ml/CMakeFiles/gpufreq_ml.dir/src/regressor.cpp.o.d"
+  "/root/repo/src/ml/src/svr.cpp" "src/ml/CMakeFiles/gpufreq_ml.dir/src/svr.cpp.o" "gcc" "src/ml/CMakeFiles/gpufreq_ml.dir/src/svr.cpp.o.d"
+  "/root/repo/src/ml/src/tree.cpp" "src/ml/CMakeFiles/gpufreq_ml.dir/src/tree.cpp.o" "gcc" "src/ml/CMakeFiles/gpufreq_ml.dir/src/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpufreq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gpufreq_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufreq_ml.dir/src/boosting.cpp.o"
+  "CMakeFiles/gpufreq_ml.dir/src/boosting.cpp.o.d"
+  "CMakeFiles/gpufreq_ml.dir/src/cross_validation.cpp.o"
+  "CMakeFiles/gpufreq_ml.dir/src/cross_validation.cpp.o.d"
+  "CMakeFiles/gpufreq_ml.dir/src/forest.cpp.o"
+  "CMakeFiles/gpufreq_ml.dir/src/forest.cpp.o.d"
+  "CMakeFiles/gpufreq_ml.dir/src/linear.cpp.o"
+  "CMakeFiles/gpufreq_ml.dir/src/linear.cpp.o.d"
+  "CMakeFiles/gpufreq_ml.dir/src/regressor.cpp.o"
+  "CMakeFiles/gpufreq_ml.dir/src/regressor.cpp.o.d"
+  "CMakeFiles/gpufreq_ml.dir/src/svr.cpp.o"
+  "CMakeFiles/gpufreq_ml.dir/src/svr.cpp.o.d"
+  "CMakeFiles/gpufreq_ml.dir/src/tree.cpp.o"
+  "CMakeFiles/gpufreq_ml.dir/src/tree.cpp.o.d"
+  "libgpufreq_ml.a"
+  "libgpufreq_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufreq_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/activations.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/activations.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/activations.cpp.o.d"
+  "/root/repo/src/nn/src/layer.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/layer.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/layer.cpp.o.d"
+  "/root/repo/src/nn/src/loss.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/loss.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/loss.cpp.o.d"
+  "/root/repo/src/nn/src/matrix.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/nn/src/network.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/network.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/network.cpp.o.d"
+  "/root/repo/src/nn/src/optimizer.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/optimizer.cpp.o.d"
+  "/root/repo/src/nn/src/scaler.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/scaler.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/scaler.cpp.o.d"
+  "/root/repo/src/nn/src/serialize.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/serialize.cpp.o.d"
+  "/root/repo/src/nn/src/trainer.cpp" "src/nn/CMakeFiles/gpufreq_nn.dir/src/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/gpufreq_nn.dir/src/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpufreq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

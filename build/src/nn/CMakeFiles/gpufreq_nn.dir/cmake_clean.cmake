@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufreq_nn.dir/src/activations.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/activations.cpp.o.d"
+  "CMakeFiles/gpufreq_nn.dir/src/layer.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/layer.cpp.o.d"
+  "CMakeFiles/gpufreq_nn.dir/src/loss.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/loss.cpp.o.d"
+  "CMakeFiles/gpufreq_nn.dir/src/matrix.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/gpufreq_nn.dir/src/network.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/network.cpp.o.d"
+  "CMakeFiles/gpufreq_nn.dir/src/optimizer.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/optimizer.cpp.o.d"
+  "CMakeFiles/gpufreq_nn.dir/src/scaler.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/scaler.cpp.o.d"
+  "CMakeFiles/gpufreq_nn.dir/src/serialize.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/gpufreq_nn.dir/src/trainer.cpp.o"
+  "CMakeFiles/gpufreq_nn.dir/src/trainer.cpp.o.d"
+  "libgpufreq_nn.a"
+  "libgpufreq_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufreq_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

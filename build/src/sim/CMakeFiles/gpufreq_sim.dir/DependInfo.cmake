@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/counters.cpp" "src/sim/CMakeFiles/gpufreq_sim.dir/src/counters.cpp.o" "gcc" "src/sim/CMakeFiles/gpufreq_sim.dir/src/counters.cpp.o.d"
+  "/root/repo/src/sim/src/curves.cpp" "src/sim/CMakeFiles/gpufreq_sim.dir/src/curves.cpp.o" "gcc" "src/sim/CMakeFiles/gpufreq_sim.dir/src/curves.cpp.o.d"
+  "/root/repo/src/sim/src/exec_model.cpp" "src/sim/CMakeFiles/gpufreq_sim.dir/src/exec_model.cpp.o" "gcc" "src/sim/CMakeFiles/gpufreq_sim.dir/src/exec_model.cpp.o.d"
+  "/root/repo/src/sim/src/gpu_device.cpp" "src/sim/CMakeFiles/gpufreq_sim.dir/src/gpu_device.cpp.o" "gcc" "src/sim/CMakeFiles/gpufreq_sim.dir/src/gpu_device.cpp.o.d"
+  "/root/repo/src/sim/src/gpu_spec.cpp" "src/sim/CMakeFiles/gpufreq_sim.dir/src/gpu_spec.cpp.o" "gcc" "src/sim/CMakeFiles/gpufreq_sim.dir/src/gpu_spec.cpp.o.d"
+  "/root/repo/src/sim/src/noise.cpp" "src/sim/CMakeFiles/gpufreq_sim.dir/src/noise.cpp.o" "gcc" "src/sim/CMakeFiles/gpufreq_sim.dir/src/noise.cpp.o.d"
+  "/root/repo/src/sim/src/power_controls.cpp" "src/sim/CMakeFiles/gpufreq_sim.dir/src/power_controls.cpp.o" "gcc" "src/sim/CMakeFiles/gpufreq_sim.dir/src/power_controls.cpp.o.d"
+  "/root/repo/src/sim/src/power_model.cpp" "src/sim/CMakeFiles/gpufreq_sim.dir/src/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/gpufreq_sim.dir/src/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpufreq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpufreq_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

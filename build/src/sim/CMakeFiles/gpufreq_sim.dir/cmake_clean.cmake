@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufreq_sim.dir/src/counters.cpp.o"
+  "CMakeFiles/gpufreq_sim.dir/src/counters.cpp.o.d"
+  "CMakeFiles/gpufreq_sim.dir/src/curves.cpp.o"
+  "CMakeFiles/gpufreq_sim.dir/src/curves.cpp.o.d"
+  "CMakeFiles/gpufreq_sim.dir/src/exec_model.cpp.o"
+  "CMakeFiles/gpufreq_sim.dir/src/exec_model.cpp.o.d"
+  "CMakeFiles/gpufreq_sim.dir/src/gpu_device.cpp.o"
+  "CMakeFiles/gpufreq_sim.dir/src/gpu_device.cpp.o.d"
+  "CMakeFiles/gpufreq_sim.dir/src/gpu_spec.cpp.o"
+  "CMakeFiles/gpufreq_sim.dir/src/gpu_spec.cpp.o.d"
+  "CMakeFiles/gpufreq_sim.dir/src/noise.cpp.o"
+  "CMakeFiles/gpufreq_sim.dir/src/noise.cpp.o.d"
+  "CMakeFiles/gpufreq_sim.dir/src/power_controls.cpp.o"
+  "CMakeFiles/gpufreq_sim.dir/src/power_controls.cpp.o.d"
+  "CMakeFiles/gpufreq_sim.dir/src/power_model.cpp.o"
+  "CMakeFiles/gpufreq_sim.dir/src/power_model.cpp.o.d"
+  "libgpufreq_sim.a"
+  "libgpufreq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufreq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

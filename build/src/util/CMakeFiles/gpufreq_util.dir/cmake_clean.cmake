@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufreq_util.dir/src/csv.cpp.o"
+  "CMakeFiles/gpufreq_util.dir/src/csv.cpp.o.d"
+  "CMakeFiles/gpufreq_util.dir/src/logging.cpp.o"
+  "CMakeFiles/gpufreq_util.dir/src/logging.cpp.o.d"
+  "CMakeFiles/gpufreq_util.dir/src/rng.cpp.o"
+  "CMakeFiles/gpufreq_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/gpufreq_util.dir/src/stats.cpp.o"
+  "CMakeFiles/gpufreq_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/gpufreq_util.dir/src/strings.cpp.o"
+  "CMakeFiles/gpufreq_util.dir/src/strings.cpp.o.d"
+  "CMakeFiles/gpufreq_util.dir/src/table.cpp.o"
+  "CMakeFiles/gpufreq_util.dir/src/table.cpp.o.d"
+  "libgpufreq_util.a"
+  "libgpufreq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufreq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

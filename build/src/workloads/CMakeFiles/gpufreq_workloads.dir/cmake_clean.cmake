@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufreq_workloads.dir/src/registry.cpp.o"
+  "CMakeFiles/gpufreq_workloads.dir/src/registry.cpp.o.d"
+  "CMakeFiles/gpufreq_workloads.dir/src/workload.cpp.o"
+  "CMakeFiles/gpufreq_workloads.dir/src/workload.cpp.o.d"
+  "libgpufreq_workloads.a"
+  "libgpufreq_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufreq_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dataset.dir/test_core_dataset.cpp.o"
+  "CMakeFiles/test_core_dataset.dir/test_core_dataset.cpp.o.d"
+  "test_core_dataset"
+  "test_core_dataset.pdb"
+  "test_core_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_models_cache.dir/test_core_models_cache.cpp.o"
+  "CMakeFiles/test_core_models_cache.dir/test_core_models_cache.cpp.o.d"
+  "test_core_models_cache"
+  "test_core_models_cache.pdb"
+  "test_core_models_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_models_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_objective_selector.dir/test_core_objective_selector.cpp.o"
+  "CMakeFiles/test_core_objective_selector.dir/test_core_objective_selector.cpp.o.d"
+  "test_core_objective_selector"
+  "test_core_objective_selector.pdb"
+  "test_core_objective_selector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_objective_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

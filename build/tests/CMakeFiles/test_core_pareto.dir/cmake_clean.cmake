@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_pareto.dir/test_core_pareto.cpp.o"
+  "CMakeFiles/test_core_pareto.dir/test_core_pareto.cpp.o.d"
+  "test_core_pareto"
+  "test_core_pareto.pdb"
+  "test_core_pareto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

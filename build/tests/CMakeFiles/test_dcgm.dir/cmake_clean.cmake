@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcgm.dir/test_dcgm.cpp.o"
+  "CMakeFiles/test_dcgm.dir/test_dcgm.cpp.o.d"
+  "test_dcgm"
+  "test_dcgm.pdb"
+  "test_dcgm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

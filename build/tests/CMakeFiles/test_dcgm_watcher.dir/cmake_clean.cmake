@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcgm_watcher.dir/test_dcgm_watcher.cpp.o"
+  "CMakeFiles/test_dcgm_watcher.dir/test_dcgm_watcher.cpp.o.d"
+  "test_dcgm_watcher"
+  "test_dcgm_watcher.pdb"
+  "test_dcgm_watcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcgm_watcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_features_mi.dir/test_features_mi.cpp.o"
+  "CMakeFiles/test_features_mi.dir/test_features_mi.cpp.o.d"
+  "test_features_mi"
+  "test_features_mi.pdb"
+  "test_features_mi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_features_mi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_forest_boost_svr.dir/test_ml_forest_boost_svr.cpp.o"
+  "CMakeFiles/test_ml_forest_boost_svr.dir/test_ml_forest_boost_svr.cpp.o.d"
+  "test_ml_forest_boost_svr"
+  "test_ml_forest_boost_svr.pdb"
+  "test_ml_forest_boost_svr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_forest_boost_svr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

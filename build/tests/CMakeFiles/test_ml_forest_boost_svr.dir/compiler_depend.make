@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_ml_forest_boost_svr.
+# This may be replaced when dependencies are built.

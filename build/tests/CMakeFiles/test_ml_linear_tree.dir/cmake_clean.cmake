@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_linear_tree.dir/test_ml_linear_tree.cpp.o"
+  "CMakeFiles/test_ml_linear_tree.dir/test_ml_linear_tree.cpp.o.d"
+  "test_ml_linear_tree"
+  "test_ml_linear_tree.pdb"
+  "test_ml_linear_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_linear_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_matrix.dir/test_nn_matrix.cpp.o"
+  "CMakeFiles/test_nn_matrix.dir/test_nn_matrix.cpp.o.d"
+  "test_nn_matrix"
+  "test_nn_matrix.pdb"
+  "test_nn_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

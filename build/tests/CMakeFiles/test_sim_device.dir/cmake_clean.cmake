@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_device.dir/test_sim_device.cpp.o"
+  "CMakeFiles/test_sim_device.dir/test_sim_device.cpp.o.d"
+  "test_sim_device"
+  "test_sim_device.pdb"
+  "test_sim_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

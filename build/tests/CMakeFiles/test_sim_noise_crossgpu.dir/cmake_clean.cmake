@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_noise_crossgpu.dir/test_sim_noise_crossgpu.cpp.o"
+  "CMakeFiles/test_sim_noise_crossgpu.dir/test_sim_noise_crossgpu.cpp.o.d"
+  "test_sim_noise_crossgpu"
+  "test_sim_noise_crossgpu.pdb"
+  "test_sim_noise_crossgpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_noise_crossgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

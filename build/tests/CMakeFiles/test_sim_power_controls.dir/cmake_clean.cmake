@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_power_controls.dir/test_sim_power_controls.cpp.o"
+  "CMakeFiles/test_sim_power_controls.dir/test_sim_power_controls.cpp.o.d"
+  "test_sim_power_controls"
+  "test_sim_power_controls.pdb"
+  "test_sim_power_controls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_power_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

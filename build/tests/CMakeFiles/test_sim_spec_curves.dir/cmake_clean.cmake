@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_spec_curves.dir/test_sim_spec_curves.cpp.o"
+  "CMakeFiles/test_sim_spec_curves.dir/test_sim_spec_curves.cpp.o.d"
+  "test_sim_spec_curves"
+  "test_sim_spec_curves.pdb"
+  "test_sim_spec_curves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_spec_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util_strings_table.cpp" "tests/CMakeFiles/test_util_strings_table.dir/test_util_strings_table.cpp.o" "gcc" "tests/CMakeFiles/test_util_strings_table.dir/test_util_strings_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpufreq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gpufreq_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/gpufreq_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcgm/CMakeFiles/gpufreq_dcgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gpufreq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpufreq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpufreq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpufreq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

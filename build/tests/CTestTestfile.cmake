@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_util_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_util_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_util_strings_table[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_spec_curves[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_exec_power[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_device[1]_include.cmake")
+include("/root/repo/build/tests/test_dcgm[1]_include.cmake")
+include("/root/repo/build/tests/test_dcgm_watcher[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_activations_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_network[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_optimizers[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_trainer_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_linear_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_forest_boost_svr[1]_include.cmake")
+include("/root/repo/build/tests/test_features_mi[1]_include.cmake")
+include("/root/repo/build/tests/test_core_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_core_objective_selector[1]_include.cmake")
+include("/root/repo/build/tests/test_core_models_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_core_pareto[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_power_controls[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_noise_crossgpu[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_cross_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_pipeline[1]_include.cmake")
