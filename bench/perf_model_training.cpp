@@ -1,11 +1,19 @@
 // §4.3 timing claims as a google-benchmark microbench: the paper reports
 // ~6.5 s to train the power model (100 epochs), ~2.6 s for the time model
 // (25 epochs), and ~0.2 s for a full 61-configuration prediction.
+//
+// The training and GEMM benchmarks sweep the worker-thread count (second
+// argument) through gpufreq::set_num_threads; results are bitwise
+// identical across the sweep by construction, so the sweep measures pure
+// scaling. tools/run_benchmarks.sh turns this into BENCH_perf.json.
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
 #include "gpufreq/core/dataset.hpp"
 #include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/nn/matrix.hpp"
+#include "gpufreq/util/rng.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 using namespace gpufreq;
 
@@ -22,6 +30,7 @@ const core::Dataset& training_dataset() {
 
 void BM_TrainPowerModel(benchmark::State& state) {
   const auto& ds = training_dataset();
+  set_num_threads(static_cast<std::size_t>(state.range(1)));
   core::ModelConfig cfg = core::ModelConfig::paper_power_model();
   cfg.epochs = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -31,11 +40,20 @@ void BM_TrainPowerModel(benchmark::State& state) {
   }
   state.counters["rows"] = static_cast<double>(ds.size());
   state.counters["epochs"] = static_cast<double>(cfg.epochs);
+  state.counters["threads"] = static_cast<double>(num_threads());
+  set_num_threads(0);
 }
-BENCHMARK(BM_TrainPowerModel)->Arg(100)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TrainPowerModel)
+    ->ArgPair(100, 1)
+    ->ArgPair(100, 2)
+    ->ArgPair(100, 4)
+    ->ArgPair(100, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_TrainTimeModel(benchmark::State& state) {
   const auto& ds = training_dataset();
+  set_num_threads(static_cast<std::size_t>(state.range(1)));
   core::ModelConfig cfg = core::ModelConfig::paper_time_model();
   cfg.epochs = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -44,8 +62,40 @@ void BM_TrainTimeModel(benchmark::State& state) {
     benchmark::DoNotOptimize(history.final_train_loss());
   }
   state.counters["rows"] = static_cast<double>(ds.size());
+  state.counters["threads"] = static_cast<double>(num_threads());
+  set_num_threads(0);
 }
-BENCHMARK(BM_TrainTimeModel)->Arg(25)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TrainTimeModel)
+    ->ArgPair(25, 1)
+    ->ArgPair(25, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  set_num_threads(static_cast<std::size_t>(state.range(1)));
+  Rng rng(42);
+  nn::Matrix a(n, n), b(n, n), c;
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (float& v : b.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto _ : state) {
+    nn::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.flat().data());
+    benchmark::ClobberMemory();
+  }
+  const double flops_per_call = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                                static_cast<double>(n);
+  state.counters["flops"] = benchmark::Counter(
+      flops_per_call * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(num_threads());
+  set_num_threads(0);
+}
+BENCHMARK(BM_Gemm)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_PredictFullDvfsSpace(benchmark::State& state) {
   // One online prediction: power + time across all 61 used frequencies.

@@ -4,6 +4,7 @@
 
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/logging.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 namespace gpufreq::core {
 
@@ -107,13 +108,17 @@ DvfsProfile OnlinePredictor::predict_from_features(const sim::CounterSet& max_fr
 
   // Replicate the (frequency-invariant) features across the DVFS space with
   // only the clock feature swapped — the paper's key data-reduction idea.
+  // Each row depends only on its own frequency, so the 61-config sweep
+  // extracts in parallel (rows are disjoint; output is order-independent).
   nn::Matrix x(freqs.size(), models_.features.dim());
-  for (std::size_t i = 0; i < freqs.size(); ++i) {
-    sim::CounterSet c = max_freq_counters;
-    c.sm_app_clock = freqs[i];
-    const std::vector<float> row = models_.features.extract(c);
-    std::copy(row.begin(), row.end(), x.row(i).begin());
-  }
+  parallel_for(0, freqs.size(), 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      sim::CounterSet c = max_freq_counters;
+      c.sm_app_clock = freqs[i];
+      const std::vector<float> row = models_.features.extract(c);
+      std::copy(row.begin(), row.end(), x.row(i).begin());
+    }
+  });
 
   const std::vector<double> power_frac = models_.power.predict(x);
   const std::vector<double> slowdown = models_.time.predict(x);

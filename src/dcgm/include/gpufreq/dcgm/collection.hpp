@@ -75,7 +75,10 @@ class ProfilingSession {
   /// Profile one workload across all configured frequencies and runs.
   CollectionResult profile(const workloads::WorkloadDescriptor& wl) const;
 
-  /// Profile a set of workloads (concatenated results).
+  /// Profile a set of workloads (concatenated results, in suite order).
+  /// Workloads are profiled in parallel on private copies of the device;
+  /// the simulated measurements depend only on (device seed, workload,
+  /// frequency, run), so the output is identical to a serial campaign.
   CollectionResult profile_suite(const std::vector<workloads::WorkloadDescriptor>& suite) const;
 
   /// Profile only at the device's maximum frequency — the online phase's
@@ -85,6 +88,10 @@ class ProfilingSession {
  private:
   CollectionResult profile_at(const workloads::WorkloadDescriptor& wl,
                               const std::vector<double>& freqs) const;
+
+  /// Campaign body against an explicit device (used with per-thread copies).
+  CollectionResult profile_with(sim::GpuDevice& device, const workloads::WorkloadDescriptor& wl,
+                                const std::vector<double>& freqs) const;
 
   sim::GpuDevice& device_;
   CollectionConfig config_;

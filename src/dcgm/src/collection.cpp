@@ -6,6 +6,7 @@
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/logging.hpp"
 #include "gpufreq/util/strings.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 namespace gpufreq::dcgm {
 
@@ -85,6 +86,12 @@ ProfilingSession::ProfilingSession(sim::GpuDevice& device, CollectionConfig conf
 
 CollectionResult ProfilingSession::profile_at(const workloads::WorkloadDescriptor& wl,
                                               const std::vector<double>& freqs) const {
+  return profile_with(device_, wl, freqs);
+}
+
+CollectionResult ProfilingSession::profile_with(sim::GpuDevice& device,
+                                                const workloads::WorkloadDescriptor& wl,
+                                                const std::vector<double>& freqs) const {
   CollectionResult result;
   result.samples.reserve(freqs.size() * static_cast<std::size_t>(config_.runs) *
                          config_.samples_per_run);
@@ -92,7 +99,7 @@ CollectionResult ProfilingSession::profile_at(const workloads::WorkloadDescripto
 
   for (double f : freqs) {
     // Control module: apply the DVFS configuration.
-    device_.set_app_clock(f);
+    device.set_app_clock(f);
     for (int run = 0; run < config_.runs; ++run) {
       // Profile module: execute while sampling.
       sim::RunOptions opts;
@@ -101,20 +108,20 @@ CollectionResult ProfilingSession::profile_at(const workloads::WorkloadDescripto
       opts.sample_interval_s = config_.sample_interval_s;
       opts.max_samples = config_.samples_per_run;
       opts.collect_samples = true;
-      const sim::RunResult r = device_.run(wl, opts);
+      const sim::RunResult r = device.run(wl, opts);
 
       for (const sim::MetricSample& s : r.samples) {
-        result.samples.push_back(MetricRow{wl.name, device_.spec().name,
-                                           device_.app_clock_mhz(), run, s.timestamp_s,
+        result.samples.push_back(MetricRow{wl.name, device.spec().name,
+                                           device.app_clock_mhz(), run, s.timestamp_s,
                                            s.counters});
       }
-      result.runs.push_back(RunSummary{wl.name, device_.spec().name, device_.app_clock_mhz(),
+      result.runs.push_back(RunSummary{wl.name, device.spec().name, device.app_clock_mhz(),
                                        run, r.exec_time_s, r.avg_power_w, r.energy_j,
                                        r.achieved_gflops, r.achieved_bandwidth_gbs,
                                        r.mean_counters});
     }
   }
-  device_.reset_clocks();
+  device.reset_clocks();
   return result;
 }
 
@@ -126,8 +133,19 @@ CollectionResult ProfilingSession::profile(const workloads::WorkloadDescriptor& 
 
 CollectionResult ProfilingSession::profile_suite(
     const std::vector<workloads::WorkloadDescriptor>& suite) const {
+  log::info("dcgm") << "profiling suite of " << suite.size() << " workloads across "
+                    << frequencies_.size() << " DVFS configs x " << config_.runs << " runs";
+  // One workload per chunk, each against a private copy of the device so
+  // clock changes never race; results are appended in suite order.
+  std::vector<CollectionResult> per(suite.size());
+  parallel_for(0, suite.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      sim::GpuDevice device = device_;
+      per[i] = profile_with(device, suite[i], frequencies_);
+    }
+  });
   CollectionResult all;
-  for (const auto& wl : suite) all.append(profile(wl));
+  for (auto& r : per) all.append(std::move(r));
   return all;
 }
 

@@ -6,6 +6,7 @@
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/rng.hpp"
 #include "gpufreq/util/stats.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 namespace gpufreq::features {
 
@@ -54,28 +55,41 @@ double mutual_information_ksg(std::span<const double> x, std::span<const double>
     for (auto& v : ys) v += opt.tie_noise * rng.normal();
   }
 
-  double acc = 0.0;
-  std::vector<double> dist(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    // Chebyshev distances to every other point.
-    for (std::size_t j = 0; j < n; ++j) {
-      dist[j] = std::max(std::abs(xs[i] - xs[j]), std::abs(ys[i] - ys[j]));
-    }
-    dist[i] = std::numeric_limits<double>::infinity();
-    // k-th smallest distance = radius of the k-neighborhood.
-    std::vector<double> tmp = dist;
-    std::nth_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(opt.k - 1), tmp.end());
-    const double eps = tmp[opt.k - 1];
+  // The O(n^2) neighbor scan parallelizes over the outer point index. Each
+  // chunk accumulates into its own slot and the slots are reduced in chunk
+  // order afterwards, so the floating-point sum (and thus the MI estimate)
+  // does not depend on the thread count. The scan scratch is per-chunk,
+  // and nth_element runs on `dist` directly — it is rebuilt every
+  // iteration, so no per-point copy is needed.
+  constexpr std::size_t kGrain = 64;
+  std::vector<double> partial((n + kGrain - 1) / kGrain, 0.0);
+  parallel_for(0, n, kGrain, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> dist(n);
+    double chunk_acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Chebyshev distances to every other point.
+      for (std::size_t j = 0; j < n; ++j) {
+        dist[j] = std::max(std::abs(xs[i] - xs[j]), std::abs(ys[i] - ys[j]));
+      }
+      dist[i] = std::numeric_limits<double>::infinity();
+      // k-th smallest distance = radius of the k-neighborhood.
+      std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(opt.k - 1),
+                       dist.end());
+      const double eps = dist[opt.k - 1];
 
-    // Count strictly-inside marginal neighbors.
-    std::size_t nx = 0, ny = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      if (std::abs(xs[i] - xs[j]) < eps) ++nx;
-      if (std::abs(ys[i] - ys[j]) < eps) ++ny;
+      // Count strictly-inside marginal neighbors.
+      std::size_t nx = 0, ny = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (std::abs(xs[i] - xs[j]) < eps) ++nx;
+        if (std::abs(ys[i] - ys[j]) < eps) ++ny;
+      }
+      chunk_acc += digamma(static_cast<double>(nx) + 1.0) + digamma(static_cast<double>(ny) + 1.0);
     }
-    acc += digamma(static_cast<double>(nx) + 1.0) + digamma(static_cast<double>(ny) + 1.0);
-  }
+    partial[lo / kGrain] = chunk_acc;
+  });
+  double acc = 0.0;
+  for (const double p : partial) acc += p;
 
   const double mi = digamma(static_cast<double>(opt.k)) + digamma(static_cast<double>(n)) -
                     acc / static_cast<double>(n);

@@ -1,6 +1,7 @@
 #include "gpufreq/ml/forest.hpp"
 
 #include "gpufreq/util/error.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 namespace gpufreq::ml {
 
@@ -12,17 +13,32 @@ RandomForestRegressor::RandomForestRegressor(Config config) : config_(config) {
 
 void RandomForestRegressor::fit(const nn::Matrix& x, const std::vector<double>& y) {
   detail::check_fit_args(x, y, "RandomForestRegressor::fit");
-  trees_.clear();
-  trees_.reserve(config_.n_trees);
-  Rng rng(config_.seed);
   const auto n_draw = static_cast<std::size_t>(
       config_.bootstrap_fraction * static_cast<double>(x.rows()));
-  std::vector<std::size_t> rows(std::max<std::size_t>(1, n_draw));
+  const std::size_t draw_count = std::max<std::size_t>(1, n_draw);
+
+  // Each tree gets an independent stream forked from the forest seed, so
+  // the bootstrap draw and the tree's own feature subsampling depend only
+  // on (seed, tree index). Trees can then fit in any order — serial and
+  // parallel runs grow bit-identical forests.
+  const Rng root(config_.seed);
+  trees_.clear();
+  trees_.reserve(config_.n_trees);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(config_.n_trees);
   for (std::size_t t = 0; t < config_.n_trees; ++t) {
-    for (auto& r : rows) r = static_cast<std::size_t>(rng.uniform_index(x.rows()));
-    trees_.emplace_back(config_.tree, rng.next_u64());
-    trees_.back().fit_rows(x, y, rows);
+    tree_rngs.push_back(root.fork(t));
+    trees_.emplace_back(config_.tree, tree_rngs.back().next_u64());
   }
+
+  parallel_for(0, config_.n_trees, 1, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::size_t> rows(draw_count);
+    for (std::size_t t = lo; t < hi; ++t) {
+      Rng& rng = tree_rngs[t];
+      for (auto& r : rows) r = static_cast<std::size_t>(rng.uniform_index(x.rows()));
+      trees_[t].fit_rows(x, y, rows);
+    }
+  });
 }
 
 double RandomForestRegressor::predict_one(std::span<const float> x) const {

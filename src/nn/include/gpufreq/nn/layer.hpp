@@ -28,7 +28,9 @@ class DenseLayer {
   /// Register W and b with the optimizer (once, before training).
   void register_params(Optimizer& opt);
 
-  /// Forward: stores X, Z for the backward pass; writes activations to `out`.
+  /// Forward: caches Z and a reference to X for the backward pass; writes
+  /// activations to `out`. `x` must stay alive (and unmodified) until
+  /// backward() — Network::train_step guarantees this for its batch.
   void forward(const Matrix& x, Matrix& out);
 
   /// Inference-only forward (no caching).
@@ -48,7 +50,7 @@ class DenseLayer {
 
   Matrix grad_w_;
   std::vector<float> grad_b_;
-  Matrix cached_x_;        // batch x in
+  const Matrix* cached_x_ = nullptr;  // borrowed forward input (batch x in)
   Matrix cached_z_;        // batch x out (pre-activation)
   Matrix delta_z_;         // scratch: dL/dZ
   std::size_t slot_w_ = static_cast<std::size_t>(-1);

@@ -7,9 +7,9 @@
 namespace gpufreq::nn {
 
 /// Dense row-major float matrix used by the neural-network stack. Kept
-/// deliberately small: the models in this library are 3x64x64x64x1 MLPs, so
-/// a cache-friendly scalar GEMM (auto-vectorized at -O3) is more than fast
-/// enough and keeps the library dependency-free.
+/// dependency-free: the GEMM kernels below are register-tiled and
+/// row-panel parallel (see DESIGN.md "Performance"), which is enough for
+/// the 3x64x64x64x1 MLPs this library trains and for the bench GEMMs.
 class Matrix {
  public:
   Matrix() = default;
@@ -32,6 +32,12 @@ class Matrix {
   void fill(float value);
   void resize(std::size_t rows, std::size_t cols);
 
+  /// Resize without initializing the payload (contents unspecified).
+  /// Reuses capacity, so repeated reshaping in a hot loop never allocates
+  /// once the high-water mark is reached. Callers must overwrite every
+  /// element before reading.
+  void resize_uninit(std::size_t rows, std::size_t cols);
+
   /// Frobenius-norm helpers used by gradient tests.
   float frobenius_norm() const;
 
@@ -41,13 +47,17 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// C = A * B. Dimensions are checked (InvalidArgument).
+/// C = A * B. Dimensions are checked (InvalidArgument). Blocked /
+/// register-tiled, with row-panel parallelism across the global thread
+/// pool for large row counts. Per-element accumulation order is fixed
+/// (ascending inner dimension), so results are bitwise identical for any
+/// set_num_threads value.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
 
-/// C = A^T * B.
+/// C = A^T * B. Same determinism guarantee as gemm.
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
 
-/// C = A * B^T.
+/// C = A * B^T. Same determinism guarantee as gemm.
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// Adds a row vector (bias) to every row of `m`.

@@ -22,10 +22,10 @@ void DenseLayer::register_params(Optimizer& opt) {
 
 void DenseLayer::forward(const Matrix& x, Matrix& out) {
   GPUFREQ_REQUIRE(x.cols() == w_.rows(), "DenseLayer::forward: input width mismatch");
-  cached_x_ = x;
+  cached_x_ = &x;
   gemm(x, w_, cached_z_);
   add_row_vector(cached_z_, b_);
-  out.resize(cached_z_.rows(), cached_z_.cols());
+  out.resize_uninit(cached_z_.rows(), cached_z_.cols());
   activate(act_, cached_z_.flat(), out.flat());
 }
 
@@ -34,15 +34,16 @@ void DenseLayer::forward_inference(const Matrix& x, Matrix& out) const {
   Matrix z;
   gemm(x, w_, z);
   add_row_vector(z, b_);
-  out.resize(z.rows(), z.cols());
+  out.resize_uninit(z.rows(), z.cols());
   activate(act_, z.flat(), out.flat());
 }
 
 void DenseLayer::backward(const Matrix& delta, Matrix& dx) {
+  GPUFREQ_REQUIRE(cached_x_ != nullptr, "DenseLayer::backward: forward not called");
   GPUFREQ_REQUIRE(delta.rows() == cached_z_.rows() && delta.cols() == cached_z_.cols(),
                   "DenseLayer::backward: delta shape mismatch (forward not called?)");
   // dL/dZ = dL/dY * act'(Z)
-  delta_z_.resize(delta.rows(), delta.cols());
+  delta_z_.resize_uninit(delta.rows(), delta.cols());
   activate_derivative(act_, cached_z_.flat(), delta_z_.flat());
   {
     auto dz = delta_z_.flat();
@@ -51,9 +52,9 @@ void DenseLayer::backward(const Matrix& delta, Matrix& dx) {
   }
 
   // Parameter gradients, averaged over the batch.
-  gemm_tn(cached_x_, delta_z_, grad_w_);
-  grad_b_.assign(b_.size(), 0.0f);
-  column_sums(delta_z_, grad_b_);
+  gemm_tn(*cached_x_, delta_z_, grad_w_);
+  grad_b_.resize(b_.size());
+  column_sums(delta_z_, grad_b_);  // column_sums zero-fills grad_b_ itself
   const float inv_batch = 1.0f / static_cast<float>(delta.rows());
   for (float& v : grad_w_.flat()) v *= inv_batch;
   for (float& v : grad_b_) v *= inv_batch;

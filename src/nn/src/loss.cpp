@@ -50,7 +50,7 @@ double compute_loss(Loss loss, const Matrix& pred, const Matrix& target) {
 
 void loss_gradient(Loss loss, const Matrix& pred, const Matrix& target, Matrix& grad) {
   require_same_shape(pred, target, "loss_gradient");
-  grad.resize(pred.rows(), pred.cols());
+  grad.resize_uninit(pred.rows(), pred.cols());  // every element written below
   const auto p = pred.flat();
   const auto t = target.flat();
   auto g = grad.flat();

@@ -37,13 +37,17 @@ std::size_t Network::parameter_count() const {
 
 Matrix Network::predict(const Matrix& x) const {
   GPUFREQ_REQUIRE(!layers_.empty(), "Network::predict: empty network");
-  Matrix cur = x;
-  Matrix next;
+  // Ping-pong between two buffers; the input is only ever read, so no
+  // up-front copy of x is needed.
+  Matrix bufs[2];
+  const Matrix* cur = &x;
+  std::size_t w = 0;
   for (const auto& l : layers_) {
-    l.forward_inference(cur, next);
-    std::swap(cur, next);
+    l.forward_inference(*cur, bufs[w]);
+    cur = &bufs[w];
+    w ^= 1;
   }
-  return cur;
+  return std::move(bufs[w ^ 1]);
 }
 
 std::vector<double> Network::predict_vector(const Matrix& x) const {

@@ -27,6 +27,21 @@ Matrix gather_rows(const Matrix& src, const std::vector<std::size_t>& idx,
   }
   return out;
 }
+
+// Gather src rows order[batch_order[begin..end)] into the pre-sized scratch
+// `out`. Composing the two permutations here avoids both the materialized
+// x_train/y_train copies and the per-batch allocations of the old
+// gather-of-a-gather: once the scratch reaches the full batch size, an
+// epoch of minibatches performs zero heap allocations.
+void gather_batch(const Matrix& src, const std::vector<std::size_t>& order,
+                  const std::vector<std::size_t>& batch_order, std::size_t begin,
+                  std::size_t end, Matrix& out) {
+  out.resize_uninit(end - begin, src.cols());
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto row = src.row(order[batch_order[i]]);
+    std::copy(row.begin(), row.end(), out.row(i - begin).begin());
+  }
+}
 }  // namespace
 
 TrainHistory Trainer::fit(Network& net, const Matrix& x, const Matrix& y) const {
@@ -45,8 +60,9 @@ TrainHistory Trainer::fit(Network& net, const Matrix& x, const Matrix& y) const 
   const std::size_t n_train = x.rows() - n_val;
   GPUFREQ_REQUIRE(n_train > 0, "Trainer::fit: validation split leaves no training data");
 
-  Matrix x_train = gather_rows(x, order, 0, n_train);
-  Matrix y_train = gather_rows(y, order, 0, n_train);
+  // Only the validation split is materialized (it is reused every epoch);
+  // training minibatches are gathered straight from x/y through the
+  // composed permutation order∘batch_order.
   Matrix x_val, y_val;
   if (n_val > 0) {
     x_val = gather_rows(x, order, n_train, x.rows());
@@ -66,6 +82,7 @@ TrainHistory Trainer::fit(Network& net, const Matrix& x, const Matrix& y) const 
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t since_best = 0;
 
+  Matrix xb, yb;  // batch scratch, reused across every epoch
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     if (config_.shuffle_each_epoch) batch_order = rng.permutation(n_train);
 
@@ -73,8 +90,8 @@ TrainHistory Trainer::fit(Network& net, const Matrix& x, const Matrix& y) const 
     std::size_t batches = 0;
     for (std::size_t start = 0; start < n_train; start += config_.batch_size) {
       const std::size_t end = std::min(start + config_.batch_size, n_train);
-      Matrix xb = gather_rows(x_train, batch_order, start, end);
-      Matrix yb = gather_rows(y_train, batch_order, start, end);
+      gather_batch(x, order, batch_order, start, end, xb);
+      gather_batch(y, order, batch_order, start, end, yb);
       epoch_loss += net.train_step(xb, yb, config_.loss, *opt);
       ++batches;
     }

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+namespace gpufreq {
+
+/// Number of threads the global pool computes with (>= 1, caller included).
+/// Initialized on first use from GPUFREQ_NUM_THREADS, falling back to the
+/// hardware concurrency.
+std::size_t num_threads();
+
+/// Resize the global pool. n == 0 restores the GPUFREQ_NUM_THREADS /
+/// hardware default. Not safe to call concurrently with parallel_for.
+void set_num_threads(std::size_t n);
+
+namespace detail {
+/// Run chunk indices [0, chunk_count) on the pool (caller participates).
+/// `run_chunk` must be safe to invoke from several threads at once. The
+/// first exception thrown by any chunk is rethrown on the caller after all
+/// chunks finished. Calls from inside a pool worker execute inline
+/// (serially), so nested parallel_for is safe and deadlock-free.
+void parallel_chunks(std::size_t chunk_count, const std::function<void(std::size_t)>& run_chunk);
+}  // namespace detail
+
+/// Apply fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
+/// `grain` items. The partitioning depends only on (begin, end, grain) —
+/// never on the thread count — so a reduction that combines per-chunk
+/// results in chunk order is bitwise-stable for any set_num_threads value.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = (end - begin + grain - 1) / grain;
+  if (count == 1) {
+    fn(begin, end);
+    return;
+  }
+  detail::parallel_chunks(count, [&, begin, end, grain](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    fn(lo, std::min(end, lo + grain));
+  });
+}
+
+}  // namespace gpufreq

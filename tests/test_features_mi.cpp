@@ -6,6 +6,7 @@
 #include "gpufreq/features/ranking.hpp"
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/rng.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 namespace gpufreq::features {
 namespace {
@@ -181,6 +182,21 @@ TEST(Ranker, TopKClampsToFeatureCount) {
   }
   ranker.add_feature("only", f);
   EXPECT_EQ(ranker.top_k(t, 10).size(), 1u);
+}
+
+TEST(Ksg, SerialAndParallelEstimatesAreBitwiseIdentical) {
+  // The chunked neighbor scan reduces per-chunk partial sums in chunk
+  // order, so the estimate must not depend on the thread count at all.
+  Rng rng(9);
+  const auto x = gaussian(500, rng);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 0.7 * x[i] + 0.3 * rng.normal();
+  set_num_threads(1);
+  const double serial = mutual_information_ksg(x, y);
+  set_num_threads(4);
+  const double parallel = mutual_information_ksg(x, y);
+  set_num_threads(0);
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace

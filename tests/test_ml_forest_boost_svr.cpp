@@ -9,6 +9,7 @@
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/rng.hpp"
 #include "gpufreq/util/stats.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 namespace gpufreq::ml {
 namespace {
@@ -58,6 +59,22 @@ TEST(Forest, Deterministic) {
   b.fit(x, y);
   for (std::size_t i = 0; i < 10; ++i) {
     EXPECT_DOUBLE_EQ(a.predict_one(x.row(i)), b.predict_one(x.row(i)));
+  }
+}
+
+TEST(Forest, SerialAndParallelFitsAreBitwiseIdentical) {
+  // Per-tree forked RNG streams make tree construction order-independent:
+  // a forest grown on one thread and on several must match exactly.
+  auto [x, y] = nonlinear_data(300, 3);
+  set_num_threads(1);
+  RandomForestRegressor serial;
+  serial.fit(x, y);
+  set_num_threads(4);
+  RandomForestRegressor parallel;
+  parallel.fit(x, y);
+  set_num_threads(0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    ASSERT_EQ(serial.predict_one(x.row(i)), parallel.predict_one(x.row(i))) << "row " << i;
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/rng.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 namespace gpufreq::nn {
 namespace {
@@ -140,6 +141,59 @@ TEST(ColumnSums, SumsColumns) {
   column_sums(m, out);
   EXPECT_FLOAT_EQ(out[0], 3.0f);
   EXPECT_FLOAT_EQ(out[1], 3.0f);
+}
+
+void expect_matrix_bitwise_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a(i, j), b(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Matrix, GemmVariantsBitwiseIdenticalAcrossThreadCounts) {
+  // The contract documented on gemm/gemm_tn/gemm_nt: the accumulation
+  // order is fixed by the grain, never by the thread count, so results are
+  // bitwise identical (max-abs-diff exactly 0) for any set_num_threads.
+  Rng rng(77);
+  const Matrix a = random_matrix(131, 67, rng);   // odd sizes exercise tails
+  const Matrix b = random_matrix(67, 53, rng);
+  const Matrix p = random_matrix(131, 67, rng);
+  const Matrix q = random_matrix(131, 53, rng);
+  const Matrix s = random_matrix(53, 67, rng);
+
+  set_num_threads(1);
+  Matrix c_serial, tn_serial, nt_serial;
+  gemm(a, b, c_serial);
+  gemm_tn(p, q, tn_serial);
+  gemm_nt(a, s, nt_serial);
+
+  set_num_threads(4);
+  Matrix c_par, tn_par, nt_par;
+  gemm(a, b, c_par);
+  gemm_tn(p, q, tn_par);
+  gemm_nt(a, s, nt_par);
+  set_num_threads(0);
+
+  expect_matrix_bitwise_equal(c_serial, c_par);
+  expect_matrix_bitwise_equal(tn_serial, tn_par);
+  expect_matrix_bitwise_equal(nt_serial, nt_par);
+
+  // And the tiled kernel still agrees with the reference triple loop.
+  expect_matrix_near(c_serial, naive_gemm(a, b), 1e-3f);
+}
+
+TEST(Matrix, ResizeUninitKeepsShapeContract) {
+  Matrix m(2, 3, 1.0f);
+  m.resize_uninit(4, 5);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.size(), 20u);
+  // resize() (unlike resize_uninit) must still zero.
+  m.resize(2, 2);
+  EXPECT_FLOAT_EQ(m(1, 1), 0.0f);
 }
 
 }  // namespace

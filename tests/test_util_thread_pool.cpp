@@ -1,0 +1,134 @@
+#include "gpufreq/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gpufreq {
+namespace {
+
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+};
+
+TEST_F(ThreadPoolTest, DefaultsToAtLeastOneThread) { EXPECT_GE(num_threads(), 1u); }
+
+TEST_F(ThreadPoolTest, SetNumThreadsIsHonored) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1u);
+}
+
+TEST_F(ThreadPoolTest, OversizedRequestIsCappedNotFatal) {
+  // GPUFREQ_NUM_THREADS=99999 must not abort with std::system_error; the
+  // pool caps the count and survives spawn failure with fewer workers.
+  set_num_threads(99999);
+  EXPECT_LE(num_threads(), 256u);
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 100, 1, [&](std::size_t lo, std::size_t hi) { total.fetch_add(hi - lo); });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST_F(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  set_num_threads(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_F(ThreadPoolTest, ChunkBoundariesDependOnlyOnGrain) {
+  // The chunk partition must be a pure function of (begin, end, grain) so
+  // per-chunk reductions are bitwise stable across thread counts.
+  auto collect = [](std::size_t threads) {
+    set_num_threads(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> chunks(8);
+    parallel_for(10, 110, 13, [&](std::size_t lo, std::size_t hi) {
+      chunks[(lo - 10) / 13] = {lo, hi};
+    });
+    return chunks;
+  };
+  EXPECT_EQ(collect(1), collect(4));
+}
+
+TEST_F(ThreadPoolTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, 4, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  parallel_for(9, 3, 4, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ThreadPoolTest, GrainZeroIsTreatedAsOne) {
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 10, 0, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(hi, lo + 1);  // grain 1 => single-index chunks
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 10u);
+}
+
+TEST_F(ThreadPoolTest, GrainLargerThanRangeRunsInline) {
+  set_num_threads(4);
+  std::atomic<int> calls{0};
+  parallel_for(0, 5, 100, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 5u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(0, 100, 1,
+                            [&](std::size_t lo, std::size_t) {
+                              if (lo == 37) throw std::runtime_error("chunk failure");
+                            }),
+               std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 100, 1, [&](std::size_t lo, std::size_t hi) { total.fetch_add(hi - lo); });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  set_num_threads(4);
+  std::atomic<std::size_t> inner_total{0};
+  parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    parallel_for(0, 10, 2, [&](std::size_t lo, std::size_t hi) {
+      inner_total.fetch_add(hi - lo);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST_F(ThreadPoolTest, DeterministicReductionAcrossThreadCounts) {
+  // Sum doubles chunk-by-chunk (the idiom used by the KSG estimator): the
+  // result must be bitwise identical for any thread count.
+  constexpr std::size_t kN = 10000, kGrain = 64;
+  std::vector<double> v(kN);
+  for (std::size_t i = 0; i < kN; ++i) v[i] = 1.0 / static_cast<double>(i + 1);
+  auto reduce = [&](std::size_t threads) {
+    set_num_threads(threads);
+    std::vector<double> partial((kN + kGrain - 1) / kGrain, 0.0);
+    parallel_for(0, kN, kGrain, [&](std::size_t lo, std::size_t hi) {
+      double s = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) s += v[i];
+      partial[lo / kGrain] = s;
+    });
+    return std::accumulate(partial.begin(), partial.end(), 0.0);
+  };
+  const double serial = reduce(1);
+  EXPECT_EQ(serial, reduce(2));
+  EXPECT_EQ(serial, reduce(8));
+}
+
+}  // namespace
+}  // namespace gpufreq

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the performance microbenchmarks (training, GEMM, prediction sweeps)
+# and write the google-benchmark JSON report to BENCH_perf.json at the repo
+# root. BENCH_*.json files are build artifacts and stay untracked.
+#
+# Usage:
+#   tools/run_benchmarks.sh                 # full suite
+#   BENCH_FILTER='Gemm' tools/run_benchmarks.sh
+#   BUILD_DIR=/tmp/b tools/run_benchmarks.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+BENCH_BIN="$BUILD/bench/perf_model_training"
+
+if [[ ! -x "$BENCH_BIN" ]]; then
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGPUFREQ_BUILD_BENCH=ON
+  cmake --build "$BUILD" --target perf_model_training -j
+fi
+
+"$BENCH_BIN" \
+  --benchmark_out="$ROOT/BENCH_perf.json" \
+  --benchmark_out_format=json \
+  --benchmark_filter="${BENCH_FILTER:-.*}"
+
+echo "wrote $ROOT/BENCH_perf.json"
