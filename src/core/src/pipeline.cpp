@@ -122,6 +122,10 @@ DvfsProfile OnlinePredictor::predict_from_features(const sim::CounterSet& max_fr
 
   const std::vector<double> power_frac = models_.power.predict(x);
   const std::vector<double> slowdown = models_.time.predict(x);
+  // A NaN here means poisoned weights or features; fail before it turns
+  // into a silently wrong "optimal" frequency downstream.
+  GPUFREQ_CHECK_FINITE(power_frac);
+  GPUFREQ_CHECK_FINITE(slowdown);
 
   DvfsProfile p;
   p.workload = workload_name;

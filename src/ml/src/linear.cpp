@@ -46,9 +46,9 @@ void LinearRegressor::fit(const nn::Matrix& x, const std::vector<double>& y) {
   for (std::size_t i = 0; i < n; ++i) {
     const auto row = x.row(i);
     for (std::size_t a = 0; a < d; ++a) {
-      const double xa = a < x.cols() ? row[a] : 1.0;
+      const double xa = a < x.cols() ? static_cast<double>(row[a]) : 1.0;
       for (std::size_t b = a; b < d; ++b) {
-        const double xb = b < x.cols() ? row[b] : 1.0;
+        const double xb = b < x.cols() ? static_cast<double>(row[b]) : 1.0;
         xtx[a][b] += xa * xb;
       }
       xty[a] += xa * y[i];
@@ -68,7 +68,7 @@ double LinearRegressor::predict_one(std::span<const float> x) const {
   GPUFREQ_REQUIRE(fitted(), "LinearRegressor: not fitted");
   GPUFREQ_REQUIRE(x.size() == coef_.size(), "LinearRegressor: feature width mismatch");
   double s = intercept_;
-  for (std::size_t i = 0; i < x.size(); ++i) s += coef_[i] * x[i];
+  for (std::size_t i = 0; i < x.size(); ++i) s += coef_[i] * static_cast<double>(x[i]);
   return s;
 }
 

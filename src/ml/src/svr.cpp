@@ -17,7 +17,7 @@ SvrRegressor::SvrRegressor(Config config) : config_(config) {
 double SvrRegressor::kernel(std::span<const float> a, std::span<const float> b) const {
   double d2 = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
     d2 += d * d;
   }
   // +1 absorbs the bias term (see class comment).
@@ -55,12 +55,12 @@ void SvrRegressor::fit(const nn::Matrix& x, const std::vector<double>& y) {
   } else {
     double mean = 0.0, var = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < d; ++j) mean += support_x_(i, j);
+      for (std::size_t j = 0; j < d; ++j) mean += static_cast<double>(support_x_(i, j));
     }
     mean /= static_cast<double>(n * d);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < d; ++j) {
-        const double dd = support_x_(i, j) - mean;
+        const double dd = static_cast<double>(support_x_(i, j)) - mean;
         var += dd * dd;
       }
     }

@@ -31,16 +31,18 @@ double compute_loss(Loss loss, const Matrix& pred, const Matrix& target) {
   switch (loss) {
     case Loss::kMse:
       for (std::size_t i = 0; i < p.size(); ++i) {
-        const double d = static_cast<double>(p[i]) - t[i];
+        const double d = static_cast<double>(p[i]) - static_cast<double>(t[i]);
         s += d * d;
       }
       break;
     case Loss::kMae:
-      for (std::size_t i = 0; i < p.size(); ++i) s += std::abs(static_cast<double>(p[i]) - t[i]);
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        s += std::abs(static_cast<double>(p[i]) - static_cast<double>(t[i]));
+      }
       break;
     case Loss::kHuber:
       for (std::size_t i = 0; i < p.size(); ++i) {
-        const double d = std::abs(static_cast<double>(p[i]) - t[i]);
+        const double d = std::abs(static_cast<double>(p[i]) - static_cast<double>(t[i]));
         s += d <= kHuberDelta ? 0.5 * d * d : kHuberDelta * (d - 0.5 * kHuberDelta);
       }
       break;

@@ -27,7 +27,7 @@ void Matrix::resize_uninit(std::size_t rows, std::size_t cols) {
 
 float Matrix::frobenius_norm() const {
   double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  for (const double v : data_) s += v * v;
   return static_cast<float>(std::sqrt(s));
 }
 
@@ -147,6 +147,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
 
   parallel_for(0, n, kRowGrain,
                [&](std::size_t lo, std::size_t hi) { gemm_row_band(A, B, C, k, m, lo, hi); });
+  GPUFREQ_DCHECK_FINITE(c);
 }
 
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -175,6 +176,7 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
       }
     }
   });
+  GPUFREQ_DCHECK_FINITE(c);
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -205,6 +207,7 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
 
   parallel_for(0, n, kRowGrain,
                [&](std::size_t lo, std::size_t hi) { gemm_row_band(A, Bt, C, k, m, lo, hi); });
+  GPUFREQ_DCHECK_FINITE(c);
 }
 
 void add_row_vector(Matrix& m, std::span<const float> v) {

@@ -15,7 +15,9 @@ void Optimizer::update(std::size_t slot, std::span<float> param, std::span<const
   GPUFREQ_REQUIRE(slot < slot_sizes_.size(), "optimizer: unregistered slot");
   GPUFREQ_REQUIRE(param.size() == slot_sizes_[slot] && grad.size() == slot_sizes_[slot],
                   "optimizer: span size does not match registered slot");
+  GPUFREQ_DCHECK_FINITE(grad);
   apply(slot, param, grad);
+  GPUFREQ_DCHECK_FINITE(param);
 }
 
 std::vector<float>& Optimizer::state(std::size_t slot, int which) {

@@ -12,12 +12,12 @@ void StandardScaler::fit(const Matrix& x) {
   mean_.assign(d, 0.0);
   std_.assign(d, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < d; ++j) mean_[j] += x(i, j);
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += static_cast<double>(x(i, j));
   }
   for (double& m : mean_) m /= static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < d; ++j) {
-      const double dlt = x(i, j) - mean_[j];
+      const double dlt = static_cast<double>(x(i, j)) - mean_[j];
       std_[j] += dlt * dlt;
     }
   }
@@ -33,7 +33,7 @@ Matrix StandardScaler::transform(const Matrix& x) const {
   Matrix out(x.rows(), x.cols());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     for (std::size_t j = 0; j < x.cols(); ++j) {
-      out(i, j) = static_cast<float>((x(i, j) - mean_[j]) / std_[j]);
+      out(i, j) = static_cast<float>((static_cast<double>(x(i, j)) - mean_[j]) / std_[j]);
     }
   }
   return out;
@@ -45,7 +45,7 @@ Matrix StandardScaler::inverse_transform(const Matrix& x) const {
   Matrix out(x.rows(), x.cols());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     for (std::size_t j = 0; j < x.cols(); ++j) {
-      out(i, j) = static_cast<float>(x(i, j) * std_[j] + mean_[j]);
+      out(i, j) = static_cast<float>(static_cast<double>(x(i, j)) * std_[j] + mean_[j]);
     }
   }
   return out;
@@ -54,7 +54,10 @@ Matrix StandardScaler::inverse_transform(const Matrix& x) const {
 void StandardScaler::restore(std::vector<double> means, std::vector<double> stddevs) {
   GPUFREQ_REQUIRE(means.size() == stddevs.size(), "StandardScaler::restore: size mismatch");
   GPUFREQ_REQUIRE(!means.empty(), "StandardScaler::restore: empty state");
-  for (double s : stddevs) GPUFREQ_REQUIRE(s > 0.0, "StandardScaler::restore: non-positive scale");
+  for (double m : means) GPUFREQ_REQUIRE(std::isfinite(m), "StandardScaler::restore: non-finite mean");
+  for (double s : stddevs) {
+    GPUFREQ_REQUIRE(std::isfinite(s) && s > 0.0, "StandardScaler::restore: non-positive scale");
+  }
   mean_ = std::move(means);
   std_ = std::move(stddevs);
 }

@@ -1,5 +1,6 @@
 #include "gpufreq/nn/serialize.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <istream>
@@ -111,6 +112,12 @@ ModelBundle load_model(std::istream& is) {
     is.read(reinterpret_cast<char*>(b.data()),
             static_cast<std::streamsize>(b.size() * sizeof(float)));
     if (!is) throw ParseError("model: truncated weights");
+    for (float v : w) {
+      if (!std::isfinite(v)) throw ParseError("model: non-finite weight payload");
+    }
+    for (float v : b) {
+      if (!std::isfinite(v)) throw ParseError("model: non-finite bias payload");
+    }
     params.emplace_back(std::move(w), std::move(b));
     in = units;
   }

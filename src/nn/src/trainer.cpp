@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "gpufreq/nn/optimizer.hpp"
 #include "gpufreq/util/error.hpp"
@@ -92,14 +93,27 @@ TrainHistory Trainer::fit(Network& net, const Matrix& x, const Matrix& y) const 
       const std::size_t end = std::min(start + config_.batch_size, n_train);
       gather_batch(x, order, batch_order, start, end, xb);
       gather_batch(y, order, batch_order, start, end, yb);
-      epoch_loss += net.train_step(xb, yb, config_.loss, *opt);
+      const double batch_loss = net.train_step(xb, yb, config_.loss, *opt);
+      if (!std::isfinite(batch_loss)) {
+        throw NumericError("gpufreq: Trainer::fit diverged: non-finite " +
+                           std::string(to_string(config_.loss)) + " loss " +
+                           std::to_string(batch_loss) + " at epoch " + std::to_string(epoch + 1) +
+                           "/" + std::to_string(config_.epochs) + ", batch " +
+                           std::to_string(batches + 1) + " (rows [" + std::to_string(start) + "," +
+                           std::to_string(end) + ") of " + std::to_string(n_train) +
+                           "); try a lower learning rate");
+      }
+      epoch_loss += batch_loss;
       ++batches;
     }
     epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
     history.train_loss.push_back(epoch_loss);
 
     double val_loss = epoch_loss;
-    if (n_val > 0) val_loss = net.evaluate(x_val, y_val, config_.loss);
+    if (n_val > 0) {
+      val_loss = net.evaluate(x_val, y_val, config_.loss);
+      GPUFREQ_CHECK_FINITE(val_loss);
+    }
     history.val_loss.push_back(val_loss);
     history.epochs_run = epoch + 1;
 

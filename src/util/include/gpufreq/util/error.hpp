@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cmath>
+#include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -30,17 +33,116 @@ class ParseError : public Error {
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a GPUFREQ_DCHECK-guarded internal invariant fails. Only
+/// raised in builds where the debug checks are compiled in (see
+/// GPUFREQ_DCHECK_ENABLED below); a release binary never constructs one.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numeric pipeline produces a non-finite value (NaN/Inf):
+/// diverged training loss, poisoned model prediction, corrupt weights.
+/// Carrying the origin (expression, file:line, offending index) lets a NaN
+/// surface where it was created instead of as a wrong "optimal" frequency.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_invalid(const std::string& msg) { throw InvalidArgument(msg); }
+
+[[noreturn]] inline void throw_contract(const char* expr, const char* file, long line,
+                                        const std::string& msg) {
+  throw ContractViolation(std::string("gpufreq: DCHECK failed: (") + expr + ") at " + file + ":" +
+                          std::to_string(line) + ": " + msg);
+}
+
+[[noreturn]] inline void throw_non_finite(const char* expr, const char* file, long line,
+                                          std::size_t index, double value) {
+  throw NumericError(std::string("gpufreq: non-finite value in ") + expr + " at " + file + ":" +
+                     std::to_string(line) + " (element " + std::to_string(index) + " = " +
+                     std::to_string(value) + ")");
+}
+
+inline void check_finite(std::span<const float> v, const char* expr, const char* file, long line) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) throw_non_finite(expr, file, line, i, static_cast<double>(v[i]));
+  }
+}
+
+inline void check_finite(std::span<const double> v, const char* expr, const char* file, long line) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) throw_non_finite(expr, file, line, i, v[i]);
+  }
+}
+
+inline void check_finite(double v, const char* expr, const char* file, long line) {
+  if (!std::isfinite(v)) throw_non_finite(expr, file, line, 0, v);
+}
+
+/// Anything exposing a flat() span of elements (nn::Matrix) checks its
+/// whole payload.
+template <typename M>
+  requires requires(const M& m) { m.flat(); }
+inline void check_finite(const M& m, const char* expr, const char* file, long line) {
+  check_finite(m.flat(), expr, file, line);
+}
 }  // namespace detail
 
 /// GPUFREQ_REQUIRE(cond, msg): contract check that throws InvalidArgument.
-/// Used at public API boundaries; internal invariants use assert().
+/// Used at public API boundaries; always compiled in.
 #define GPUFREQ_REQUIRE(cond, msg)                                      \
   do {                                                                  \
     if (!(cond)) {                                                      \
       ::gpufreq::detail::throw_invalid(std::string("gpufreq: ") + (msg)); \
     }                                                                   \
   } while (false)
+
+/// Debug invariant checks are on in any build without NDEBUG (Debug,
+/// RelWithDebInfo without NDEBUG) and can be forced into optimized builds
+/// by defining GPUFREQ_ENABLE_DCHECKS (the sanitizer leg of
+/// tools/run_static_analysis.sh does this).
+#if !defined(NDEBUG) || defined(GPUFREQ_ENABLE_DCHECKS)
+#define GPUFREQ_DCHECK_ENABLED 1
+#else
+#define GPUFREQ_DCHECK_ENABLED 0
+#endif
+
+#if GPUFREQ_DCHECK_ENABLED
+/// GPUFREQ_DCHECK(cond, msg): internal invariant check. Throws
+/// ContractViolation in debug builds; compiled out (condition not
+/// evaluated) in release builds.
+#define GPUFREQ_DCHECK(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::gpufreq::detail::throw_contract(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                        \
+  } while (false)
+
+/// GPUFREQ_DCHECK_FINITE(x): debug-only whole-payload NaN/Inf scan of a
+/// matrix, span, vector, or scalar. Used inside hot kernels (GEMM results,
+/// optimizer parameter updates) where an always-on scan would be
+/// measurable; throws NumericError naming the expression and element.
+#define GPUFREQ_DCHECK_FINITE(x) \
+  ::gpufreq::detail::check_finite((x), #x, __FILE__, __LINE__)
+#else
+#define GPUFREQ_DCHECK(cond, msg) \
+  do {                            \
+    (void)sizeof((cond));         \
+  } while (false)
+#define GPUFREQ_DCHECK_FINITE(x) \
+  do {                           \
+    (void)sizeof(&(x));          \
+  } while (false)
+#endif
+
+/// GPUFREQ_CHECK_FINITE(x): always-on NaN/Inf scan, for places where the
+/// check is cheap relative to the surrounding work (per-epoch training
+/// loss, the 61-row DVFS prediction sweep, deserialized weights). Throws
+/// NumericError with the expression and offending element.
+#define GPUFREQ_CHECK_FINITE(x) \
+  ::gpufreq::detail::check_finite((x), #x, __FILE__, __LINE__)
 
 }  // namespace gpufreq

@@ -121,6 +121,55 @@ TEST(ModelCache, InvalidateRemoves) {
   cache.invalidate("gone");  // idempotent
 }
 
+// Overwrite `count` bytes at `offset` of an existing file with 0xFF.
+void poison_bytes(const std::string& path, std::streamoff offset, std::size_t count) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  const std::string junk(count, '\xff');
+  f.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+}
+
+TEST(SaveLoadModels, CorruptHeaderThrowsParseErrorNotStaleLoad) {
+  const PowerTimeModels models = train_tiny();
+  const std::string dir = ::testing::TempDir() + "/gpufreq_cache_hdr";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/m.gfpm";
+  save_models(models, path);
+
+  // Feature-count word (bytes 8..12) -> 0xFFFFFFFF: must surface as a
+  // ParseError from the plausibility guard, never as a model built from
+  // garbage dimensions.
+  poison_bytes(path, 8, 4);
+  EXPECT_THROW(load_models(path), ParseError);
+
+  save_models(models, path);
+  poison_bytes(path, 0, 4);  // magic
+  EXPECT_THROW(load_models(path), ParseError);
+}
+
+TEST(SaveLoadModels, TruncatedCacheFileThrowsParseError) {
+  const PowerTimeModels models = train_tiny();
+  const std::string dir = ::testing::TempDir() + "/gpufreq_cache_trunc";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/m.gfpm";
+  save_models(models, path);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(load_models(path), ParseError);
+}
+
+TEST(ModelCache, PoisonedEntryIsMissNotStaleModel) {
+  const PowerTimeModels models = train_tiny();
+  const std::string dir = ::testing::TempDir() + "/gpufreq_cache_poison";
+  const ModelCache cache(dir);
+  cache.store("m", models);
+
+  // Corrupt the stored entry in place; a later load must report a miss (so
+  // the caller retrains) instead of handing back a half-parsed model.
+  poison_bytes(cache.path_for("m"), 8, 4);
+  EXPECT_FALSE(cache.load("m").has_value());
+}
+
 TEST(SaveLoadModels, FileErrors) {
   EXPECT_THROW(load_models("/nonexistent/dir/m.gfpm"), IoError);
   const PowerTimeModels models = train_tiny();

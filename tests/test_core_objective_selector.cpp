@@ -84,7 +84,7 @@ TEST(Profile, ValidationCatchesProblems) {
 TEST(Profile, ChangePercentagesAgainstMaxFrequency) {
   const DvfsProfile p = synth_profile();
   const std::size_t last = p.size() - 1;
-  EXPECT_DOUBLE_EQ(p.max_frequency_index(), last);
+  EXPECT_EQ(p.max_frequency_index(), last);
   EXPECT_DOUBLE_EQ(p.energy_change_pct(last), 0.0);
   EXPECT_DOUBLE_EQ(p.time_change_pct(last), 0.0);
   EXPECT_GT(p.time_change_pct(0), 0.0);   // slower at low clock

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Self-check for tools/lint/gpufreq_lint.py, registered with ctest as
+`lint_selfcheck`. Verifies three properties:
+
+  1. the real tree lints clean (exit 0, no findings),
+  2. the known-bad fixtures trip every rule exactly where expected
+     (exit 1), and
+  3. `// lint-allow: <rule>` suppression comments are honored.
+
+Stdlib-only; exits nonzero with a diagnostic on the first broken property.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(ROOT, "tools", "lint", "gpufreq_lint.py")
+FIXTURE_CPP = os.path.join(ROOT, "tools", "lint", "fixtures", "bad_example.cpp")
+FIXTURE_HPP = os.path.join(ROOT, "tools", "lint", "fixtures", "bad_header.hpp")
+
+EXPECTED_RULES = {
+    "nondeterminism",
+    "io-in-library",
+    "naked-new",
+    "pragma-once",
+    "auto-float-accum",
+    "unordered-iter",
+}
+
+failures = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}")
+    if not ok:
+        if detail:
+            print(detail)
+        failures.append(name)
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, LINT, *args],
+                          capture_output=True, text=True, cwd=ROOT)
+
+
+def main() -> int:
+    # 1. The real tree must be clean.
+    r = run_lint()
+    check("real tree lints clean", r.returncode == 0,
+          f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+
+    # The advertised rule set must match what this script expects.
+    r = run_lint("--list-rules")
+    listed = {line.split()[0] for line in r.stdout.splitlines() if line.strip()}
+    check("rule inventory matches self-check expectations", listed == EXPECTED_RULES,
+          f"listed={sorted(listed)} expected={sorted(EXPECTED_RULES)}")
+
+    # 2. Fixtures must be rejected, tripping every rule.
+    r = run_lint("--as-library", FIXTURE_CPP, FIXTURE_HPP)
+    check("fixtures exit nonzero", r.returncode == 1, f"exit={r.returncode}\n{r.stdout}")
+    tripped = set(re.findall(r"\[([a-z-]+)\]", r.stdout))
+    missing = EXPECTED_RULES - tripped
+    check("every rule fires on the fixtures", not missing,
+          f"rules that never fired: {sorted(missing)}\n{r.stdout}")
+
+    # Findings must carry file:line anchors.
+    anchored = all(re.match(r"^\S+:\d+: \[", line)
+                   for line in r.stdout.splitlines() if "[" in line)
+    check("findings carry file:line anchors", anchored, r.stdout)
+
+    # 3. Suppression: the fixture's `lint-allow` line must not be reported.
+    with open(FIXTURE_CPP, encoding="utf-8") as f:
+        fixture_lines = f.read().splitlines()
+    allow_lines = [i for i, line in enumerate(fixture_lines, start=1)
+                   if "lint-allow:" in line]
+    check("fixture contains a lint-allow suppression", bool(allow_lines))
+    reported_lines = {int(m.group(1))
+                      for m in re.finditer(r"bad_example\.cpp:(\d+):", r.stdout)}
+    leaked = [ln for ln in allow_lines if ln in reported_lines]
+    check("lint-allow suppressions are honored", not leaked,
+          f"suppressed line(s) still reported: {leaked}\n{r.stdout}")
+
+    # Unknown rule names inside lint-allow must be a hard error, so typos
+    # cannot silently disable nothing.
+    import tempfile
+    with tempfile.NamedTemporaryFile("w", suffix=".cpp", delete=False) as tmp:
+        tmp.write("int x = 0;  // lint-allow: not-a-rule\n")
+        tmp_path = tmp.name
+    try:
+        r = run_lint(tmp_path)
+        check("unknown rule in lint-allow is rejected", r.returncode not in (0, 1),
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+    finally:
+        os.unlink(tmp_path)
+
+    if failures:
+        print(f"\nlint self-check: {len(failures)} failure(s)")
+        return 1
+    print("\nlint self-check: all properties hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

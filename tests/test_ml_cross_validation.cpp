@@ -17,7 +17,8 @@ std::pair<nn::Matrix, std::vector<double>> linear_data(std::size_t n, double noi
   for (std::size_t i = 0; i < n; ++i) {
     x(i, 0) = static_cast<float>(rng.uniform(-1.0, 1.0));
     x(i, 1) = static_cast<float>(rng.uniform(-1.0, 1.0));
-    y[i] = 3.0 * x(i, 0) - x(i, 1) + 2.0 + noise * rng.normal();
+    y[i] = 3.0 * static_cast<double>(x(i, 0)) - static_cast<double>(x(i, 1)) + 2.0 +
+           noise * rng.normal();
   }
   return {std::move(x), std::move(y)};
 }

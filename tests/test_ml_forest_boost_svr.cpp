@@ -22,7 +22,8 @@ std::pair<nn::Matrix, std::vector<double>> nonlinear_data(std::size_t n, std::ui
   for (std::size_t i = 0; i < n; ++i) {
     x(i, 0) = static_cast<float>(rng.uniform(-2.0, 2.0));
     x(i, 1) = static_cast<float>(rng.uniform(-2.0, 2.0));
-    y[i] = std::sin(x(i, 0)) + 0.5 * x(i, 1) * x(i, 1) + noise * rng.normal();
+    const double x1 = x(i, 1);
+    y[i] = std::sin(static_cast<double>(x(i, 0))) + 0.5 * x1 * x1 + noise * rng.normal();
   }
   return {std::move(x), std::move(y)};
 }

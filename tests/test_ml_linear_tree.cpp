@@ -18,7 +18,8 @@ std::pair<nn::Matrix, std::vector<double>> linear_data(std::size_t n, std::uint6
   std::vector<double> y(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < 3; ++j) x(i, j) = static_cast<float>(rng.uniform(-2.0, 2.0));
-    y[i] = 1.5 * x(i, 0) - 2.0 * x(i, 1) + 0.25 * x(i, 2) + 4.0 + noise * rng.normal();
+    y[i] = 1.5 * static_cast<double>(x(i, 0)) - 2.0 * static_cast<double>(x(i, 1)) +
+           0.25 * static_cast<double>(x(i, 2)) + 4.0 + noise * rng.normal();
   }
   return {std::move(x), std::move(y)};
 }

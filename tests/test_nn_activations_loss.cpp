@@ -85,7 +85,7 @@ TEST_P(ActivationDerivative, MatchesFiniteDifference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(All, ActivationDerivative, ::testing::ValuesIn(kAll),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& param_info) { return to_string(param_info.param); });
 
 // ------------------------------- Loss -----------------------------------
 
@@ -143,8 +143,9 @@ TEST(Loss, GradientMatchesFiniteDifferenceMse) {
     // compute_loss averages over all elements; the layer backward divides
     // by rows, so compare against d(mean loss)/dp * rows.
     const double fd =
-        (compute_loss(Loss::kMse, pp, t) - compute_loss(Loss::kMse, pm, t)) / (2.0 * h);
-    EXPECT_NEAR(g(i, 0), fd * static_cast<double>(p.rows()), 5e-3);
+        (compute_loss(Loss::kMse, pp, t) - compute_loss(Loss::kMse, pm, t)) /
+        (2.0 * static_cast<double>(h));
+    EXPECT_NEAR(static_cast<double>(g(i, 0)), fd * static_cast<double>(p.rows()), 5e-3);
   }
 }
 

@@ -118,7 +118,7 @@ TEST(Network, GradientsMatchFiniteDifferences) {
       const std::size_t c = idx % w.cols();
       const float orig = w(r, c);
       // grad = (w_before - w_after) / lr, lr = 1, batch divides internally.
-      const double grad_bp = static_cast<double>(orig) - w_after(r, c);
+      const double grad_bp = static_cast<double>(orig) - static_cast<double>(w_after(r, c));
 
       w(r, c) = orig + static_cast<float>(h);
       const double lp = loss_at(net);

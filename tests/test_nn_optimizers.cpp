@@ -26,7 +26,8 @@ double run_quadratic(Optimizer& opt, int steps) {
   }
   double dist = 0.0;
   for (std::size_t i = 0; i < p.size(); ++i) {
-    dist += (p[i] - target[i]) * (p[i] - target[i]);
+    const double d = static_cast<double>(p[i]) - static_cast<double>(target[i]);
+    dist += d * d;
   }
   return std::sqrt(dist);
 }
@@ -124,7 +125,7 @@ TEST_P(OptimizerConvergence, MonotoneTrendOnConvexProblem) {
 INSTANTIATE_TEST_SUITE_P(All, OptimizerConvergence,
                          ::testing::Values("sgd", "rmsprop", "adam", "adamax", "nadam",
                                            "adadelta"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 }  // namespace
 }  // namespace gpufreq::nn

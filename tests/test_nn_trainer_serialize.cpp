@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "gpufreq/nn/scaler.hpp"
@@ -34,10 +35,11 @@ TEST(Scaler, StandardizesColumns) {
   const Matrix z = s.transform(x);
   for (std::size_t c = 0; c < 2; ++c) {
     double mean = 0.0, var = 0.0;
-    for (std::size_t i = 0; i < z.rows(); ++i) mean += z(i, c);
+    for (std::size_t i = 0; i < z.rows(); ++i) mean += static_cast<double>(z(i, c));
     mean /= static_cast<double>(z.rows());
     for (std::size_t i = 0; i < z.rows(); ++i) {
-      var += (z(i, c) - mean) * (z(i, c) - mean);
+      const double d = static_cast<double>(z(i, c)) - mean;
+      var += d * d;
     }
     var /= static_cast<double>(z.rows());
     EXPECT_NEAR(mean, 0.0, 1e-4);
@@ -209,6 +211,22 @@ TEST(Serialize, RejectsTruncatedStream) {
 
 TEST(Serialize, MissingFileThrowsIoError) {
   EXPECT_THROW(load_model("/nonexistent/model.bin"), IoError);
+}
+
+TEST(Serialize, RejectsNonFiniteWeightPayload) {
+  ModelBundle b = make_bundle();
+  b.network.layer(0).weights()(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  std::stringstream ss;
+  save_model(b, ss);
+  EXPECT_THROW(load_model(ss), ParseError);
+}
+
+TEST(Serialize, RejectsInfiniteBiasPayload) {
+  ModelBundle b = make_bundle();
+  b.network.layer(1).bias()[0] = std::numeric_limits<float>::infinity();
+  std::stringstream ss;
+  save_model(b, ss);
+  EXPECT_THROW(load_model(ss), ParseError);
 }
 
 }  // namespace

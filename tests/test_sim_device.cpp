@@ -134,7 +134,7 @@ TEST(GpuDevice, MeanPowerConsistentWithSamples) {
   const RunResult r = gpu.run_at(workloads::find("bert"), 1200.0, opts);
   double sum = 0.0;
   for (const auto& s : r.samples) sum += s.counters.power_usage;
-  EXPECT_NEAR(r.avg_power_w, sum / r.samples.size(), 1e-9);
+  EXPECT_NEAR(r.avg_power_w, sum / static_cast<double>(r.samples.size()), 1e-9);
 }
 
 TEST(GpuDevice, RejectsInvalidRunOptions) {

@@ -1,0 +1,141 @@
+// Contract-layer tests. GPUFREQ_ENABLE_DCHECKS is defined before any
+// include so the debug invariant macros are compiled into this TU even in
+// the default Release test build.
+#define GPUFREQ_ENABLE_DCHECKS 1
+
+#include "gpufreq/util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gpufreq/nn/matrix.hpp"
+
+namespace gpufreq {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr float kNanF = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInfF = std::numeric_limits<float>::infinity();
+
+// --------------------------- exception taxonomy --------------------------
+
+TEST(ErrorHierarchy, AllExceptionsDeriveFromError) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw ContractViolation("x"), Error);
+  EXPECT_THROW(throw NumericError("x"), Error);
+}
+
+// ------------------------------ REQUIRE ----------------------------------
+
+TEST(Require, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(GPUFREQ_REQUIRE(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Require, FailingConditionThrowsInvalidArgumentWithMessage) {
+  try {
+    GPUFREQ_REQUIRE(false, "frequency out of range");
+    FAIL() << "GPUFREQ_REQUIRE did not throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("frequency out of range"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("gpufreq:"), std::string::npos);
+  }
+}
+
+// ------------------------------ DCHECK -----------------------------------
+
+TEST(Dcheck, EnabledInThisTranslationUnit) {
+  EXPECT_EQ(GPUFREQ_DCHECK_ENABLED, 1);
+}
+
+TEST(Dcheck, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(GPUFREQ_DCHECK(2 > 1, "ordering holds"));
+}
+
+TEST(Dcheck, FailureThrowsContractViolationNamingExpressionAndLocation) {
+  try {
+    const int rows = 0;
+    GPUFREQ_DCHECK(rows > 0, "matrix must not be empty");
+    FAIL() << "GPUFREQ_DCHECK did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rows > 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_util_error.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("matrix must not be empty"), std::string::npos) << what;
+  }
+}
+
+// --------------------------- CHECK_FINITE --------------------------------
+
+TEST(CheckFinite, FiniteScalarAndSpansPass) {
+  const std::vector<double> vd{0.0, -1.5, 3.25};
+  const std::vector<float> vf{0.0f, 42.0f};
+  EXPECT_NO_THROW(GPUFREQ_CHECK_FINITE(1.0));
+  EXPECT_NO_THROW(GPUFREQ_CHECK_FINITE(vd));
+  EXPECT_NO_THROW(GPUFREQ_CHECK_FINITE(vf));
+}
+
+TEST(CheckFinite, NanScalarThrowsNumericError) {
+  const double loss = kNan;
+  EXPECT_THROW(GPUFREQ_CHECK_FINITE(loss), NumericError);
+}
+
+TEST(CheckFinite, ReportsExpressionAndOffendingIndex) {
+  const std::vector<double> predictions{1.0, 2.0, kNan, 4.0};
+  try {
+    GPUFREQ_CHECK_FINITE(predictions);
+    FAIL() << "GPUFREQ_CHECK_FINITE did not throw";
+  } catch (const NumericError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("predictions"), std::string::npos) << what;
+    EXPECT_NE(what.find("element 2"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckFinite, InfinityIsRejectedToo) {
+  const std::vector<float> v{0.0f, kInfF};
+  EXPECT_THROW(GPUFREQ_CHECK_FINITE(v), NumericError);
+}
+
+TEST(CheckFinite, MatrixPayloadIsScanned) {
+  nn::Matrix m(3, 3, 1.0f);
+  EXPECT_NO_THROW(GPUFREQ_CHECK_FINITE(m));
+  m(1, 2) = kNanF;
+  EXPECT_THROW(GPUFREQ_CHECK_FINITE(m), NumericError);
+}
+
+TEST(DcheckFinite, ActiveInThisTranslationUnit) {
+  nn::Matrix m(2, 2, 0.5f);
+  EXPECT_NO_THROW(GPUFREQ_DCHECK_FINITE(m));
+  m(0, 0) = kInfF;
+  EXPECT_THROW(GPUFREQ_DCHECK_FINITE(m), NumericError);
+}
+
+// ------------------- invariant layer wired into the nn stack -------------
+
+TEST(DcheckFinite, GemmSurfacesPoisonedInputAtItsOrigin) {
+  // Whether the post-GEMM finite scan is active depends on how the library
+  // (not this TU) was compiled: Release compiles it out, the sanitizer leg
+  // of the analysis gate compiles it in. Either way the poison must never
+  // vanish silently: it throws NumericError at the origin, or it is still
+  // visible as NaN in the result.
+  nn::Matrix a(4, 4, 1.0f), b(4, 4, 2.0f), c;
+  EXPECT_NO_THROW(nn::gemm(a, b, c));
+  a(3, 3) = kNanF;
+  try {
+    nn::gemm(a, b, c);
+    bool found_nan = false;
+    for (float v : c.flat()) found_nan |= std::isnan(v);
+    EXPECT_TRUE(found_nan) << "NaN input neither rejected nor propagated";
+  } catch (const NumericError&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace gpufreq

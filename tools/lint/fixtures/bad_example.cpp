@@ -1,0 +1,63 @@
+// Known-bad fixture for the lint self-check (tests/test_lint_selfcheck.py).
+// Never compiled; every block below must trip exactly the rule named in its
+// comment, and the suppressed block must NOT be reported. If you add a lint
+// rule, add a tripwire here and extend the self-check's expectations.
+#include <cstdio>
+#include <iostream>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+// [nondeterminism] std::random_device outside src/util/src/rng.cpp.
+inline unsigned hardware_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+// [nondeterminism] unseeded std::mt19937.
+inline int unseeded_engine() {
+  std::mt19937 gen;
+  return static_cast<int>(gen());
+}
+
+// [nondeterminism] wall-clock time as an input.
+inline long stamp() { return static_cast<long>(std::time(nullptr)); }
+
+// [io-in-library] would only fire under src/; the self-check also lints a
+// copy of this file as if it lived in src/ to cover that rule. Kept here so
+// the pattern exists exactly once.
+inline void print_report(double value) {
+  std::cout << "value=" << value << "\n";
+  std::printf("value=%f\n", value);
+}
+
+// [naked-new] manual ownership.
+inline int* leak_prone(int n) {
+  int* buffer = new int[n];
+  delete[] buffer;
+  return new int(n);
+}
+
+// [auto-float-accum] accumulator width hidden behind auto.
+inline float fragile_sum(const float* v, int n) {
+  auto acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += v[i];
+  return acc;
+}
+
+// [unordered-iter] hash-order iteration feeding output.
+inline void dump(const std::unordered_map<int, double>& scores) {
+  std::unordered_map<int, double> copy = scores;
+  for (const auto& kv : copy) {
+    std::printf("%d\n", kv.first);
+  }
+}
+
+// Suppressed: must NOT appear in lint output.
+inline unsigned sanctioned_entropy() {
+  std::random_device rd;  // lint-allow: nondeterminism
+  return rd();
+}
+
+}  // namespace fixture

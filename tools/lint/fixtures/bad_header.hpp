@@ -1,0 +1,9 @@
+// Known-bad fixture: header without #pragma once (trips [pragma-once]).
+#ifndef GPUFREQ_TOOLS_LINT_FIXTURES_BAD_HEADER_HPP
+#define GPUFREQ_TOOLS_LINT_FIXTURES_BAD_HEADER_HPP
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif

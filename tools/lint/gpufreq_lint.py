@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""gpufreq repo linter: enforces determinism and hygiene invariants that
+compilers cannot check. Stdlib-only; runs standalone or through
+tools/run_static_analysis.sh.
+
+Rules (suppress a finding with `// lint-allow: <rule>[,<rule>...]` on the
+offending line or the line directly above it):
+
+  nondeterminism     std::rand / std::random_device / time() / unseeded
+                     std::mt19937 anywhere except src/util/src/rng.cpp.
+                     All randomness must flow through gpufreq::Rng so runs
+                     are reproducible and serial==parallel stays bitwise.
+  io-in-library      std::cout / std::cerr / bare (std::)printf inside
+                     src/ libraries; library code must use
+                     gpufreq/util/logging.hpp (logging.cpp itself is the
+                     one sanctioned sink).
+  naked-new          `new` / non-deleted-function `delete` expressions;
+                     ownership must live in containers or smart pointers.
+  pragma-once        every header must open with #pragma once.
+  auto-float-accum   `auto acc = 0.0f;`-style reduction accumulators; the
+                     accumulator width is load-bearing for determinism and
+                     precision, so it must be spelled out.
+  unordered-iter     iteration over std::unordered_map/set; hash order is
+                     implementation-defined, so iterating one into any
+                     output is a determinism hazard (sort keys first, or
+                     suppress where order provably cannot escape).
+
+Usage:
+  tools/lint/gpufreq_lint.py                  # lint the default tree
+  tools/lint/gpufreq_lint.py file.cpp ...     # lint specific files
+  tools/lint/gpufreq_lint.py --list-rules
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_DIRS = ("src", "tools", "bench", "tests")
+SOURCE_EXTS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
+HEADER_EXTS = (".hpp", ".h", ".hh")
+# Directories never scanned in a default (tree) run. Fixtures are linted
+# explicitly by the self-check test; build trees are generated code.
+SKIP_DIR_PARTS = ("build", os.path.join("tools", "lint", "fixtures"), ".git")
+
+SUPPRESS_RE = re.compile(r"//\s*lint-allow:\s*([a-z0-9_,\s-]+)")
+
+RULES = {
+    "nondeterminism": "nondeterminism source outside src/util/src/rng.cpp (use gpufreq::Rng)",
+    "io-in-library": "direct stdout/stderr I/O in library code (use gpufreq/util/logging.hpp)",
+    "naked-new": "naked new/delete (use containers or smart pointers)",
+    "pragma-once": "header does not start with #pragma once",
+    "auto-float-accum": "float accumulator declared auto (spell out the accumulator width)",
+    "unordered-iter": "iteration over an unordered container (hash order is nondeterministic)",
+}
+
+# Files exempt from specific rules (repo-relative, forward slashes).
+RULE_EXEMPT_FILES = {
+    "nondeterminism": {"src/util/src/rng.cpp"},
+    "io-in-library": {"src/util/src/logging.cpp"},
+}
+
+NONDET_PATTERNS = (
+    re.compile(r"\bstd::rand\b"),
+    re.compile(r"\bstd::random_device\b"),
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"\bstd::time\s*\("),
+    # Bare time( not reached via a member/qualified name (exec_time(),
+    # x.time(), chrono::...time() are fine).
+    re.compile(r"(?<![\w.:>])time\s*\("),
+    re.compile(r"\bsrand\s*\("),
+)
+# std::mt19937 declared without a seed argument: `std::mt19937 gen;`
+UNSEEDED_MT_RE = re.compile(r"\bstd::mt19937(?:_64)?\s+\w+\s*;")
+
+IO_PATTERNS = (
+    re.compile(r"\bstd::cout\b"),
+    re.compile(r"\bstd::cerr\b"),
+    re.compile(r"\bstd::printf\s*\("),
+    re.compile(r"(?<![\w.:>])printf\s*\("),  # fprintf/snprintf stay legal
+)
+
+NEW_RE = re.compile(r"(?<![\w.:>])new\s+[A-Za-z_:(<]")
+# `delete p`, `delete[] p` — but not `= delete;` / `= delete ;` (deleted
+# functions) and not `delete]` in comments.
+DELETE_RE = re.compile(r"(?<![\w.:>])delete\s*(?:\[\s*\])?\s+[A-Za-z_*(]|"
+                       r"(?<![\w.:>])delete\s*(?:\[\s*\])?\s*\w+\s*;")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+AUTO_ACCUM_RE = re.compile(
+    r"\b(?:const\s+)?auto\s+(\w+)\s*=\s*(?:[0-9]+\.[0-9]*|\.[0-9]+)f?\s*[;{]")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*(?:\w+\.)*(\w+)\s*\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks
+    so reported line numbers match the original file."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (min(j, n) - i - 1) + (quote if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_suppressions(raw_lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of rule ids allowed on that line.
+    A `// lint-allow:` comment covers its own line and the next line."""
+    allowed: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        unknown = rules - set(RULES)
+        if unknown:
+            print(f"error: line {idx}: lint-allow references unknown rule(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            raise SystemExit(2)
+        allowed.setdefault(idx, set()).update(rules)
+        allowed.setdefault(idx + 1, set()).update(rules)
+    return allowed
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, detail: str):
+        self.path, self.line, self.rule, self.detail = path, line, rule, detail
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.detail}"
+
+
+def relpath(path: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+    return rel.replace(os.sep, "/")
+
+
+def lint_file(path: str, as_library: bool = False) -> list[Finding]:
+    rel = relpath(path)
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    allowed = collect_suppressions(raw_lines)
+    clean = strip_comments_and_strings(text)
+    lines = clean.splitlines()
+    findings: list[Finding] = []
+
+    def report(lineno: int, rule: str, detail: str) -> None:
+        if rel in RULE_EXEMPT_FILES.get(rule, ()):
+            return
+        if rule in allowed.get(lineno, ()):
+            return
+        findings.append(Finding(rel, lineno, rule, detail))
+
+    in_library = as_library or rel.startswith("src/")
+
+    # --- pragma-once: first non-blank preprocessor-or-code line must be it.
+    if rel.endswith(HEADER_EXTS):
+        first_code = next((ln for ln in lines if ln.strip()), "")
+        if first_code.strip() != "#pragma once":
+            report(1, "pragma-once", RULES["pragma-once"])
+
+    unordered_names: set[str] = set()
+
+    for lineno, line in enumerate(lines, start=1):
+        # --- nondeterminism
+        for pat in NONDET_PATTERNS:
+            if pat.search(line):
+                report(lineno, "nondeterminism",
+                       f"{RULES['nondeterminism']}: matched '{pat.search(line).group(0).strip()}'")
+                break
+        if UNSEEDED_MT_RE.search(line):
+            report(lineno, "nondeterminism", "unseeded std::mt19937 (seed it explicitly)")
+
+        # --- io-in-library (library targets only)
+        if in_library:
+            for pat in IO_PATTERNS:
+                m = pat.search(line)
+                if m:
+                    report(lineno, "io-in-library",
+                           f"{RULES['io-in-library']}: matched '{m.group(0).strip()}'")
+                    break
+
+        # --- naked-new
+        if NEW_RE.search(line):
+            report(lineno, "naked-new", "naked new (use std::make_unique / containers)")
+        if DELETE_RE.search(line) and not DELETED_FN_RE.search(line):
+            report(lineno, "naked-new", "naked delete (ownership should be RAII)")
+
+        # --- auto-float-accum: auto + float literal init, then += nearby.
+        m = AUTO_ACCUM_RE.search(line)
+        if m:
+            name = m.group(1)
+            lookahead = lines[lineno:lineno + 12]
+            if any(re.search(rf"\b{re.escape(name)}\s*\+=", la) for la in lookahead):
+                report(lineno, "auto-float-accum",
+                       f"accumulator '{name}' declared auto from a float literal")
+
+        # --- unordered-iter
+        dm = UNORDERED_DECL_RE.search(line)
+        if dm:
+            unordered_names.add(dm.group(1))
+        fm = RANGE_FOR_RE.search(line)
+        if fm and fm.group(1) in unordered_names:
+            report(lineno, "unordered-iter",
+                   f"range-for over unordered container '{fm.group(1)}'")
+
+    return findings
+
+
+def default_files() -> list[str]:
+    files = []
+    for d in DEFAULT_DIRS:
+        base = os.path.join(REPO_ROOT, d)
+        for dirpath, dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, REPO_ROOT)
+            if any(part in rel_dir.split(os.sep) for part in ("build", ".git")) or \
+               rel_dir.replace(os.sep, "/").startswith("tools/lint/fixtures"):
+                dirnames[:] = []
+                continue
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, fn))
+    return sorted(files)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*",
+                    help="files to lint (default: src/ tools/ bench/ tests/)")
+    ap.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    ap.add_argument("--as-library", action="store_true",
+                    help="apply library-only rules (io-in-library) to the given "
+                         "files regardless of their path (used by the self-check)")
+    ap.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule:18} {desc}")
+        return 0
+
+    files = args.files or default_files()
+    if not files:
+        print("gpufreq_lint: no input files", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in files:
+        if not os.path.isfile(path):
+            print(f"gpufreq_lint: no such file: {path}", file=sys.stderr)
+            return 2
+        findings.extend(lint_file(path, as_library=args.as_library))
+
+    for f in findings:
+        print(f)
+    if not args.quiet:
+        print(f"gpufreq_lint: {len(files)} file(s), {len(findings)} finding(s)",
+              file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,6 +3,11 @@
 # and write the google-benchmark JSON report to BENCH_perf.json at the repo
 # root. BENCH_*.json files are build artifacts and stay untracked.
 #
+# The report is published atomically: the benchmark binary writes to a temp
+# file which is renamed into place only after the run succeeds, so a crashed
+# or interrupted run can never leave a truncated BENCH_perf.json for CI to
+# pick up. Any failure exits nonzero.
+#
 # Usage:
 #   tools/run_benchmarks.sh                 # full suite
 #   BENCH_FILTER='Gemm' tools/run_benchmarks.sh
@@ -12,15 +17,31 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 BENCH_BIN="$BUILD/bench/perf_model_training"
+REPORT="$ROOT/BENCH_perf.json"
+TMP_REPORT="$REPORT.tmp.$$"
+
+cleanup() { rm -f "$TMP_REPORT"; }
+trap cleanup EXIT
 
 if [[ ! -x "$BENCH_BIN" ]]; then
   cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGPUFREQ_BUILD_BENCH=ON
   cmake --build "$BUILD" --target perf_model_training -j
 fi
 
-"$BENCH_BIN" \
-  --benchmark_out="$ROOT/BENCH_perf.json" \
-  --benchmark_out_format=json \
-  --benchmark_filter="${BENCH_FILTER:-.*}"
+if ! "$BENCH_BIN" \
+    --benchmark_out="$TMP_REPORT" \
+    --benchmark_out_format=json \
+    --benchmark_filter="${BENCH_FILTER:-.*}"; then
+  echo "error: benchmark run failed; not publishing $REPORT" >&2
+  exit 1
+fi
 
-echo "wrote $ROOT/BENCH_perf.json"
+# Refuse to publish an empty or non-JSON report (benchmark binaries can die
+# after creating the output file).
+if [[ ! -s "$TMP_REPORT" ]] || ! head -c1 "$TMP_REPORT" | grep -q '{'; then
+  echo "error: benchmark report is empty or malformed; not publishing $REPORT" >&2
+  exit 1
+fi
+
+mv "$TMP_REPORT" "$REPORT"
+echo "wrote $REPORT"

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# One-command static-analysis gate for the gpufreq repo. Runs, in order:
+#
+#   1. the custom determinism/hygiene linter (tools/lint/gpufreq_lint.py)
+#      plus its fixture self-check,
+#   2. clang-tidy over the library sources (skipped with a warning when
+#      clang-tidy is not installed — the container toolchain is gcc-only),
+#   3. a warnings-as-errors Release build (GPUFREQ_WERROR=ON, which
+#      includes -Wconversion -Wdouble-promotion -Wextra-semi),
+#   4. the full ctest suite under AddressSanitizer+UBSan
+#      (GPUFREQ_SANITIZE="address;undefined") with debug invariant checks
+#      (GPUFREQ_DCHECK / GPUFREQ_CHECK_FINITE) compiled in.
+#
+# Any stage failing fails the gate. Build trees live under build-sa/ so the
+# default build/ directory is never polluted.
+#
+# Usage:
+#   tools/run_static_analysis.sh              # full gate
+#   SA_SKIP_SANITIZE=1 tools/run_static_analysis.sh   # stages 1-3 only
+#   SA_BUILD_ROOT=/tmp/sa tools/run_static_analysis.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_ROOT="${SA_BUILD_ROOT:-$ROOT/build-sa}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILED=0
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+# ---------------------------------------------------------------- 1. lint
+note "stage 1/4: gpufreq_lint (determinism & hygiene rules)"
+python3 "$ROOT/tools/lint/gpufreq_lint.py" || FAILED=1
+
+note "stage 1/4: lint self-check (fixtures must trip every rule)"
+if python3 "$ROOT/tools/lint/gpufreq_lint.py" --quiet \
+    "$ROOT/tools/lint/fixtures/bad_example.cpp" \
+    "$ROOT/tools/lint/fixtures/bad_header.hpp" > /dev/null 2>&1; then
+  echo "error: linter reported the known-bad fixtures as clean" >&2
+  FAILED=1
+else
+  echo "fixtures correctly rejected"
+fi
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "static analysis gate: FAILED at lint stage" >&2
+  exit 1
+fi
+
+# ---------------------------------------------------------- 2. clang-tidy
+note "stage 2/4: clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  TIDY_BUILD="$BUILD_ROOT/tidy"
+  cmake -B "$TIDY_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DGPUFREQ_BUILD_BENCH=OFF -DGPUFREQ_BUILD_EXAMPLES=OFF > /dev/null
+  mapfile -t TIDY_SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
+  clang-tidy -p "$TIDY_BUILD" --quiet "${TIDY_SOURCES[@]}" || FAILED=1
+else
+  echo "warning: clang-tidy not found on PATH; skipping (config: .clang-tidy)" >&2
+fi
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "static analysis gate: FAILED at clang-tidy stage" >&2
+  exit 1
+fi
+
+# -------------------------------------------------------- 3. Werror build
+note "stage 3/4: warnings-as-errors Release build"
+WERROR_BUILD="$BUILD_ROOT/werror"
+cmake -B "$WERROR_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DGPUFREQ_WERROR=ON > /dev/null
+cmake --build "$WERROR_BUILD" -j "$JOBS"
+
+# ------------------------------------------- 4. ctest under ASan + UBSan
+if [[ "${SA_SKIP_SANITIZE:-0}" == "1" ]]; then
+  note "stage 4/4: sanitized test suite (skipped: SA_SKIP_SANITIZE=1)"
+else
+  note "stage 4/4: ctest under GPUFREQ_SANITIZE=address;undefined"
+  SAN_BUILD="$BUILD_ROOT/asan-ubsan"
+  cmake -B "$SAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DGPUFREQ_SANITIZE=address;undefined" \
+    -DCMAKE_CXX_FLAGS=-DGPUFREQ_ENABLE_DCHECKS \
+    -DGPUFREQ_BUILD_BENCH=OFF -DGPUFREQ_BUILD_EXAMPLES=OFF > /dev/null
+  cmake --build "$SAN_BUILD" -j "$JOBS"
+  (cd "$SAN_BUILD" && ctest --output-on-failure -j "$JOBS")
+fi
+
+note "static analysis gate: PASSED"

@@ -31,7 +31,6 @@ int main(int argc, char** argv) {
   std::printf("dataset: %zu rows x %zu features\n", ds.size(), ds.x.cols());
   const auto t1 = std::chrono::steady_clock::now();
   const core::PowerTimeModels models = trainer.train_on(ds);
-  const auto t2 = std::chrono::steady_clock::now();
   std::printf("collect %.1fs | power train %.1fs (final val %.5f) | time train %.1fs (final val %.5f)\n",
               std::chrono::duration<double>(t1 - t0).count(),
               models.power_history.wall_seconds, models.power_history.final_val_loss(),
