@@ -1,31 +1,48 @@
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
 #include "gpufreq/core/models.hpp"
+#include "gpufreq/util/thread_annotations.hpp"
 
 namespace gpufreq::core {
+
+/// Hit/miss accounting for one ModelCache instance. A "miss" covers both
+/// absent and unreadable entries (either way the caller retrains).
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t stores = 0;
+  std::size_t invalidations = 0;
+};
 
 /// Disk cache for trained PowerTimeModels, so the bench harnesses (which
 /// all need the same paper models) train once and reuse the result. Stored
 /// as: both ModelBundles, both loss histories, and the feature list.
+///
+/// Thread-safety: load/store/invalidate/stats may be called concurrently
+/// on one instance (the bench harnesses share a cache across the pool).
+/// The filesystem is the source of truth — the only in-memory shared state
+/// is the stats counters, guarded by mutex_. Concurrent store() calls to
+/// the same key last-writer-win at the filesystem level.
 class ModelCache {
  public:
   /// `dir` defaults to $GPUFREQ_CACHE_DIR, else ".gpufreq_cache" in the
   /// current working directory. The directory is created on first store.
   explicit ModelCache(std::string dir = default_dir());
 
-  static std::string default_dir();
+  [[nodiscard]] static std::string default_dir();
 
-  const std::string& dir() const { return dir_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
 
   /// Path a key resolves to (for diagnostics).
-  std::string path_for(const std::string& key) const;
+  [[nodiscard]] std::string path_for(const std::string& key) const;
 
   /// Load a cached model set; std::nullopt when absent or unreadable (a
   /// corrupt cache entry is treated as a miss, not an error).
-  std::optional<PowerTimeModels> load(const std::string& key) const;
+  [[nodiscard]] std::optional<PowerTimeModels> load(const std::string& key) const;
 
   /// Persist a model set under the key.
   void store(const std::string& key, const PowerTimeModels& models) const;
@@ -33,13 +50,18 @@ class ModelCache {
   /// Remove a cache entry if present.
   void invalidate(const std::string& key) const;
 
+  /// Counters accumulated by this instance since construction.
+  [[nodiscard]] CacheStats stats() const;
+
  private:
   std::string dir_;
+  mutable Mutex mutex_;
+  mutable CacheStats stats_ GPUFREQ_GUARDED_BY(mutex_);
 };
 
 /// Serialize / deserialize a PowerTimeModels to a file (used by the cache
 /// and directly by applications that ship trained models).
 void save_models(const PowerTimeModels& models, const std::string& path);
-PowerTimeModels load_models(const std::string& path);
+[[nodiscard]] PowerTimeModels load_models(const std::string& path);
 
 }  // namespace gpufreq::core

@@ -25,11 +25,12 @@ struct Selection {
 /// `threshold` is a fraction (0.05 = 5%); std::nullopt reproduces the
 /// paper's evaluation mode where degradation is decided by the objective
 /// alone. Performance is 1 / time; maxPerf is the profile's best.
-Selection select_optimal_frequency(const DvfsProfile& profile, const Objective& objective,
-                                   std::optional<double> threshold = std::nullopt);
+[[nodiscard]] Selection select_optimal_frequency(const DvfsProfile& profile,
+                                                 const Objective& objective,
+                                                 std::optional<double> threshold = std::nullopt);
 
 /// Performance degradation of every profile point vs the profile's best
 /// performance (exposed for tests and the threshold benches).
-std::vector<double> performance_degradation(const DvfsProfile& profile);
+[[nodiscard]] std::vector<double> performance_degradation(const DvfsProfile& profile);
 
 }  // namespace gpufreq::core

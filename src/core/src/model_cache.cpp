@@ -115,11 +115,20 @@ std::string ModelCache::path_for(const std::string& key) const {
 std::optional<PowerTimeModels> ModelCache::load(const std::string& key) const {
   const std::string path = path_for(key);
   std::error_code ec;
-  if (!fs::exists(path, ec)) return std::nullopt;
+  if (!fs::exists(path, ec)) {
+    MutexLock lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
   try {
-    return load_models(path);
+    PowerTimeModels models = load_models(path);
+    MutexLock lock(mutex_);
+    ++stats_.hits;
+    return models;
   } catch (const Error& e) {
     log::warn("core") << "ignoring unreadable model cache entry " << path << ": " << e.what();
+    MutexLock lock(mutex_);
+    ++stats_.misses;
     return std::nullopt;
   }
 }
@@ -128,11 +137,20 @@ void ModelCache::store(const std::string& key, const PowerTimeModels& models) co
   std::error_code ec;
   fs::create_directories(dir_, ec);
   save_models(models, path_for(key));
+  MutexLock lock(mutex_);
+  ++stats_.stores;
 }
 
 void ModelCache::invalidate(const std::string& key) const {
   std::error_code ec;
   fs::remove(path_for(key), ec);
+  MutexLock lock(mutex_);
+  ++stats_.invalidations;
+}
+
+CacheStats ModelCache::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
 }
 
 }  // namespace gpufreq::core

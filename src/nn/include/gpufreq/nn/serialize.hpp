@@ -22,7 +22,7 @@ void save_model(const ModelBundle& bundle, std::ostream& os);
 void save_model(const ModelBundle& bundle, const std::string& path);
 
 /// Deserialize; throws ParseError / IoError on malformed input.
-ModelBundle load_model(std::istream& is);
-ModelBundle load_model(const std::string& path);
+[[nodiscard]] ModelBundle load_model(std::istream& is);
+[[nodiscard]] ModelBundle load_model(const std::string& path);
 
 }  // namespace gpufreq::nn

@@ -14,22 +14,22 @@ class Table {
   Table() = default;
   explicit Table(std::vector<std::string> header);
 
-  const std::vector<std::string>& header() const { return header_; }
-  std::size_t num_rows() const { return rows_.size(); }
-  std::size_t num_cols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header_.size(); }
 
   /// Append a row; must match the header width.
   void add_row(std::vector<std::string> cells);
 
   /// Cell accessors. Throw InvalidArgument on out-of-range indices.
-  const std::string& cell(std::size_t row, std::size_t col) const;
-  double cell_double(std::size_t row, std::size_t col) const;
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+  [[nodiscard]] double cell_double(std::size_t row, std::size_t col) const;
 
   /// Column index by name; throws InvalidArgument if absent.
-  std::size_t column_index(const std::string& name) const;
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
 
   /// Whole column parsed as doubles.
-  std::vector<double> column_as_double(const std::string& name) const;
+  [[nodiscard]] std::vector<double> column_as_double(const std::string& name) const;
 
   /// Serialize to a stream / file. Values containing commas, quotes, or
   /// newlines are quoted per RFC 4180.
@@ -37,8 +37,8 @@ class Table {
   void save(const std::string& path) const;
 
   /// Parse from a stream / file. The first row is treated as the header.
-  static Table read(std::istream& is);
-  static Table load(const std::string& path);
+  [[nodiscard]] static Table read(std::istream& is);
+  [[nodiscard]] static Table load(const std::string& path);
 
  private:
   std::vector<std::string> header_;
@@ -46,9 +46,9 @@ class Table {
 };
 
 /// Quote a single CSV field if needed (RFC 4180).
-std::string escape_field(const std::string& field);
+[[nodiscard]] std::string escape_field(const std::string& field);
 
 /// Split one CSV line honoring quotes. Exposed for testing.
-std::vector<std::string> parse_line(const std::string& line);
+[[nodiscard]] std::vector<std::string> parse_line(const std::string& line);
 
 }  // namespace gpufreq::csv

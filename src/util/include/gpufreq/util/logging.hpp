@@ -3,6 +3,8 @@
 #include <sstream>
 #include <string>
 
+#include "gpufreq/util/thread_annotations.hpp"
+
 namespace gpufreq::log {
 
 /// Severity levels, ordered. Messages below the global threshold are dropped.
@@ -17,8 +19,18 @@ Level level();
 /// True if a message at `lvl` would currently be emitted.
 bool enabled(Level lvl);
 
-/// Emit one log line ("[level] module: message") to stderr.
-void write(Level lvl, const std::string& module, const std::string& message);
+namespace detail {
+/// The mutex serializing emitted log lines (stderr interleaving guard).
+/// Exposed so write() can declare, checkably, that callers must not
+/// already hold it: LineStream destructors fire at unpredictable points,
+/// and re-entering write() under the lock would self-deadlock.
+Mutex& write_mutex();
+}  // namespace detail
+
+/// Emit one log line ("[level] module: message") to stderr. Thread-safe;
+/// lines from concurrent threads never interleave.
+void write(Level lvl, const std::string& module, const std::string& message)
+    GPUFREQ_EXCLUDES(detail::write_mutex());
 
 namespace detail {
 class LineStream {

@@ -28,7 +28,7 @@ class AsciiTable {
   void set_align(std::size_t col, Align align);
 
   /// Render with unicode-free box drawing: +----+----+.
-  std::string render() const;
+  [[nodiscard]] std::string render() const;
 
  private:
   std::vector<std::string> header_;
@@ -38,7 +38,7 @@ class AsciiTable {
 
 /// Render a simple horizontal bar chart line: label | ######### value.
 /// Used by figure benches to sketch the paper's plots in a terminal.
-std::string bar_line(const std::string& label, double value, double max_value,
-                     int width = 50, int label_width = 18, int decimals = 2);
+[[nodiscard]] std::string bar_line(const std::string& label, double value, double max_value,
+                                   int width = 50, int label_width = 18, int decimals = 2);
 
 }  // namespace gpufreq::util

@@ -2,13 +2,13 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "gpufreq/util/thread_annotations.hpp"
 
 namespace gpufreq::log {
 
 namespace {
 std::atomic<Level> g_level{Level::kWarn};
-std::mutex g_write_mutex;
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -22,6 +22,13 @@ const char* level_name(Level lvl) {
 }
 }  // namespace
 
+namespace detail {
+Mutex& write_mutex() {
+  static Mutex m;
+  return m;
+}
+}  // namespace detail
+
 void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 Level level() { return g_level.load(std::memory_order_relaxed); }
@@ -30,7 +37,7 @@ bool enabled(Level lvl) { return static_cast<int>(lvl) >= static_cast<int>(level
 
 void write(Level lvl, const std::string& module, const std::string& message) {
   if (!enabled(lvl) || message.empty()) return;
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  MutexLock lock(detail::write_mutex());
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(lvl), module.c_str(), message.c_str());
 }
 

@@ -5,9 +5,10 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "gpufreq/util/thread_annotations.hpp"
 
 namespace gpufreq {
 
@@ -28,14 +29,17 @@ std::size_t default_thread_count() {
 /// One in-flight parallel_chunks call: workers and the caller race on
 /// `next` to claim chunk indices; `done` counts finished chunks and
 /// `active` counts workers still inside work_on (the caller must not
-/// destroy the batch while any worker can still touch it).
+/// destroy the batch while any worker can still touch it). `active` and
+/// `error` are guarded by the pool's mutex_; they cannot carry a
+/// GPUFREQ_GUARDED_BY annotation because Batch is declared before Pool, so
+/// the discipline is enforced by the annotated accesses in Pool instead.
 struct Batch {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t count = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::size_t active = 0;    // guarded by the pool mutex
-  std::exception_ptr error;  // first failure only, guarded by the pool mutex
+  std::size_t active = 0;    // guarded by Pool::mutex_
+  std::exception_ptr error;  // first failure only, guarded by Pool::mutex_
 };
 
 class Pool {
@@ -48,13 +52,13 @@ class Pool {
   ~Pool() { shutdown(); }
 
   std::size_t size() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return workers_.size() + 1;
   }
 
   void resize(std::size_t n) {
     shutdown();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = false;
     // Oversized requests (e.g. GPUFREQ_NUM_THREADS=99999) would exhaust
     // process thread limits; cap them, and if spawning still fails keep
@@ -72,15 +76,18 @@ class Pool {
 
   void run(Batch& batch) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       batch_ = &batch;
       ++batch_id_;
     }
     cv_work_.notify_all();
     work_on(batch);  // the caller is a full participant
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     batch_ = nullptr;  // late wakers must not join a finished batch
-    cv_done_.wait(lock, [&] { return batch.done.load() == batch.count && batch.active == 0; });
+    cv_done_.wait(lock.native(), [&] {
+      mutex_.assert_held();
+      return batch.done.load() == batch.count && batch.active == 0;
+    });
     if (batch.error) std::rethrow_exception(batch.error);
   }
 
@@ -89,7 +96,7 @@ class Pool {
 
   void shutdown() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
     }
     cv_work_.notify_all();
@@ -103,13 +110,13 @@ class Pool {
       try {
         (*batch.fn)(c);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!batch.error) batch.error = std::current_exception();
       }
       if (batch.done.fetch_add(1) + 1 == batch.count) {
         // Lock so the notification cannot slip between the caller's
         // predicate check and its sleep.
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         cv_done_.notify_all();
       }
     }
@@ -121,8 +128,11 @@ class Pool {
     for (;;) {
       Batch* batch = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_work_.wait(lock, [&] { return stop_ || (batch_ != nullptr && batch_id_ != seen); });
+        MutexLock lock(mutex_);
+        cv_work_.wait(lock.native(), [&] {
+          mutex_.assert_held();
+          return stop_ || (batch_ != nullptr && batch_id_ != seen);
+        });
         if (stop_) return;
         batch = batch_;
         seen = batch_id_;
@@ -130,19 +140,22 @@ class Pool {
       }
       work_on(*batch);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         --batch->active;
         cv_done_.notify_all();
       }
     }
   }
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_work_, cv_done_;
+  // Joined in shutdown() with the lock released (a worker needs mutex_ to
+  // observe stop_ and exit), so workers_ cannot be GUARDED_BY(mutex_);
+  // resize/shutdown are documented as not thread-safe in the header.
   std::vector<std::thread> workers_;
-  Batch* batch_ = nullptr;    // the in-flight batch (at most one at a time)
-  std::uint64_t batch_id_ = 0;
-  bool stop_ = false;
+  Batch* batch_ GPUFREQ_GUARDED_BY(mutex_) = nullptr;  // at most one in flight
+  std::uint64_t batch_id_ GPUFREQ_GUARDED_BY(mutex_) = 0;
+  bool stop_ GPUFREQ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace

@@ -130,6 +130,25 @@ void poison_bytes(const std::string& path, std::streamoff offset, std::size_t co
   f.write(junk.data(), static_cast<std::streamsize>(junk.size()));
 }
 
+TEST(ModelCache, StatsCountHitsMissesStoresInvalidations) {
+  const PowerTimeModels models = train_tiny();
+  const ModelCache cache(::testing::TempDir() + "/gpufreq_cache_stats");
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  EXPECT_FALSE(cache.load("absent").has_value());  // miss (absent)
+  cache.store("k", models);
+  ASSERT_TRUE(cache.load("k").has_value());  // hit
+  poison_bytes(cache.path_for("k"), 8, 4);
+  EXPECT_FALSE(cache.load("k").has_value());  // miss (unreadable)
+  cache.invalidate("k");
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.invalidations, 1u);
+}
+
 TEST(SaveLoadModels, CorruptHeaderThrowsParseErrorNotStaleLoad) {
   const PowerTimeModels models = train_tiny();
   const std::string dir = ::testing::TempDir() + "/gpufreq_cache_hdr";

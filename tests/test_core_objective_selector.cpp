@@ -153,7 +153,7 @@ TEST(Selector, ImpossibleThresholdEndsAtFastestConfig) {
 
 TEST(Selector, NegativeThresholdRejected) {
   const DvfsProfile p = synth_profile();
-  EXPECT_THROW(select_optimal_frequency(p, Objective::edp(), -0.1), InvalidArgument);
+  EXPECT_THROW((void)select_optimal_frequency(p, Objective::edp(), -0.1), InvalidArgument);
 }
 
 TEST(Selector, SingleConfigProfile) {

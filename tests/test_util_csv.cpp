@@ -32,14 +32,14 @@ TEST(Csv, AddRowRejectsWrongWidth) {
 
 TEST(Csv, CellOutOfRangeThrows) {
   const Table t = make_table();
-  EXPECT_THROW(t.cell(2, 0), InvalidArgument);
-  EXPECT_THROW(t.cell(0, 3), InvalidArgument);
+  EXPECT_THROW((void)t.cell(2, 0), InvalidArgument);
+  EXPECT_THROW((void)t.cell(0, 3), InvalidArgument);
 }
 
 TEST(Csv, ColumnLookup) {
   const Table t = make_table();
   EXPECT_EQ(t.column_index("power"), 2u);
-  EXPECT_THROW(t.column_index("nope"), InvalidArgument);
+  EXPECT_THROW((void)t.column_index("nope"), InvalidArgument);
   const auto col = t.column_as_double("freq");
   ASSERT_EQ(col.size(), 2u);
   EXPECT_DOUBLE_EQ(col[0], 1410.0);

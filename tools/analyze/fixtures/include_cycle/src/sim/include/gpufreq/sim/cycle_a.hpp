@@ -1,0 +1,11 @@
+#pragma once
+
+// FIXTURE (known-bad): cycle_a.hpp <-> cycle_b.hpp form a header include
+// cycle. #pragma once stops infinite recursion, but neither header can be
+// understood (or compiled) on its own; gpufreq_arch.py --check cycles must
+// report the loop.
+#include "gpufreq/sim/cycle_b.hpp"
+
+namespace gpufreq::sim {
+inline int cycle_a() { return 1; }
+}  // namespace gpufreq::sim

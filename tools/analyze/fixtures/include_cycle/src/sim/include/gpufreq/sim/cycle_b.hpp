@@ -1,0 +1,8 @@
+#pragma once
+
+// FIXTURE (known-bad): second half of the cycle_a <-> cycle_b include loop.
+#include "gpufreq/sim/cycle_a.hpp"
+
+namespace gpufreq::sim {
+inline int cycle_b() { return 2; }
+}  // namespace gpufreq::sim

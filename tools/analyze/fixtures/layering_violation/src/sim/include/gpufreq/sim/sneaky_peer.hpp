@@ -1,0 +1,10 @@
+#pragma once
+
+// FIXTURE (known-bad): sim -> nn is a same-layer edge that is NOT in the
+// ALLOWED_EDGES allowlist, so the layering check must flag it even though
+// neither module is above the other.
+#include "gpufreq/nn/matrix.hpp"
+
+namespace gpufreq::sim {
+inline int sneaky_peer() { return 2; }
+}  // namespace gpufreq::sim

@@ -1,0 +1,9 @@
+#pragma once
+
+// FIXTURE (known-bad): `util` is the base layer and must not reach up into
+// `core`. gpufreq_arch.py --check layering must reject this edge.
+#include "gpufreq/core/pipeline.hpp"
+
+namespace gpufreq::util {
+inline int bad_reach() { return 1; }
+}  // namespace gpufreq::util

@@ -1,0 +1,41 @@
+// FIXTURE (known-bad): `count_` is declared GUARDED_BY(mutex_) but
+// `increment_unlocked()` touches it without holding the lock. A clang build
+// with -Wthread-safety -Werror must refuse to compile this file; GCC
+// (which ignores the annotations) accepts it, which is exactly why the
+// annotations plus the clang CI job exist. Compile with:
+//
+//   clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror \
+//       -Isrc/util/include tools/analyze/fixtures/missing_annotation/unguarded_counter.cpp
+
+#include "gpufreq/util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_locked() {
+    gpufreq::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  // BUG: writes the guarded field with no lock held.
+  void increment_unlocked() { ++count_; }
+
+  long value() {
+    gpufreq::MutexLock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  gpufreq::Mutex mutex_;
+  long count_ GPUFREQ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment_locked();
+  c.increment_unlocked();
+  return static_cast<int>(c.value() - 2);
+}

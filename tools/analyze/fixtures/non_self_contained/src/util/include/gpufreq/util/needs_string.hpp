@@ -1,0 +1,17 @@
+#pragma once
+
+// FIXTURE (known-bad): uses std::string and std::vector without including
+// <string> or <vector>, so it only compiles when the includer happens to
+// have pulled them in first. The selfcontain check (and the generated
+// per-header TUs from gpufreq_add_header_selfcontain_checks) must fail on
+// this header.
+
+namespace gpufreq::util {
+
+inline std::string needs_string(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& p : parts) out += p;
+  return out;
+}
+
+}  // namespace gpufreq::util

@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""gpufreq architecture analyzer: structural checks the text linter
+(tools/lint/gpufreq_lint.py) cannot express. Stdlib-only; runs standalone
+or as stage 2 of tools/run_static_analysis.sh.
+
+Checks:
+
+  layering         every `#include "gpufreq/<module>/..."` edge must respect
+                   the declared layer DAG: `util` (base) -> the mid layer
+                   {nn, ml, features, sim, dcgm, workloads} -> `core` (top).
+                   A module may include itself and any strictly lower layer.
+                   Mid-layer cross-edges are forbidden unless listed in
+                   ALLOWED_EDGES (each entry documents why it exists).
+  cycles           the header-level include graph inside src/ must be
+                   acyclic (pragma-once stops infinite recursion, but an
+                   include cycle still means neither header can be
+                   understood alone), and so must the module graph induced
+                   by the allowlist.
+  selfcontain      every public header under src/*/include/ must compile
+                   standalone (a one-line TU per header, `$CXX
+                   -fsyntax-only`). Skipped with a warning when no C++
+                   compiler is on PATH; the build enforces the same
+                   property permanently via gpufreq_add_header_selfcontain_checks
+                   (cmake/GpufreqSelfContain.cmake).
+
+Usage:
+  tools/analyze/gpufreq_arch.py                   # all checks, repo tree
+  tools/analyze/gpufreq_arch.py --check layering,cycles
+  tools/analyze/gpufreq_arch.py --root tools/analyze/fixtures/include_cycle
+  tools/analyze/gpufreq_arch.py --json report.json   # '-' for stdout
+
+Exit status: 0 = clean, 1 = violations, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+HEADER_EXTS = (".hpp", ".h", ".hh")
+SOURCE_EXTS = (".cpp", ".cc", ".cxx") + HEADER_EXTS
+
+# Declared layer DAG. A higher number may include a strictly lower one.
+LAYERS = {
+    "util": 0,
+    "nn": 1,
+    "ml": 1,
+    "features": 1,
+    "sim": 1,
+    "dcgm": 1,
+    "workloads": 1,
+    "core": 2,
+}
+
+# Mid-layer edges that are part of the architecture on purpose. Every entry
+# needs a justification; anything else on the same layer is a violation.
+ALLOWED_EDGES = {
+    ("ml", "nn"): "classical regressors reuse nn::Matrix as the data container",
+    ("sim", "workloads"): "the simulator executes workload descriptors",
+    ("dcgm", "sim"): "the DCGM-like collector samples the simulated GPU",
+    ("dcgm", "workloads"): "collection is driven per workload",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(gpufreq/([A-Za-z0-9_]+)/[^"]+)"')
+
+CHECKS = ("layering", "cycles", "selfcontain")
+
+
+def fail_usage(msg: str) -> "NoReturn":  # noqa: F821 - py3.9 compat spelling
+    print(f"gpufreq_arch: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def module_of(path: str, src_root: str) -> str | None:
+    """src/<module>/... -> <module>; None for files outside src/."""
+    rel = os.path.relpath(path, src_root)
+    parts = rel.split(os.sep)
+    return parts[0] if len(parts) > 1 and not rel.startswith("..") else None
+
+
+def scan_tree(src_root: str) -> tuple[list[str], list[dict]]:
+    """Collect source files and their gpufreq include edges.
+
+    Returns (files, edges) where each edge is a dict with from_file,
+    from_module, to_module, target (the include path), and line.
+    """
+    files: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(src_root):
+        dirnames[:] = sorted(d for d in dirnames if d not in ("build", ".git"))
+        for fn in sorted(filenames):
+            if fn.endswith(SOURCE_EXTS):
+                files.append(os.path.join(dirpath, fn))
+
+    edges: list[dict] = []
+    for path in files:
+        mod = module_of(path, src_root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, start=1):
+                m = INCLUDE_RE.match(line)
+                if not m:
+                    continue
+                edges.append({
+                    "from_file": os.path.relpath(path, src_root).replace(os.sep, "/"),
+                    "from_module": mod,
+                    "to_module": m.group(2),
+                    "target": m.group(1),
+                    "line": lineno,
+                })
+    return files, edges
+
+
+def check_layering(edges: list[dict]) -> list[dict]:
+    violations = []
+    for e in edges:
+        src, dst = e["from_module"], e["to_module"]
+        if src is None:
+            continue
+        if src not in LAYERS:
+            violations.append({
+                "check": "layering",
+                "detail": f"unknown module '{src}' (declare it in LAYERS "
+                          f"in tools/analyze/gpufreq_arch.py)",
+                **{k: e[k] for k in ("from_file", "line", "target")},
+            })
+            continue
+        if dst not in LAYERS:
+            violations.append({
+                "check": "layering",
+                "detail": f"include of unknown module '{dst}'",
+                **{k: e[k] for k in ("from_file", "line", "target")},
+            })
+            continue
+        if src == dst or LAYERS[dst] < LAYERS[src] or (src, dst) in ALLOWED_EDGES:
+            continue
+        why = ("same-layer edge not in ALLOWED_EDGES"
+               if LAYERS[dst] == LAYERS[src]
+               else f"lower layer '{src}' (layer {LAYERS[src]}) must not reach "
+                    f"up into '{dst}' (layer {LAYERS[dst]})")
+        violations.append({
+            "check": "layering",
+            "detail": f"{src} -> {dst}: {why}",
+            **{k: e[k] for k in ("from_file", "line", "target")},
+        })
+    return violations
+
+
+def _find_cycle(graph: dict[str, set[str]]) -> list[str] | None:
+    """Return one cycle as [a, b, ..., a], or None if the graph is acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    stack: list[str] = []
+
+    def dfs(node: str) -> list[str] | None:
+        color[node] = GREY
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if color.get(nxt, WHITE) == GREY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color.get(nxt, WHITE) == WHITE:
+                found = dfs(nxt)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for n in sorted(graph):
+        if color[n] == WHITE:
+            found = dfs(n)
+            if found:
+                return found
+    return None
+
+
+def check_cycles(src_root: str, files: list[str], edges: list[dict]) -> list[dict]:
+    violations = []
+
+    # Module-level graph (self-loops excluded: intra-module includes are the
+    # normal case and cannot be a layering cycle).
+    mod_graph: dict[str, set[str]] = {}
+    for e in edges:
+        if e["from_module"] and e["from_module"] != e["to_module"]:
+            mod_graph.setdefault(e["from_module"], set()).add(e["to_module"])
+            mod_graph.setdefault(e["to_module"], set())
+    cycle = _find_cycle(mod_graph)
+    if cycle:
+        violations.append({
+            "check": "cycles",
+            "detail": "module dependency cycle: " + " -> ".join(cycle),
+        })
+
+    # Header-level graph: resolve `gpufreq/<module>/x.hpp` to the actual file
+    # under src/<module>/include/ when it exists in this tree.
+    by_target = {}
+    for path in files:
+        rel = os.path.relpath(path, src_root).replace(os.sep, "/")
+        m = re.match(r"[^/]+/include/(gpufreq/.+)$", rel)
+        if m:
+            by_target[m.group(1)] = rel
+    hdr_graph: dict[str, set[str]] = {rel: set() for rel in by_target.values()}
+    for e in edges:
+        dst = by_target.get(e["target"])
+        if dst is not None and e["from_file"] in hdr_graph:
+            hdr_graph[e["from_file"]].add(dst)
+    cycle = _find_cycle(hdr_graph)
+    if cycle:
+        violations.append({
+            "check": "cycles",
+            "detail": "header include cycle: " + " -> ".join(cycle),
+        })
+    return violations
+
+
+def public_headers(src_root: str) -> list[tuple[str, str]]:
+    """All (abs_path, include_spelling) public headers under src/*/include/."""
+    out = []
+    for mod in sorted(os.listdir(src_root)):
+        inc = os.path.join(src_root, mod, "include")
+        if not os.path.isdir(inc):
+            continue
+        for dirpath, dirnames, filenames in os.walk(inc):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if fn.endswith(HEADER_EXTS):
+                    path = os.path.join(dirpath, fn)
+                    out.append((path, os.path.relpath(path, inc).replace(os.sep, "/")))
+    return out
+
+
+def find_cxx() -> str | None:
+    for cand in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def check_selfcontain(src_root: str) -> tuple[list[dict], bool]:
+    """Compile each public header standalone. Returns (violations, ran)."""
+    cxx = find_cxx()
+    if cxx is None:
+        print("gpufreq_arch: warning: no C++ compiler on PATH; "
+              "skipping selfcontain check", file=sys.stderr)
+        return [], False
+
+    include_dirs = []
+    for mod in sorted(os.listdir(src_root)):
+        inc = os.path.join(src_root, mod, "include")
+        if os.path.isdir(inc):
+            include_dirs.append(inc)
+
+    violations = []
+    with tempfile.TemporaryDirectory(prefix="gpufreq_arch_") as tmp:
+        tu = os.path.join(tmp, "selfcontain_tu.cpp")
+        for path, spelling in public_headers(src_root):
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{spelling}"\n')
+            cmd = [cxx, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra"]
+            cmd += [f"-I{d}" for d in include_dirs]
+            cmd.append(tu)
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                rel = os.path.relpath(path, src_root).replace(os.sep, "/")
+                first = next((ln for ln in proc.stderr.splitlines() if ln.strip()), "")
+                violations.append({
+                    "check": "selfcontain",
+                    "detail": f"header is not self-contained: {rel}",
+                    "from_file": rel,
+                    "compiler_error": first,
+                })
+    return violations, True
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=REPO_ROOT,
+                    help="tree to analyze; must contain a src/ directory "
+                         "(default: the repo root)")
+    ap.add_argument("--check", default=",".join(CHECKS),
+                    help=f"comma-separated subset of: {', '.join(CHECKS)}")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="write a machine-readable report ('-' for stdout)")
+    ap.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    args = ap.parse_args(argv)
+
+    checks = tuple(c.strip() for c in args.check.split(",") if c.strip())
+    unknown = set(checks) - set(CHECKS)
+    if unknown:
+        fail_usage(f"unknown check(s): {', '.join(sorted(unknown))}")
+
+    src_root = os.path.join(os.path.abspath(args.root), "src")
+    if not os.path.isdir(src_root):
+        fail_usage(f"no src/ directory under {args.root}")
+
+    files, edges = scan_tree(src_root)
+    violations: list[dict] = []
+    selfcontain_ran = False
+    if "layering" in checks:
+        violations += check_layering(edges)
+    if "cycles" in checks:
+        violations += check_cycles(src_root, files, edges)
+    if "selfcontain" in checks:
+        sc, selfcontain_ran = check_selfcontain(src_root)
+        violations += sc
+
+    for v in violations:
+        loc = f"src/{v['from_file']}:{v.get('line', 1)}: " if "from_file" in v else ""
+        print(f"{loc}[{v['check']}] {v['detail']}")
+        if v.get("compiler_error"):
+            print(f"    {v['compiler_error']}")
+
+    if args.json:
+        report = {
+            "root": os.path.abspath(args.root),
+            "checks_run": list(checks),
+            "selfcontain_ran": selfcontain_ran,
+            "layers": LAYERS,
+            "allowed_edges": [
+                {"from": a, "to": b, "why": why} for (a, b), why in sorted(ALLOWED_EDGES.items())
+            ],
+            "modules": sorted({e["from_module"] for e in edges if e["from_module"]}),
+            "edges": edges,
+            "violations": violations,
+            "ok": not violations,
+        }
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(text)
+
+    if not args.quiet:
+        print(f"gpufreq_arch: {len(files)} file(s), {len(edges)} include edge(s), "
+              f"{len(violations)} violation(s)", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -43,9 +43,12 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__fi
 DEFAULT_DIRS = ("src", "tools", "bench", "tests")
 SOURCE_EXTS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
 HEADER_EXTS = (".hpp", ".h", ".hh")
-# Directories never scanned in a default (tree) run. Fixtures are linted
-# explicitly by the self-check test; build trees are generated code.
-SKIP_DIR_PARTS = ("build", os.path.join("tools", "lint", "fixtures"), ".git")
+# Directories never scanned in a default (tree) run. Lint fixtures are
+# linted explicitly by the self-check test; the arch-analyzer fixtures are
+# deliberately broken trees (tools/analyze/gpufreq_arch.py's self-check
+# feeds them in); build trees are generated code.
+SKIP_DIR_PARTS = ("build", os.path.join("tools", "lint", "fixtures"),
+                  os.path.join("tools", "analyze", "fixtures"), ".git")
 
 SUPPRESS_RE = re.compile(r"//\s*lint-allow:\s*([a-z0-9_,\s-]+)")
 
@@ -243,7 +246,8 @@ def default_files() -> list[str]:
         for dirpath, dirnames, filenames in os.walk(base):
             rel_dir = os.path.relpath(dirpath, REPO_ROOT)
             if any(part in rel_dir.split(os.sep) for part in ("build", ".git")) or \
-               rel_dir.replace(os.sep, "/").startswith("tools/lint/fixtures"):
+               rel_dir.replace(os.sep, "/").startswith(("tools/lint/fixtures",
+                                                        "tools/analyze/fixtures")):
                 dirnames[:] = []
                 continue
             for fn in sorted(filenames):

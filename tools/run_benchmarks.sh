@@ -12,6 +12,7 @@
 #   tools/run_benchmarks.sh                 # full suite
 #   BENCH_FILTER='Gemm' tools/run_benchmarks.sh
 #   BUILD_DIR=/tmp/b tools/run_benchmarks.sh
+#   GPUFREQ_NUM_THREADS=4 tools/run_benchmarks.sh   # also caps build -j
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,13 +20,17 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 BENCH_BIN="$BUILD/bench/perf_model_training"
 REPORT="$ROOT/BENCH_perf.json"
 TMP_REPORT="$REPORT.tmp.$$"
+JOBS="${GPUFREQ_NUM_THREADS:-$(nproc 2>/dev/null || echo 4)}"
+case "$JOBS" in
+  ''|*[!0-9]*|0) JOBS="$(nproc 2>/dev/null || echo 4)" ;;
+esac
 
 cleanup() { rm -f "$TMP_REPORT"; }
 trap cleanup EXIT
 
 if [[ ! -x "$BENCH_BIN" ]]; then
   cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGPUFREQ_BUILD_BENCH=ON
-  cmake --build "$BUILD" --target perf_model_training -j
+  cmake --build "$BUILD" --target perf_model_training -j "$JOBS"
 fi
 
 if ! "$BENCH_BIN" \

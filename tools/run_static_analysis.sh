@@ -3,35 +3,50 @@
 #
 #   1. the custom determinism/hygiene linter (tools/lint/gpufreq_lint.py)
 #      plus its fixture self-check,
-#   2. clang-tidy over the library sources (skipped with a warning when
+#   2. the architecture analyzer (tools/analyze/gpufreq_arch.py): include
+#      layering vs the declared module DAG, include-cycle detection, and
+#      header self-containment,
+#   3. shellcheck over the repo's shell scripts (skipped with a warning
+#      when shellcheck is not installed),
+#   4. clang-tidy over the library sources (skipped with a warning when
 #      clang-tidy is not installed — the container toolchain is gcc-only),
-#   3. a warnings-as-errors Release build (GPUFREQ_WERROR=ON, which
-#      includes -Wconversion -Wdouble-promotion -Wextra-semi),
-#   4. the full ctest suite under AddressSanitizer+UBSan
+#   5. a warnings-as-errors Release build (GPUFREQ_WERROR=ON, which
+#      includes -Wconversion -Wdouble-promotion -Wextra-semi, and
+#      -Wthread-safety on clang),
+#   6. the full ctest suite under AddressSanitizer+UBSan
 #      (GPUFREQ_SANITIZE="address;undefined") with debug invariant checks
-#      (GPUFREQ_DCHECK / GPUFREQ_CHECK_FINITE) compiled in.
+#      (GPUFREQ_DCHECK / GPUFREQ_CHECK_FINITE) compiled in,
+#   7. the concurrency-sensitive test subset (thread pool, trainer,
+#      integration/predict sweep) under ThreadSanitizer
+#      (GPUFREQ_SANITIZE=thread) with DCHECKs on.
 #
 # Any stage failing fails the gate. Build trees live under build-sa/ so the
 # default build/ directory is never polluted.
 #
 # Usage:
-#   tools/run_static_analysis.sh              # full gate
-#   SA_SKIP_SANITIZE=1 tools/run_static_analysis.sh   # stages 1-3 only
+#   tools/run_static_analysis.sh                       # full gate
+#   SA_SKIP_SANITIZE=1 tools/run_static_analysis.sh    # skip stages 6-7
 #   SA_BUILD_ROOT=/tmp/sa tools/run_static_analysis.sh
+#   GPUFREQ_NUM_THREADS=4 tools/run_static_analysis.sh # build/ctest -j 4
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_ROOT="${SA_BUILD_ROOT:-$ROOT/build-sa}"
-JOBS="$(nproc 2>/dev/null || echo 4)"
+# GPUFREQ_NUM_THREADS doubles as the build/ctest parallelism knob so the
+# gate respects the same resource limit as the library's thread pool.
+JOBS="${GPUFREQ_NUM_THREADS:-$(nproc 2>/dev/null || echo 4)}"
+case "$JOBS" in
+  ''|*[!0-9]*|0) JOBS="$(nproc 2>/dev/null || echo 4)" ;;
+esac
 FAILED=0
 
 note() { printf '\n== %s ==\n' "$*"; }
 
 # ---------------------------------------------------------------- 1. lint
-note "stage 1/4: gpufreq_lint (determinism & hygiene rules)"
+note "stage 1/7: gpufreq_lint (determinism & hygiene rules)"
 python3 "$ROOT/tools/lint/gpufreq_lint.py" || FAILED=1
 
-note "stage 1/4: lint self-check (fixtures must trip every rule)"
+note "stage 1/7: lint self-check (fixtures must trip every rule)"
 if python3 "$ROOT/tools/lint/gpufreq_lint.py" --quiet \
     "$ROOT/tools/lint/fixtures/bad_example.cpp" \
     "$ROOT/tools/lint/fixtures/bad_header.hpp" > /dev/null 2>&1; then
@@ -46,8 +61,37 @@ if [[ "$FAILED" -ne 0 ]]; then
   exit 1
 fi
 
-# ---------------------------------------------------------- 2. clang-tidy
-note "stage 2/4: clang-tidy"
+# ------------------------------------------------- 2. architecture checks
+note "stage 2/7: gpufreq_arch (layering, cycles, header self-containment)"
+mkdir -p "$BUILD_ROOT"
+python3 "$ROOT/tools/analyze/gpufreq_arch.py" --json "$BUILD_ROOT/arch_report.json" \
+  || FAILED=1
+
+note "stage 2/7: arch self-check (fixture trees must be rejected)"
+python3 "$ROOT/tests/test_arch_selfcheck.py" > /dev/null || FAILED=1
+echo "arch report: $BUILD_ROOT/arch_report.json"
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "static analysis gate: FAILED at architecture stage" >&2
+  exit 1
+fi
+
+# -------------------------------------------------------- 3. shellcheck
+note "stage 3/7: shellcheck"
+if command -v shellcheck > /dev/null 2>&1; then
+  mapfile -t SCRIPTS < <(find "$ROOT/tools" -name '*.sh' | sort)
+  shellcheck "${SCRIPTS[@]}" || FAILED=1
+else
+  echo "warning: shellcheck not found on PATH; skipping" >&2
+fi
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "static analysis gate: FAILED at shellcheck stage" >&2
+  exit 1
+fi
+
+# ---------------------------------------------------------- 4. clang-tidy
+note "stage 4/7: clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   TIDY_BUILD="$BUILD_ROOT/tidy"
   cmake -B "$TIDY_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
@@ -64,18 +108,18 @@ if [[ "$FAILED" -ne 0 ]]; then
   exit 1
 fi
 
-# -------------------------------------------------------- 3. Werror build
-note "stage 3/4: warnings-as-errors Release build"
+# -------------------------------------------------------- 5. Werror build
+note "stage 5/7: warnings-as-errors Release build"
 WERROR_BUILD="$BUILD_ROOT/werror"
 cmake -B "$WERROR_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DGPUFREQ_WERROR=ON > /dev/null
 cmake --build "$WERROR_BUILD" -j "$JOBS"
 
-# ------------------------------------------- 4. ctest under ASan + UBSan
+# ------------------------------------------- 6. ctest under ASan + UBSan
 if [[ "${SA_SKIP_SANITIZE:-0}" == "1" ]]; then
-  note "stage 4/4: sanitized test suite (skipped: SA_SKIP_SANITIZE=1)"
+  note "stage 6/7: sanitized test suite (skipped: SA_SKIP_SANITIZE=1)"
 else
-  note "stage 4/4: ctest under GPUFREQ_SANITIZE=address;undefined"
+  note "stage 6/7: ctest under GPUFREQ_SANITIZE=address;undefined"
   SAN_BUILD="$BUILD_ROOT/asan-ubsan"
   cmake -B "$SAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     "-DGPUFREQ_SANITIZE=address;undefined" \
@@ -83,6 +127,25 @@ else
     -DGPUFREQ_BUILD_BENCH=OFF -DGPUFREQ_BUILD_EXAMPLES=OFF > /dev/null
   cmake --build "$SAN_BUILD" -j "$JOBS"
   (cd "$SAN_BUILD" && ctest --output-on-failure -j "$JOBS")
+fi
+
+# ------------------------------- 7. TSan lane: concurrency-sensitive tests
+if [[ "${SA_SKIP_SANITIZE:-0}" == "1" ]]; then
+  note "stage 7/7: TSan lane (skipped: SA_SKIP_SANITIZE=1)"
+else
+  note "stage 7/7: thread pool / trainer / predict sweep under GPUFREQ_SANITIZE=thread"
+  TSAN_BUILD="$BUILD_ROOT/tsan"
+  cmake -B "$TSAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGPUFREQ_SANITIZE=thread \
+    -DCMAKE_CXX_FLAGS=-DGPUFREQ_ENABLE_DCHECKS \
+    -DGPUFREQ_BUILD_BENCH=OFF -DGPUFREQ_BUILD_EXAMPLES=OFF > /dev/null
+  cmake --build "$TSAN_BUILD" -j "$JOBS" \
+    --target test_util_thread_pool test_nn_trainer_serialize test_integration_pipeline
+  # Run with >1 pool thread even on 1-core CI so lock discipline is
+  # actually exercised; the suites are chosen because they drive
+  # parallel_for, Trainer::fit, and the parallel predict sweep.
+  (cd "$TSAN_BUILD" && GPUFREQ_NUM_THREADS=4 ctest --output-on-failure -j 1 \
+    -R '^(ThreadPoolTest|Trainer|Serialize|Scaler|Integration)')
 fi
 
 note "static analysis gate: PASSED"
