@@ -1,0 +1,122 @@
+// End-to-end microbench of the online inference path: one full
+// 61-configuration DVFS sweep (power + time models) per iteration, per
+// kernel backend, plus network-level fused-vs-unfused forward passes that
+// isolate where the time goes. tools/run_benchmarks.sh merges this into
+// BENCH_perf.json next to the training numbers.
+//
+// Benchmark arguments: the first argument selects the kernel backend
+// (0 = scalar, 1 = avx2); avx2 rows are skipped on machines without
+// AVX2+FMA, so the JSON stays comparable across hosts.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "common.hpp"
+#include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/nn/kernels/dispatch.hpp"
+#include "gpufreq/nn/network.hpp"
+#include "gpufreq/util/rng.hpp"
+
+using namespace gpufreq;
+
+namespace {
+
+constexpr std::size_t kSweepRows = 61;  // GA100 used-frequency count
+
+bool select_backend(benchmark::State& state) {
+  const auto b = state.range(0) == 0 ? nn::kernels::Backend::kScalar
+                                     : nn::kernels::Backend::kAvx2;
+  if (b == nn::kernels::Backend::kAvx2 && !nn::kernels::avx2_available()) {
+    state.SkipWithError("avx2 backend unavailable on this machine");
+    return false;
+  }
+  nn::kernels::set_kernel_backend(b);
+  state.SetLabel(nn::kernels::to_string(b));
+  return true;
+}
+
+nn::Matrix random_batch(std::size_t rows, std::size_t cols) {
+  Rng rng(7);
+  nn::Matrix x(rows, cols);
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return x;
+}
+
+// Forward pass of the paper architecture (3 -> 64 SELU x3 -> 1 linear)
+// over the sweep batch; second argument: 0 = unfused fallback, 1 = fused
+// over packed weights.
+void BM_NetworkForward(benchmark::State& state) {
+  if (!select_backend(state)) return;
+  nn::Network net(3, nn::Network::paper_architecture(), /*seed=*/123);
+  if (state.range(1) != 0) net.prepare_inference();
+  const nn::Matrix x = random_batch(kSweepRows, 3);
+  nn::InferenceWorkspace ws;
+  for (auto _ : state) {
+    const nn::Matrix& y = net.predict_into(x, ws);
+    benchmark::DoNotOptimize(y.flat().data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["rows"] = static_cast<double>(kSweepRows);
+  state.counters["fused"] = static_cast<double>(state.range(1));
+  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+}
+BENCHMARK(BM_NetworkForward)
+    ->ArgPair(0, 0)
+    ->ArgPair(0, 1)
+    ->ArgPair(1, 0)
+    ->ArgPair(1, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+// The full online sweep through the allocation-free entry point: feature
+// replication + both models + clamps, reusing one workspace.
+void BM_SweepPredict(benchmark::State& state) {
+  if (!select_backend(state)) return;
+  static const core::PowerTimeModels models = bench::paper_models();
+  static sim::GpuDevice gpu = bench::make_ga100();
+  const core::OnlinePredictor predictor(models);
+
+  gpu.reset_clocks();
+  sim::RunOptions ro;
+  ro.collect_samples = false;
+  const sim::RunResult acq = gpu.run(workloads::find("lammps"), ro);
+  const auto freqs = gpu.spec().used_frequencies();
+
+  core::SweepWorkspace ws;
+  for (auto _ : state) {
+    predictor.predict_sweep(acq.mean_counters, acq.exec_time_s, gpu.spec(), freqs, ws);
+    benchmark::DoNotOptimize(ws.energy_j.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["configs"] = static_cast<double>(freqs.size());
+  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+}
+BENCHMARK(BM_SweepPredict)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// Same sweep through the legacy DvfsProfile-returning wrapper (what the
+// seed benchmarked as BM_PredictFullDvfsSpace), for the before/after
+// comparison in BENCH_perf.json.
+void BM_SweepPredictLegacy(benchmark::State& state) {
+  if (!select_backend(state)) return;
+  static const core::PowerTimeModels models = bench::paper_models();
+  static sim::GpuDevice gpu = bench::make_ga100();
+  const core::OnlinePredictor predictor(models);
+
+  gpu.reset_clocks();
+  sim::RunOptions ro;
+  ro.collect_samples = false;
+  const sim::RunResult acq = gpu.run(workloads::find("lammps"), ro);
+  const auto freqs = gpu.spec().used_frequencies();
+
+  for (auto _ : state) {
+    const core::DvfsProfile p = predictor.predict_from_features(
+        acq.mean_counters, acq.exec_time_s, gpu.spec(), freqs, "lammps");
+    benchmark::DoNotOptimize(p.energy_j.data());
+  }
+  state.counters["configs"] = static_cast<double>(freqs.size());
+  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+}
+BENCHMARK(BM_SweepPredictLegacy)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

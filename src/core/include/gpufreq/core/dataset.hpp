@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@ struct FeatureConfig {
 
   /// Extract the configured feature row from a counter snapshot.
   std::vector<float> extract(const sim::CounterSet& counters) const;
+
+  /// extract() into a caller-owned row (out.size() must equal dim());
+  /// performs no allocation.
+  void extract_into(const sim::CounterSet& counters, std::span<float> out) const;
 };
 
 /// Supervised dataset for the power and time models.

@@ -33,6 +33,16 @@ struct ModelConfig {
 /// prediction.
 class DnnModel {
  public:
+  /// Reusable scratch for predict_into: the standardized input matrix plus
+  /// the network's ping-pong activation buffers. Grows to the model's
+  /// shapes on first use, then steady-state predictions allocate nothing.
+  /// One per thread; a single workspace serves both the power and time
+  /// models if they are called sequentially.
+  struct Workspace {
+    nn::InferenceWorkspace net;
+    nn::Matrix scaled;
+  };
+
   DnnModel() = default;
 
   /// Train on the dataset for the given target. Returns the loss history
@@ -45,6 +55,11 @@ class DnnModel {
   /// Predict the (normalized) target for a feature matrix: TDP fraction for
   /// power models, slowdown for time models.
   std::vector<double> predict(const nn::Matrix& x) const;
+
+  /// predict() into caller-owned scratch and output (out.size() must equal
+  /// x.rows()). Bitwise-identical results to predict(), without its per-
+  /// call allocations.
+  void predict_into(const nn::Matrix& x, Workspace& ws, std::span<double> out) const;
 
   /// Predict for a single feature row.
   double predict_one(std::span<const float> x) const;

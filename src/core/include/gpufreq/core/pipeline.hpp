@@ -43,6 +43,23 @@ class OfflineTrainer {
   OfflineConfig config_;
 };
 
+/// Reusable scratch + results for OnlinePredictor::predict_sweep. Holds
+/// everything one DVFS sweep touches — the sorted frequency list, the
+/// shared feature matrix both models read, per-model inference scratch,
+/// and the output vectors — so a warmed-up workspace makes the whole
+/// 61-configuration sweep without a single heap allocation. One per
+/// thread.
+struct SweepWorkspace {
+  std::vector<double> frequencies;  ///< sorted sweep order (ascending MHz)
+  std::vector<double> power_w;      ///< predicted board power per config
+  std::vector<double> time_s;       ///< predicted execution time per config
+  std::vector<double> energy_j;     ///< power * time (Equation 8)
+
+  nn::Matrix features;              ///< sweep x feature_dim, shared by both models
+  DnnModel::Workspace power_model;
+  DnnModel::Workspace time_model;
+};
+
 /// Online phase (§4, Figure 2 right side): execute an application once, at
 /// the maximum frequency only, then predict its power/time/energy across
 /// every DVFS configuration by replicating its (frequency-invariant)
@@ -63,6 +80,15 @@ class OnlinePredictor {
                                     double measured_time_at_max_s, const sim::GpuSpec& spec,
                                     const std::vector<double>& frequencies,
                                     const std::string& workload_name) const;
+
+  /// The allocation-free core of predict_from_features: sorts the
+  /// frequencies into ws.frequencies, builds the shared feature matrix
+  /// once, runs both models through the fused inference path, and leaves
+  /// the clamped power/time/energy curves in ws. predict_from_features is
+  /// a thin wrapper that copies the workspace into a DvfsProfile.
+  void predict_sweep(const sim::CounterSet& max_freq_counters, double measured_time_at_max_s,
+                     const sim::GpuSpec& spec, const std::vector<double>& frequencies,
+                     SweepWorkspace& ws) const;
 
  private:
   const PowerTimeModels& models_;

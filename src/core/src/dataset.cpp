@@ -8,15 +8,20 @@
 namespace gpufreq::core {
 
 std::vector<float> FeatureConfig::extract(const sim::CounterSet& counters) const {
-  std::vector<float> row;
-  row.reserve(metrics.size());
-  for (const std::string& m : metrics) {
+  std::vector<float> row(metrics.size());
+  extract_into(counters, row);
+  return row;
+}
+
+void FeatureConfig::extract_into(const sim::CounterSet& counters, std::span<float> out) const {
+  GPUFREQ_REQUIRE(out.size() == metrics.size(), "FeatureConfig::extract: row width mismatch");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const std::string& m = metrics[i];
     double v = counters.value(m);
     if (m == "sm_app_clock") v *= 1e-3;          // MHz -> GHz
     if (m == "pcie_tx_bytes" || m == "pcie_rx_bytes") v *= 1e-9;  // -> GB/s
-    row.push_back(static_cast<float>(v));
+    out[i] = static_cast<float>(v);
   }
-  return row;
 }
 
 nn::Matrix Dataset::power_targets() const {

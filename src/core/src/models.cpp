@@ -47,18 +47,33 @@ nn::TrainHistory DnnModel::train(const Dataset& dataset, Target target,
 
   const nn::Trainer trainer(tc);
   const nn::TrainHistory history = trainer.fit(bundle_.network, x, y);
+  // Weights are final: pack them for the fused inference kernel while the
+  // model is still exclusively owned by this thread.
+  bundle_.network.prepare_inference();
   trained_ = true;
   return history;
 }
 
 std::vector<double> DnnModel::predict(const nn::Matrix& x) const {
-  GPUFREQ_REQUIRE(trained_, "DnnModel::predict: model not trained");
-  const nn::Matrix xs = bundle_.input_scaler.transform(x);
-  const nn::Matrix ys = bundle_.network.predict(xs);
-  const nn::Matrix y = bundle_.target_scaler.inverse_transform(ys);
-  std::vector<double> out(y.rows());
-  for (std::size_t i = 0; i < y.rows(); ++i) out[i] = y(i, 0);
+  static thread_local Workspace ws;
+  std::vector<double> out(x.rows());
+  predict_into(x, ws, out);
   return out;
+}
+
+void DnnModel::predict_into(const nn::Matrix& x, Workspace& ws, std::span<double> out) const {
+  GPUFREQ_REQUIRE(trained_, "DnnModel::predict: model not trained");
+  const nn::StandardScaler& ts = bundle_.target_scaler;
+  GPUFREQ_REQUIRE(ts.fitted() && ts.dim() == 1,
+                  "DnnModel::predict: target scaler not fitted for one output");
+  bundle_.input_scaler.transform_into(x, ws.scaled);
+  bundle_.network.predict_vector_into(ws.scaled, ws.net, out);
+  // Inverse target transform, elementwise through the same float rounding
+  // as StandardScaler::inverse_transform so results match predict() bit
+  // for bit.
+  const double mean = ts.means()[0];
+  const double stddev = ts.stddevs()[0];
+  for (double& v : out) v = static_cast<double>(static_cast<float>(v * stddev + mean));
 }
 
 double DnnModel::predict_one(std::span<const float> x) const {
@@ -69,6 +84,7 @@ double DnnModel::predict_one(std::span<const float> x) const {
 
 void DnnModel::restore(nn::ModelBundle bundle, Target target) {
   bundle_ = std::move(bundle);
+  bundle_.network.prepare_inference();
   target_ = target;
   trained_ = true;
 }

@@ -99,52 +99,65 @@ DvfsProfile OnlinePredictor::predict_from_features(const sim::CounterSet& max_fr
                                                    const sim::GpuSpec& spec,
                                                    const std::vector<double>& frequencies,
                                                    const std::string& workload_name) const {
-  GPUFREQ_REQUIRE(measured_time_at_max_s > 0.0,
-                  "OnlinePredictor: measured time must be positive");
-  GPUFREQ_REQUIRE(!frequencies.empty(), "OnlinePredictor: no frequencies");
-
-  std::vector<double> freqs = frequencies;
-  std::sort(freqs.begin(), freqs.end());
-
-  // Replicate the (frequency-invariant) features across the DVFS space with
-  // only the clock feature swapped — the paper's key data-reduction idea.
-  // Each row depends only on its own frequency, so the 61-config sweep
-  // extracts in parallel (rows are disjoint; output is order-independent).
-  nn::Matrix x(freqs.size(), models_.features.dim());
-  parallel_for(0, freqs.size(), 8, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      sim::CounterSet c = max_freq_counters;
-      c.sm_app_clock = freqs[i];
-      const std::vector<float> row = models_.features.extract(c);
-      std::copy(row.begin(), row.end(), x.row(i).begin());
-    }
-  });
-
-  const std::vector<double> power_frac = models_.power.predict(x);
-  const std::vector<double> slowdown = models_.time.predict(x);
-  // A NaN here means poisoned weights or features; fail before it turns
-  // into a silently wrong "optimal" frequency downstream.
-  GPUFREQ_CHECK_FINITE(power_frac);
-  GPUFREQ_CHECK_FINITE(slowdown);
+  static thread_local SweepWorkspace ws;
+  predict_sweep(max_freq_counters, measured_time_at_max_s, spec, frequencies, ws);
 
   DvfsProfile p;
   p.workload = workload_name;
   p.gpu = spec.name;
   p.predicted = true;
-  p.frequency_mhz = freqs;
-  p.power_w.reserve(freqs.size());
-  p.time_s.reserve(freqs.size());
-  p.energy_j.reserve(freqs.size());
-  for (std::size_t i = 0; i < freqs.size(); ++i) {
-    // Clamp to physically meaningful ranges: the DNN output is unbounded.
-    const double pw = std::max(1.0, power_frac[i] * spec.tdp_w);
-    const double t = std::max(1e-6, slowdown[i] * measured_time_at_max_s);
-    p.power_w.push_back(pw);
-    p.time_s.push_back(t);
-    p.energy_j.push_back(pw * t);  // Equation 8
-  }
+  p.frequency_mhz = ws.frequencies;
+  p.power_w = ws.power_w;
+  p.time_s = ws.time_s;
+  p.energy_j = ws.energy_j;
   p.validate();
   return p;
+}
+
+void OnlinePredictor::predict_sweep(const sim::CounterSet& max_freq_counters,
+                                    double measured_time_at_max_s, const sim::GpuSpec& spec,
+                                    const std::vector<double>& frequencies,
+                                    SweepWorkspace& ws) const {
+  GPUFREQ_REQUIRE(measured_time_at_max_s > 0.0,
+                  "OnlinePredictor: measured time must be positive");
+  GPUFREQ_REQUIRE(!frequencies.empty(), "OnlinePredictor: no frequencies");
+
+  ws.frequencies.assign(frequencies.begin(), frequencies.end());
+  std::sort(ws.frequencies.begin(), ws.frequencies.end());
+  const std::size_t n = ws.frequencies.size();
+
+  // Replicate the (frequency-invariant) features across the DVFS space with
+  // only the clock feature swapped — the paper's key data-reduction idea.
+  // Each row depends only on its own frequency, so the 61-config sweep
+  // extracts in parallel (rows are disjoint; output is order-independent).
+  // Both models read this one matrix; it is built exactly once per sweep.
+  ws.features.resize_uninit(n, models_.features.dim());
+  parallel_for(0, n, 8, [&](std::size_t lo, std::size_t hi) {
+    sim::CounterSet c = max_freq_counters;
+    for (std::size_t i = lo; i < hi; ++i) {
+      c.sm_app_clock = ws.frequencies[i];
+      models_.features.extract_into(c, ws.features.row(i));
+    }
+  });
+
+  ws.power_w.resize(n);
+  ws.time_s.resize(n);
+  ws.energy_j.resize(n);
+  models_.power.predict_into(ws.features, ws.power_model, ws.power_w);
+  models_.time.predict_into(ws.features, ws.time_model, ws.time_s);
+  // A NaN here means poisoned weights or features; fail before it turns
+  // into a silently wrong "optimal" frequency downstream.
+  GPUFREQ_CHECK_FINITE(ws.power_w);
+  GPUFREQ_CHECK_FINITE(ws.time_s);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Clamp to physically meaningful ranges: the DNN output is unbounded.
+    const double pw = std::max(1.0, ws.power_w[i] * spec.tdp_w);
+    const double t = std::max(1e-6, ws.time_s[i] * measured_time_at_max_s);
+    ws.power_w[i] = pw;
+    ws.time_s[i] = t;
+    ws.energy_j[i] = pw * t;  // Equation 8
+  }
 }
 
 }  // namespace gpufreq::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+namespace gpufreq::nn::kernels {
+
+/// Which kernel implementation set the nn library computes with. The
+/// scalar backend is the portable reference (compiler-vectorized, no
+/// intrinsics); the AVX2 backend is hand-vectorized with AVX2+FMA
+/// intrinsics in a TU compiled with `-mavx2 -mfma` only, so the rest of
+/// the binary stays portable and the choice is made at runtime via CPUID.
+///
+/// Determinism contract: within one backend, every kernel's per-element
+/// accumulation order is fixed (ascending inner dimension) and the
+/// parallel partition is thread-count independent, so results are bitwise
+/// identical for any set_num_threads value. Across backends results agree
+/// only to floating-point tolerance (different instruction selection and
+/// FMA contraction), which is why the backend is an explicit, loggable
+/// choice rather than an invisible compiler detail.
+enum class Backend {
+  kAuto,    ///< pick the best supported backend (env override respected)
+  kScalar,  ///< portable reference kernels
+  kAvx2,    ///< AVX2+FMA kernels (requires CPU support)
+};
+
+const char* to_string(Backend b);
+
+/// Parse "auto" | "scalar" | "avx2" (the accepted GPUFREQ_KERNEL_BACKEND
+/// values); throws InvalidArgument for anything else.
+Backend backend_from_string(const std::string& name);
+
+/// True when this binary contains the AVX2 kernels AND the executing CPU
+/// reports AVX2+FMA support.
+bool avx2_available();
+
+/// The backend actually computing (never kAuto). First use runs selection:
+/// GPUFREQ_KERNEL_BACKEND if set, else the best supported backend.
+Backend active_backend();
+
+/// Force a backend; kAuto re-runs the default selection. Throws
+/// InvalidArgument when the requested backend is not available on this
+/// CPU/binary. Like set_num_threads, not safe to call concurrently with
+/// in-flight nn compute.
+void set_kernel_backend(Backend b);
+
+}  // namespace gpufreq::nn::kernels

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "gpufreq/nn/activations.hpp"
+#include "gpufreq/nn/kernels/packing.hpp"
 #include "gpufreq/nn/matrix.hpp"
 #include "gpufreq/nn/optimizer.hpp"
 #include "gpufreq/util/rng.hpp"
@@ -33,8 +34,22 @@ class DenseLayer {
   /// backward() — Network::train_step guarantees this for its batch.
   void forward(const Matrix& x, Matrix& out);
 
-  /// Inference-only forward (no caching).
+  /// Inference-only forward (no caching). When the layer is prepared
+  /// (prepare_inference), this runs the fused dense_bias_act kernel over
+  /// the packed weights — bias add and activation happen in the GEMM
+  /// epilogue and `out` is the only matrix written. Otherwise it falls
+  /// back to gemm + bias + in-place activation using `out` as the only
+  /// scratch.
   void forward_inference(const Matrix& x, Matrix& out) const;
+
+  /// Pack the weights for the fused inference kernel. Call after the
+  /// weights settle (end of training / deserialization / any external
+  /// mutation through weights()); gradient updates and re-initialization
+  /// invalidate the pack automatically.
+  void prepare_inference();
+
+  /// True when the packed weights are current (fused path will be used).
+  bool inference_prepared() const { return !packed_.empty(); }
 
   /// Backward: `delta` is dL/dY (batch x out). Computes parameter
   /// gradients (averaged over the batch) and overwrites `dx` with dL/dX.
@@ -47,6 +62,7 @@ class DenseLayer {
   Matrix w_;               // in x out
   std::vector<float> b_;   // out
   Activation act_;
+  kernels::PackedWeights packed_;  // panel-packed w_, empty when stale
 
   Matrix grad_w_;
   std::vector<float> grad_b_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "gpufreq/nn/layer.hpp"
@@ -12,6 +13,20 @@ namespace gpufreq::nn {
 struct LayerSpec {
   std::size_t units = 64;
   Activation activation = Activation::kSelu;
+};
+
+/// Reusable scratch for Network::predict_into: two ping-pong activation
+/// buffers that grow to the widest layer on first use and are then reused
+/// verbatim, so steady-state inference performs no heap allocation. One
+/// workspace serves any number of networks (buffers are resized per call,
+/// capacity only grows); share one per thread, not across threads.
+class InferenceWorkspace {
+ public:
+  InferenceWorkspace() = default;
+
+ private:
+  friend class Network;
+  Matrix bufs_[2];
 };
 
 /// Standard feedforward neural network (the paper's FNN, §4.3): a stack of
@@ -36,10 +51,32 @@ class Network {
 
   /// Inference: Y = f(X), no training caches touched. Thread-compatible
   /// (const) but not re-entrant with train_step on the same object.
+  /// Convenience wrapper over predict_into (per-thread workspace); the
+  /// returned matrix is the only allocation it makes in steady state.
+  /// Rejects empty batches (x.rows() == 0).
   Matrix predict(const Matrix& x) const;
+
+  /// Inference into a caller-owned workspace; the returned reference
+  /// points at one of the workspace buffers and stays valid until the
+  /// workspace is reused. Allocation-free once the workspace has warmed
+  /// up to this network's widest layer.
+  const Matrix& predict_into(const Matrix& x, InferenceWorkspace& ws) const;
 
   /// Convenience for single-output networks: predict a column vector.
   std::vector<double> predict_vector(const Matrix& x) const;
+
+  /// Single-output inference into a caller-owned span (out.size() must
+  /// equal x.rows()); allocation-free like predict_into.
+  void predict_vector_into(const Matrix& x, InferenceWorkspace& ws,
+                           std::span<double> out) const;
+
+  /// Pack every layer's weights for the fused inference kernel. Idempotent;
+  /// training steps and weight re-initialization invalidate the packs (the
+  /// layers then fall back to the unfused path until re-prepared).
+  void prepare_inference();
+
+  /// True when every layer's fused-inference pack is current.
+  bool inference_prepared() const;
 
   /// One optimizer step on a mini-batch; returns the batch loss before the
   /// update. `opt` must have been bound with bind_optimizer first.

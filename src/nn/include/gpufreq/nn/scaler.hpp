@@ -22,6 +22,10 @@ class StandardScaler {
   /// (x - mean) / std, columnwise. Requires fit() with the same width.
   Matrix transform(const Matrix& x) const;
 
+  /// transform() into a caller-owned matrix (resized to match x);
+  /// allocation-free once `out` has the capacity. `out` must not alias x.
+  void transform_into(const Matrix& x, Matrix& out) const;
+
   /// Inverse transform of a standardized matrix.
   Matrix inverse_transform(const Matrix& x) const;
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdint>
-#include <cstring>
 
+#include "gpufreq/nn/kernels/kernel_table.hpp"
 #include "gpufreq/util/error.hpp"
+#include "kernels/scalar_math.hpp"
 
 namespace gpufreq::nn {
 
@@ -33,54 +33,13 @@ Activation activation_from_string(const std::string& name) {
   throw InvalidArgument("activation_from_string: unknown activation '" + name + "'");
 }
 
-namespace {
-constexpr float kLeakySlope = 0.2f;
-
-// Branch-free single-precision exp (Cephes-style range reduction + degree-5
-// polynomial, |relative error| < 2e-7 over the clamped domain). Unlike
-// libm's expf this is straight-line code, so the per-activation loops below
-// auto-vectorize — SELU forward/backward over a training run evaluates exp
-// hundreds of millions of times and dominates the epoch wall time.
-// exp(0) returns exactly 1, which several call sites rely on.
-inline float fast_expf(float x) {
-  constexpr float kLog2e = 1.44269504088896341f;
-  constexpr float kLn2Hi = 0.693359375f;
-  constexpr float kLn2Lo = -2.12194440e-4f;
-  x = std::min(x, 88.0f);   // below float overflow
-  x = std::max(x, -87.0f);  // above float denormals
-  const float fx = std::floor(x * kLog2e + 0.5f);
-  x -= fx * kLn2Hi;
-  x -= fx * kLn2Lo;
-  float y = 1.9875691500e-4f;
-  y = y * x + 1.3981999507e-3f;
-  y = y * x + 8.3334519073e-3f;
-  y = y * x + 4.1665795894e-2f;
-  y = y * x + 1.6666665459e-1f;
-  y = y * x + 5.0000001201e-1f;
-  y = y * x * x + x + 1.0f;
-  // Scale by 2^fx through the exponent bits; fx is in [-125, 127] after
-  // the clamp, so the biased exponent never leaves (0, 255).
-  const std::uint32_t bits = static_cast<std::uint32_t>(static_cast<std::int32_t>(fx) + 127)
-                             << 23;
-  float p;
-  std::memcpy(&p, &bits, sizeof(p));
-  return y * p;
-}
-
-// Shared elementwise kernels: the scalar activate()/activate_derivative()
-// overloads and the hoisted span loops below must call the *same* inlined
-// code so both produce bit-identical results.
-inline float elu_f(float x) { return x > 0.0f ? x : fast_expf(x) - 1.0f; }
-inline float selu_f(float x) {
-  return x > 0.0f ? kSeluScale * x : kSeluScale * kSeluAlpha * (fast_expf(x) - 1.0f);
-}
-inline float sigmoid_f(float x) { return 1.0f / (1.0f + fast_expf(-x)); }
-inline float softplus_f(float x) {
-  const float e = fast_expf(-std::abs(x));
-  return std::log1p(e) + std::max(x, 0.0f);
-}
-inline float softsign_f(float x) { return x / (1.0f + std::abs(x)); }
-}  // namespace
+using kernels::scalar_math::elu_f;
+using kernels::scalar_math::fast_expf;
+using kernels::scalar_math::kLeakySlope;
+using kernels::scalar_math::selu_f;
+using kernels::scalar_math::sigmoid_f;
+using kernels::scalar_math::softplus_f;
+using kernels::scalar_math::softsign_f;
 
 float activate(Activation act, float x) {
   switch (act) {
@@ -122,42 +81,14 @@ float activate_derivative(Activation act, float x) {
   return 1.0f;
 }
 
-// The span overloads hoist the activation switch out of the loop: each case
-// is a tight branch-free loop over inlined kernels, which the compiler
-// vectorizes. The dispatch-per-element form defeated vectorization and made
-// SELU training ~2x slower end to end.
+// The span overload goes through the kernel dispatch table: the scalar
+// backend is the original hoisted-switch loop over the same inlined
+// elementwise kernels as the scalar overload above (so the two stay
+// bit-identical under the scalar backend), and the AVX2 backend evaluates
+// the same polynomial with hand-placed FMAs.
 void activate(Activation act, std::span<const float> z, std::span<float> out) {
   GPUFREQ_REQUIRE(z.size() == out.size(), "activate: size mismatch");
-  const std::size_t n = z.size();
-  switch (act) {
-    case Activation::kLinear:
-      std::copy(z.begin(), z.end(), out.begin());
-      return;
-    case Activation::kRelu:
-      for (std::size_t i = 0; i < n; ++i) out[i] = z[i] > 0.0f ? z[i] : 0.0f;
-      return;
-    case Activation::kElu:
-      for (std::size_t i = 0; i < n; ++i) out[i] = elu_f(z[i]);
-      return;
-    case Activation::kLeakyRelu:
-      for (std::size_t i = 0; i < n; ++i) out[i] = z[i] > 0.0f ? z[i] : kLeakySlope * z[i];
-      return;
-    case Activation::kSelu:
-      for (std::size_t i = 0; i < n; ++i) out[i] = selu_f(z[i]);
-      return;
-    case Activation::kSigmoid:
-      for (std::size_t i = 0; i < n; ++i) out[i] = sigmoid_f(z[i]);
-      return;
-    case Activation::kTanh:
-      for (std::size_t i = 0; i < n; ++i) out[i] = std::tanh(z[i]);
-      return;
-    case Activation::kSoftplus:
-      for (std::size_t i = 0; i < n; ++i) out[i] = softplus_f(z[i]);
-      return;
-    case Activation::kSoftsign:
-      for (std::size_t i = 0; i < n; ++i) out[i] = softsign_f(z[i]);
-      return;
-  }
+  kernels::active().activate(act, z.data(), out.data(), z.size());
 }
 
 void activate_derivative(Activation act, std::span<const float> z, std::span<float> out) {

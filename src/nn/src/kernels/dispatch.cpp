@@ -1,0 +1,93 @@
+#include "gpufreq/nn/kernels/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "gpufreq/nn/kernels/kernel_table.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn::kernels {
+
+namespace {
+
+// The active table. Null until first selection; reads are acquire so a
+// table published by set_kernel_backend (or first-use selection) is fully
+// visible to every compute thread.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+bool cpu_has_avx2_fma() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* table_for(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return &detail::scalar_table();
+    case Backend::kAvx2:
+      GPUFREQ_REQUIRE(avx2_available(),
+                      "kernel backend 'avx2' requested but unavailable "
+                      "(CPU or build lacks AVX2+FMA)");
+      return detail::avx2_table();
+    case Backend::kAuto:
+      break;
+  }
+  // Auto: honor GPUFREQ_KERNEL_BACKEND, else pick the best supported.
+  if (const char* env = std::getenv("GPUFREQ_KERNEL_BACKEND")) {
+    const Backend forced = backend_from_string(env);
+    if (forced != Backend::kAuto) return table_for(forced);
+  }
+  return avx2_available() ? detail::avx2_table() : &detail::scalar_table();
+}
+
+}  // namespace
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kAuto:
+      return "auto";
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Backend backend_from_string(const std::string& name) {
+  if (name == "auto") return Backend::kAuto;
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  throw InvalidArgument("unknown kernel backend '" + name +
+                        "' (expected auto|scalar|avx2)");
+}
+
+bool avx2_available() { return detail::avx2_table() != nullptr && cpu_has_avx2_fma(); }
+
+const KernelTable& active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Magic static: exactly one thread runs the default selection, and any
+    // concurrent first callers block on it here rather than racing.
+    static const KernelTable* selected = [] {
+      const KernelTable* s = table_for(Backend::kAuto);
+      g_active.store(s, std::memory_order_release);
+      return s;
+    }();
+    t = selected;
+  }
+  return *t;
+}
+
+Backend active_backend() {
+  return &active() == detail::avx2_table() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+void set_kernel_backend(Backend b) {
+  g_active.store(table_for(b), std::memory_order_release);
+}
+
+}  // namespace gpufreq::nn::kernels

@@ -1,6 +1,8 @@
 #include "gpufreq/nn/layer.hpp"
 
+#include "gpufreq/nn/kernels/kernel_table.hpp"
 #include "gpufreq/util/error.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 
 namespace gpufreq::nn {
 
@@ -13,6 +15,7 @@ void DenseLayer::init_lecun_normal(Rng& rng) {
   const float stddev = lecun_normal_stddev(w_.rows());
   for (float& v : w_.flat()) v = static_cast<float>(rng.normal(0.0, stddev));
   for (float& v : b_) v = 0.0f;
+  packed_.clear();
 }
 
 void DenseLayer::register_params(Optimizer& opt) {
@@ -31,12 +34,30 @@ void DenseLayer::forward(const Matrix& x, Matrix& out) {
 
 void DenseLayer::forward_inference(const Matrix& x, Matrix& out) const {
   GPUFREQ_REQUIRE(x.cols() == w_.rows(), "DenseLayer::forward_inference: width mismatch");
-  Matrix z;
-  gemm(x, w_, z);
-  add_row_vector(z, b_);
-  out.resize_uninit(z.rows(), z.cols());
-  activate(act_, z.flat(), out.flat());
+  if (packed_.empty()) {
+    // Unfused fallback: `out` doubles as the Z buffer (gemm output, bias
+    // add, then in-place activation), so even this path allocates nothing
+    // beyond `out` itself.
+    gemm(x, w_, out);
+    add_row_vector(out, b_);
+    activate(act_, out.flat(), out.flat());
+    return;
+  }
+  out.resize_uninit(x.rows(), w_.cols());
+  if (x.rows() == 0) return;
+  const kernels::KernelTable& kt = kernels::active();
+  const float* X = x.flat().data();
+  const float* bias = b_.data();
+  float* Y = out.flat().data();
+  // Same 48-row grain as gemm: chunk boundaries depend only on the batch
+  // size, so the fused path is bitwise-stable across thread counts too.
+  parallel_for(0, x.rows(), 48, [&](std::size_t lo, std::size_t hi) {
+    kt.dense_bias_act(X, packed_, bias, act_, Y, lo, hi);
+  });
+  GPUFREQ_DCHECK_FINITE(out);
 }
+
+void DenseLayer::prepare_inference() { packed_.pack(w_); }
 
 void DenseLayer::backward(const Matrix& delta, Matrix& dx) {
   GPUFREQ_REQUIRE(cached_x_ != nullptr, "DenseLayer::backward: forward not called");
@@ -68,6 +89,7 @@ void DenseLayer::apply_gradients(Optimizer& opt) {
                   "DenseLayer: register_params was not called");
   opt.update(slot_w_, w_.flat(), grad_w_.flat());
   opt.update(slot_b_, b_, grad_b_);
+  packed_.clear();
 }
 
 }  // namespace gpufreq::nn

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gpufreq/nn/kernels/kernel_table.hpp"
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/thread_pool.hpp"
 
@@ -33,102 +34,11 @@ float Matrix::frobenius_norm() const {
 
 namespace {
 
-// Register tile of the C = A*B kernel: kMr C-rows by kNr C-columns (one
-// 512-bit lane of floats) held in registers across the whole k loop, so B
-// traffic drops by kMr and C is written exactly once. Accumulation order
-// over p is ascending in every code path below, which keeps results
-// bitwise identical whatever the tiling or thread count.
-constexpr std::size_t kMr = 6;
-constexpr std::size_t kNr = 16;
-// Rows per parallel chunk (multiple of kMr so tile boundaries are fixed).
+// Rows per parallel chunk (multiple of the 6-row register tile of the
+// kernel backends, so tile boundaries are thread-count independent).
 constexpr std::size_t kRowGrain = 48;
 // Chunk grain for the (small) k-dimension of gemm_tn outputs.
 constexpr std::size_t kTnGrain = 16;
-
-#if defined(__GNUC__) || defined(__clang__)
-// Explicit vector lanes: GCC 12's auto-vectorizer keeps the accumulator
-// array in memory (16-byte SLP only), which is ~6x slower than the naive
-// loop. Named vector variables pin the twelve accumulator halves in
-// registers (12 + 2 B lanes fit the 16 ymm registers); __builtin_memcpy
-// compiles to unaligned vector moves. 6 rows x 2 lanes = 12 independent
-// FMA chains, enough to hide the 4-cycle FMA latency.
-typedef float v8sf __attribute__((vector_size(8 * sizeof(float))));
-
-inline v8sf load8(const float* p) {
-  v8sf v;
-  __builtin_memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-inline void kernel_mrxnr(const float* a, std::size_t lda, const float* b, std::size_t ldb,
-                         float* c, std::size_t ldc, std::size_t k) {
-  v8sf a0l = {}, a0h = {}, a1l = {}, a1h = {}, a2l = {}, a2h = {};
-  v8sf a3l = {}, a3h = {}, a4l = {}, a4h = {}, a5l = {}, a5h = {};
-  for (std::size_t p = 0; p < k; ++p) {
-    const v8sf bl = load8(b + p * ldb);
-    const v8sf bh = load8(b + p * ldb + 8);
-    float x;
-    x = a[0 * lda + p]; a0l += x * bl; a0h += x * bh;
-    x = a[1 * lda + p]; a1l += x * bl; a1h += x * bh;
-    x = a[2 * lda + p]; a2l += x * bl; a2h += x * bh;
-    x = a[3 * lda + p]; a3l += x * bl; a3h += x * bh;
-    x = a[4 * lda + p]; a4l += x * bl; a4h += x * bh;
-    x = a[5 * lda + p]; a5l += x * bl; a5h += x * bh;
-  }
-  const v8sf acc[kMr][2] = {{a0l, a0h}, {a1l, a1h}, {a2l, a2h},
-                            {a3l, a3h}, {a4l, a4h}, {a5l, a5h}};
-  for (std::size_t r = 0; r < kMr; ++r) {
-    __builtin_memcpy(c + r * ldc, &acc[r][0], sizeof(v8sf));
-    __builtin_memcpy(c + r * ldc + 8, &acc[r][1], sizeof(v8sf));
-  }
-}
-#else
-inline void kernel_mrxnr(const float* a, std::size_t lda, const float* b, std::size_t ldb,
-                         float* c, std::size_t ldc, std::size_t k) {
-  float acc[kMr][kNr] = {};
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* bp = b + p * ldb;
-    for (std::size_t r = 0; r < kMr; ++r) {
-      const float ar = a[r * lda + p];
-      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += ar * bp[j];
-    }
-  }
-  for (std::size_t r = 0; r < kMr; ++r) {
-    for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
-  }
-}
-#endif
-
-// Seed-style i-p-j fallback for row/column tails (contiguous B access).
-inline void tail_rows(const float* a, std::size_t lda, const float* b, std::size_t ldb,
-                      float* c, std::size_t ldc, std::size_t k,
-                      std::size_t row_begin, std::size_t row_end,
-                      std::size_t col_begin, std::size_t col_end) {
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    float* ci = c + i * ldc;
-    for (std::size_t j = col_begin; j < col_end; ++j) ci[j] = 0.0f;
-    const float* ai = a + i * lda;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      const float* bp = b + p * ldb;
-      for (std::size_t j = col_begin; j < col_end; ++j) ci[j] += aip * bp[j];
-    }
-  }
-}
-
-// Tiled C[lo..hi) = A[lo..hi) * B row band, shared by gemm and gemm_nt.
-inline void gemm_row_band(const float* A, const float* B, float* C, std::size_t k,
-                          std::size_t m, std::size_t lo, std::size_t hi) {
-  for (std::size_t j0 = 0; j0 + kNr <= m; j0 += kNr) {
-    std::size_t i0 = lo;
-    for (; i0 + kMr <= hi; i0 += kMr) {
-      kernel_mrxnr(A + i0 * k, k, B + j0, m, C + i0 * m + j0, m, k);
-    }
-    tail_rows(A, k, B, m, C, m, k, i0, hi, j0, j0 + kNr);
-  }
-  const std::size_t j_tail = m - m % kNr;
-  if (j_tail < m) tail_rows(A, k, B, m, C, m, k, lo, hi, j_tail, m);
-}
 
 }  // namespace
 
@@ -145,8 +55,9 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   const float* B = b.flat().data();
   float* C = c.flat().data();
 
+  const kernels::KernelTable& kt = kernels::active();
   parallel_for(0, n, kRowGrain,
-               [&](std::size_t lo, std::size_t hi) { gemm_row_band(A, B, C, k, m, lo, hi); });
+               [&](std::size_t lo, std::size_t hi) { kt.gemm_row_band(A, B, C, k, m, lo, hi); });
   GPUFREQ_DCHECK_FINITE(c);
 }
 
@@ -159,22 +70,12 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
   const float* B = b.flat().data();
   float* C = c.flat().data();
 
-  // Each chunk owns a band of C rows (= A columns); p stays the outer loop
-  // so B rows stream once per chunk and accumulation stays p-ascending.
+  // Each chunk owns a band of C rows (= A columns); the kernel keeps p as
+  // the outer loop so B rows stream once per chunk and accumulation stays
+  // p-ascending.
+  const kernels::KernelTable& kt = kernels::active();
   parallel_for(0, k, kTnGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      float* ci = C + i * m;
-      for (std::size_t j = 0; j < m; ++j) ci[j] = 0.0f;
-    }
-    for (std::size_t p = 0; p < n; ++p) {
-      const float* ap = A + p * k;
-      const float* bp = B + p * m;
-      for (std::size_t i = lo; i < hi; ++i) {
-        const float api = ap[i];
-        float* ci = C + i * m;
-        for (std::size_t j = 0; j < m; ++j) ci[j] += api * bp[j];
-      }
-    }
+    kt.gemm_tn_band(A, B, C, n, k, m, lo, hi);
   });
   GPUFREQ_DCHECK_FINITE(c);
 }
@@ -205,26 +106,22 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
   const float* Bt = bt.data();
   float* C = c.flat().data();
 
+  const kernels::KernelTable& kt = kernels::active();
   parallel_for(0, n, kRowGrain,
-               [&](std::size_t lo, std::size_t hi) { gemm_row_band(A, Bt, C, k, m, lo, hi); });
+               [&](std::size_t lo, std::size_t hi) { kt.gemm_row_band(A, Bt, C, k, m, lo, hi); });
   GPUFREQ_DCHECK_FINITE(c);
 }
 
 void add_row_vector(Matrix& m, std::span<const float> v) {
   GPUFREQ_REQUIRE(v.size() == m.cols(), "add_row_vector: width mismatch");
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    float* row = m.row(i).data();
-    for (std::size_t j = 0; j < v.size(); ++j) row[j] += v[j];
-  }
+  if (m.rows() == 0 || m.cols() == 0) return;
+  kernels::active().add_row_vector(m.flat().data(), v.data(), m.rows(), m.cols());
 }
 
 void column_sums(const Matrix& m, std::span<float> out) {
   GPUFREQ_REQUIRE(out.size() == m.cols(), "column_sums: width mismatch");
-  std::fill(out.begin(), out.end(), 0.0f);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const float* row = m.row(i).data();
-    for (std::size_t j = 0; j < out.size(); ++j) out[j] += row[j];
-  }
+  if (m.cols() == 0) return;
+  kernels::active().column_sums(m.flat().data(), out.data(), m.rows(), m.cols());
 }
 
 }  // namespace gpufreq::nn

@@ -35,27 +35,55 @@ std::size_t Network::parameter_count() const {
   return n;
 }
 
-Matrix Network::predict(const Matrix& x) const {
+namespace {
+// Workspace behind the workspace-less convenience overloads. Thread-local
+// so concurrent predict() calls on different threads never share buffers.
+InferenceWorkspace& fallback_workspace() {
+  static thread_local InferenceWorkspace ws;
+  return ws;
+}
+}  // namespace
+
+const Matrix& Network::predict_into(const Matrix& x, InferenceWorkspace& ws) const {
   GPUFREQ_REQUIRE(!layers_.empty(), "Network::predict: empty network");
-  // Ping-pong between two buffers; the input is only ever read, so no
-  // up-front copy of x is needed.
-  Matrix bufs[2];
+  GPUFREQ_REQUIRE(x.rows() > 0, "Network::predict: empty batch");
+  // Ping-pong between the workspace buffers; the input is only ever read,
+  // so no up-front copy of x is needed.
   const Matrix* cur = &x;
   std::size_t w = 0;
   for (const auto& l : layers_) {
-    l.forward_inference(*cur, bufs[w]);
-    cur = &bufs[w];
+    l.forward_inference(*cur, ws.bufs_[w]);
+    cur = &ws.bufs_[w];
     w ^= 1;
   }
-  return std::move(bufs[w ^ 1]);
+  return *cur;
 }
 
+Matrix Network::predict(const Matrix& x) const { return predict_into(x, fallback_workspace()); }
+
 std::vector<double> Network::predict_vector(const Matrix& x) const {
-  GPUFREQ_REQUIRE(output_dim() == 1, "Network::predict_vector: network is not single-output");
-  const Matrix y = predict(x);
-  std::vector<double> out(y.rows());
-  for (std::size_t i = 0; i < y.rows(); ++i) out[i] = y(i, 0);
+  std::vector<double> out(x.rows());
+  predict_vector_into(x, fallback_workspace(), out);
   return out;
+}
+
+void Network::predict_vector_into(const Matrix& x, InferenceWorkspace& ws,
+                                  std::span<double> out) const {
+  GPUFREQ_REQUIRE(output_dim() == 1, "Network::predict_vector: network is not single-output");
+  GPUFREQ_REQUIRE(out.size() == x.rows(), "Network::predict_vector: output size mismatch");
+  const Matrix& y = predict_into(x, ws);
+  for (std::size_t i = 0; i < y.rows(); ++i) out[i] = y(i, 0);
+}
+
+void Network::prepare_inference() {
+  for (auto& l : layers_) l.prepare_inference();
+}
+
+bool Network::inference_prepared() const {
+  for (const auto& l : layers_) {
+    if (!l.inference_prepared()) return false;
+  }
+  return !layers_.empty();
 }
 
 void Network::bind_optimizer(Optimizer& opt) {

@@ -28,15 +28,20 @@ void StandardScaler::fit(const Matrix& x) {
 }
 
 Matrix StandardScaler::transform(const Matrix& x) const {
+  Matrix out;
+  transform_into(x, out);
+  return out;
+}
+
+void StandardScaler::transform_into(const Matrix& x, Matrix& out) const {
   GPUFREQ_REQUIRE(fitted(), "StandardScaler: not fitted");
   GPUFREQ_REQUIRE(x.cols() == mean_.size(), "StandardScaler::transform: width mismatch");
-  Matrix out(x.rows(), x.cols());
+  out.resize_uninit(x.rows(), x.cols());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     for (std::size_t j = 0; j < x.cols(); ++j) {
       out(i, j) = static_cast<float>((static_cast<double>(x(i, j)) - mean_[j]) / std_[j]);
     }
   }
-  return out;
 }
 
 Matrix StandardScaler::inverse_transform(const Matrix& x) const {

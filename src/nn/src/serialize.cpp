@@ -130,6 +130,9 @@ ModelBundle load_model(std::istream& is) {
     std::copy(params[i].first.begin(), params[i].first.end(), w.begin());
     l.bias() = params[i].second;
   }
+  // Loaded models go straight to inference: pack for the fused kernel now,
+  // while no other thread can see the network.
+  bundle.network.prepare_inference();
   bundle.input_scaler = read_scaler(is);
   bundle.target_scaler = read_scaler(is);
   return bundle;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
 
 namespace gpufreq {
 
@@ -16,12 +15,24 @@ std::size_t num_threads();
 void set_num_threads(std::size_t n);
 
 namespace detail {
+/// Non-owning chunk callback: a context pointer plus trampoline, built by
+/// parallel_for from a stack lambda. Deliberately not std::function — the
+/// capture list of parallel_for's adapter lambda exceeded the small-buffer
+/// size, so every multi-chunk call heap-allocated, which would show up as
+/// an allocation in the otherwise allocation-free inference sweep. The
+/// callee never outlives the parallel_chunks call, so borrowing is safe.
+struct ChunkFn {
+  void* ctx = nullptr;
+  void (*invoke)(void* ctx, std::size_t chunk) = nullptr;
+  void operator()(std::size_t chunk) const { invoke(ctx, chunk); }
+};
+
 /// Run chunk indices [0, chunk_count) on the pool (caller participates).
 /// `run_chunk` must be safe to invoke from several threads at once. The
 /// first exception thrown by any chunk is rethrown on the caller after all
 /// chunks finished. Calls from inside a pool worker execute inline
 /// (serially), so nested parallel_for is safe and deadlock-free.
-void parallel_chunks(std::size_t chunk_count, const std::function<void(std::size_t)>& run_chunk);
+void parallel_chunks(std::size_t chunk_count, ChunkFn run_chunk);
 }  // namespace detail
 
 /// Apply fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
@@ -37,10 +48,14 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn
     fn(begin, end);
     return;
   }
-  detail::parallel_chunks(count, [&, begin, end, grain](std::size_t c) {
+  auto body = [&fn, begin, end, grain](std::size_t c) {
     const std::size_t lo = begin + c * grain;
     fn(lo, std::min(end, lo + grain));
-  });
+  };
+  detail::parallel_chunks(
+      count, detail::ChunkFn{&body, [](void* ctx, std::size_t c) {
+                               (*static_cast<decltype(body)*>(ctx))(c);
+                             }});
 }
 
 }  // namespace gpufreq

@@ -34,7 +34,7 @@ std::size_t default_thread_count() {
 /// GPUFREQ_GUARDED_BY annotation because Batch is declared before Pool, so
 /// the discipline is enforced by the annotated accesses in Pool instead.
 struct Batch {
-  const std::function<void(std::size_t)>* fn = nullptr;
+  detail::ChunkFn fn;
   std::size_t count = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
@@ -108,7 +108,7 @@ class Pool {
     std::size_t c;
     while ((c = batch.next.fetch_add(1)) < batch.count) {
       try {
-        (*batch.fn)(c);
+        batch.fn(c);
       } catch (...) {
         MutexLock lock(mutex_);
         if (!batch.error) batch.error = std::current_exception();
@@ -166,8 +166,7 @@ void set_num_threads(std::size_t n) { Pool::instance().resize(n); }
 
 namespace detail {
 
-void parallel_chunks(std::size_t chunk_count,
-                     const std::function<void(std::size_t)>& run_chunk) {
+void parallel_chunks(std::size_t chunk_count, ChunkFn run_chunk) {
   if (chunk_count == 0) return;
   // Inline execution when nesting inside a pool worker (deadlock-free) or
   // when the pool is effectively serial. Chunk order matches the parallel
@@ -177,7 +176,7 @@ void parallel_chunks(std::size_t chunk_count,
     return;
   }
   Batch batch;
-  batch.fn = &run_chunk;
+  batch.fn = run_chunk;
   batch.count = chunk_count;
   Pool::instance().run(batch);
 }

@@ -19,6 +19,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT = os.path.join(ROOT, "tools", "lint", "gpufreq_lint.py")
 FIXTURE_CPP = os.path.join(ROOT, "tools", "lint", "fixtures", "bad_example.cpp")
 FIXTURE_HPP = os.path.join(ROOT, "tools", "lint", "fixtures", "bad_header.hpp")
+FIXTURE_SIMD = os.path.join(ROOT, "tools", "lint", "fixtures", "bad_simd.cpp")
 
 EXPECTED_RULES = {
     "nondeterminism",
@@ -27,6 +28,7 @@ EXPECTED_RULES = {
     "pragma-once",
     "auto-float-accum",
     "unordered-iter",
+    "simd-intrinsics",
 }
 
 failures = []
@@ -59,7 +61,7 @@ def main() -> int:
           f"listed={sorted(listed)} expected={sorted(EXPECTED_RULES)}")
 
     # 2. Fixtures must be rejected, tripping every rule.
-    r = run_lint("--as-library", FIXTURE_CPP, FIXTURE_HPP)
+    r = run_lint("--as-library", FIXTURE_CPP, FIXTURE_HPP, FIXTURE_SIMD)
     check("fixtures exit nonzero", r.returncode == 1, f"exit={r.returncode}\n{r.stdout}")
     tripped = set(re.findall(r"\[([a-z-]+)\]", r.stdout))
     missing = EXPECTED_RULES - tripped

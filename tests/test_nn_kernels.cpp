@@ -1,0 +1,290 @@
+// Kernel-backend tests: dispatch selection, weight packing, scalar-vs-AVX2
+// parity over awkward shapes, fused-vs-unfused agreement, NaN semantics of
+// the fused epilogue, and the per-backend serial==parallel bitwise
+// determinism contract. NaN tests call the kernel tables directly so the
+// sanitizer lanes' GPUFREQ_DCHECK_FINITE layer checks stay out of the way.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "gpufreq/nn/kernels/dispatch.hpp"
+#include "gpufreq/nn/kernels/kernel_table.hpp"
+#include "gpufreq/nn/network.hpp"
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/rng.hpp"
+#include "gpufreq/util/thread_pool.hpp"
+
+namespace gpufreq::nn::kernels {
+namespace {
+
+// Restore the default (env-respecting) selection when a test finishes so
+// backend-forcing tests cannot leak into the rest of the binary.
+struct ScopedBackend {
+  explicit ScopedBackend(Backend b) { set_kernel_backend(b); }
+  ~ScopedBackend() { set_kernel_backend(Backend::kAuto); }
+};
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return m;
+}
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, 0.5));
+  return v;
+}
+
+// Tolerances sized for reordered float accumulation: a k=64 dot product of
+// N(0,1) terms that cancels to ~1e-3 legitimately moves by a few 1e-6
+// between accumulation orders (FMA vs separate rounds, tile vs row order),
+// while any real indexing bug shows up as an O(1) difference.
+void expect_close(const std::vector<float>& a, const std::vector<float>& b,
+                  double rel = 1e-5, double abs = 2e-5) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double tol =
+        abs + rel * static_cast<double>(std::max(std::fabs(a[i]), std::fabs(b[i])));
+    EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+// Unfused reference through one table: z = x*w, z += bias, act(z).
+std::vector<float> unfused_reference(const KernelTable& kt, const Matrix& x, const Matrix& w,
+                                     const std::vector<float>& bias, Activation act) {
+  const std::size_t rows = x.rows(), n = w.cols();
+  std::vector<float> z(rows * n);
+  kt.gemm_row_band(x.flat().data(), w.flat().data(), z.data(), w.rows(), n, 0, rows);
+  kt.add_row_vector(z.data(), bias.data(), rows, n);
+  kt.activate(act, z.data(), z.data(), rows * n);
+  return z;
+}
+
+std::vector<float> fused(const KernelTable& kt, const Matrix& x, const Matrix& w,
+                         const std::vector<float>& bias, Activation act) {
+  PackedWeights packed;
+  packed.pack(w);
+  std::vector<float> y(x.rows() * w.cols());
+  kt.dense_bias_act(x.flat().data(), packed, bias.data(), act, y.data(), 0, x.rows());
+  return y;
+}
+
+struct Shape {
+  std::size_t rows, k, n;
+};
+
+// Tile boundaries, single-row/column edges, padding tails, the paper's
+// sweep shape (61 x 3 -> 64), and square power-of-two.
+const Shape kShapes[] = {{1, 1, 1},  {1, 17, 1}, {5, 3, 16},   {6, 16, 16}, {7, 19, 33},
+                         {61, 3, 64}, {64, 64, 64}, {13, 1, 7}, {1, 64, 1}};
+
+const Activation kAllActivations[] = {
+    Activation::kLinear, Activation::kRelu,    Activation::kElu,
+    Activation::kLeakyRelu, Activation::kSelu, Activation::kSigmoid,
+    Activation::kTanh,   Activation::kSoftplus, Activation::kSoftsign};
+
+TEST(KernelDispatch, BackendStringRoundTrip) {
+  EXPECT_EQ(backend_from_string("auto"), Backend::kAuto);
+  EXPECT_EQ(backend_from_string("scalar"), Backend::kScalar);
+  EXPECT_EQ(backend_from_string("avx2"), Backend::kAvx2);
+  EXPECT_STREQ(to_string(Backend::kScalar), "scalar");
+  EXPECT_STREQ(to_string(Backend::kAvx2), "avx2");
+  EXPECT_THROW(backend_from_string("sse42"), InvalidArgument);
+  EXPECT_THROW(backend_from_string(""), InvalidArgument);
+  EXPECT_THROW(backend_from_string("AVX2 "), InvalidArgument);
+}
+
+TEST(KernelDispatch, ForcedScalarIsHonored) {
+  ScopedBackend guard(Backend::kScalar);
+  EXPECT_EQ(active_backend(), Backend::kScalar);
+  EXPECT_STREQ(active().name, "scalar");
+}
+
+TEST(KernelDispatch, AutoSelectionNeverReturnsAuto) {
+  set_kernel_backend(Backend::kAuto);
+  const Backend b = active_backend();
+  EXPECT_NE(b, Backend::kAuto);
+  // Auto respects the env override (the CI scalar lane sets it); without
+  // one it picks the best supported backend.
+  if (const char* env = std::getenv("GPUFREQ_KERNEL_BACKEND");
+      env != nullptr && backend_from_string(env) != Backend::kAuto) {
+    EXPECT_EQ(b, backend_from_string(env));
+  } else {
+    EXPECT_EQ(b, avx2_available() ? Backend::kAvx2 : Backend::kScalar);
+  }
+}
+
+TEST(KernelDispatch, Avx2RequestMatchesAvailability) {
+  if (avx2_available()) {
+    ScopedBackend guard(Backend::kAvx2);
+    EXPECT_EQ(active_backend(), Backend::kAvx2);
+    EXPECT_STREQ(active().name, "avx2");
+    EXPECT_NE(detail::avx2_table(), nullptr);
+  } else {
+    EXPECT_THROW(set_kernel_backend(Backend::kAvx2), InvalidArgument);
+  }
+}
+
+TEST(KernelPacking, PanelLayoutAndZeroPadding) {
+  const Matrix w = random_matrix(3, 5, 99);
+  PackedWeights packed;
+  packed.pack(w);
+  EXPECT_FALSE(packed.empty());
+  EXPECT_EQ(packed.rows(), 3u);
+  EXPECT_EQ(packed.cols(), 5u);
+  ASSERT_EQ(packed.panel_count(), 1u);
+  const float* p0 = packed.panel(0);
+  for (std::size_t q = 0; q < 3; ++q) {
+    for (std::size_t j = 0; j < kPanelWidth; ++j) {
+      EXPECT_EQ(p0[q * kPanelWidth + j], j < 5 ? w(q, j) : 0.0f);
+    }
+  }
+}
+
+TEST(KernelPacking, MultiPanelAndRepack) {
+  const Matrix w = random_matrix(2, 17, 5);
+  PackedWeights packed;
+  packed.pack(w);
+  ASSERT_EQ(packed.panel_count(), 2u);
+  EXPECT_EQ(packed.panel(1)[0 * kPanelWidth + 0], w(0, 16));
+  EXPECT_EQ(packed.panel(1)[1 * kPanelWidth + 0], w(1, 16));
+  for (std::size_t j = 1; j < kPanelWidth; ++j) {
+    EXPECT_EQ(packed.panel(1)[0 * kPanelWidth + j], 0.0f);
+  }
+  // Repacking a different shape reuses the object.
+  const Matrix w2 = random_matrix(4, 3, 6);
+  packed.pack(w2);
+  EXPECT_EQ(packed.rows(), 4u);
+  EXPECT_EQ(packed.cols(), 3u);
+  EXPECT_EQ(packed.panel_count(), 1u);
+  packed.clear();
+  EXPECT_TRUE(packed.empty());
+}
+
+TEST(KernelParity, ScalarVsAvx2AllPrimitives) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  const KernelTable& sc = detail::scalar_table();
+  const KernelTable& av = *detail::avx2_table();
+  for (const Shape& s : kShapes) {
+    SCOPED_TRACE(::testing::Message() << "rows=" << s.rows << " k=" << s.k << " n=" << s.n);
+    const Matrix x = random_matrix(s.rows, s.k, 17 + s.rows);
+    const Matrix w = random_matrix(s.k, s.n, 29 + s.n);
+    const std::vector<float> bias = random_vec(s.n, 31 + s.k);
+
+    std::vector<float> cs(s.rows * s.n), ca(s.rows * s.n);
+    sc.gemm_row_band(x.flat().data(), w.flat().data(), cs.data(), s.k, s.n, 0, s.rows);
+    av.gemm_row_band(x.flat().data(), w.flat().data(), ca.data(), s.k, s.n, 0, s.rows);
+    expect_close(cs, ca);
+
+    // A^T * B with A: rows x k -> C: k x n needs B with `rows` rows.
+    const Matrix b2 = random_matrix(s.rows, s.n, 41);
+    std::vector<float> ts(s.k * s.n), ta(s.k * s.n);
+    sc.gemm_tn_band(x.flat().data(), b2.flat().data(), ts.data(), s.rows, s.k, s.n, 0, s.k);
+    av.gemm_tn_band(x.flat().data(), b2.flat().data(), ta.data(), s.rows, s.k, s.n, 0, s.k);
+    expect_close(ts, ta);
+
+    std::vector<float> ms = cs, ma = cs;
+    sc.add_row_vector(ms.data(), bias.data(), s.rows, s.n);
+    av.add_row_vector(ma.data(), bias.data(), s.rows, s.n);
+    expect_close(ms, ma, 0.0, 0.0);  // additions only: exact
+
+    std::vector<float> sums_s(s.n), sums_a(s.n);
+    sc.column_sums(cs.data(), sums_s.data(), s.rows, s.n);
+    av.column_sums(cs.data(), sums_a.data(), s.rows, s.n);
+    expect_close(sums_s, sums_a);
+
+    for (Activation act : kAllActivations) {
+      std::vector<float> as(ms.size()), aa(ms.size());
+      sc.activate(act, ms.data(), as.data(), ms.size());
+      av.activate(act, ms.data(), aa.data(), ms.size());
+      expect_close(as, aa);
+      expect_close(fused(sc, x, w, bias, act), fused(av, x, w, bias, act));
+    }
+  }
+}
+
+TEST(KernelParity, FusedMatchesUnfusedPerBackend) {
+  std::vector<const KernelTable*> tables = {&detail::scalar_table()};
+  if (avx2_available()) tables.push_back(detail::avx2_table());
+  for (const KernelTable* kt : tables) {
+    SCOPED_TRACE(kt->name);
+    for (const Shape& s : kShapes) {
+      SCOPED_TRACE(::testing::Message() << "rows=" << s.rows << " k=" << s.k << " n=" << s.n);
+      const Matrix x = random_matrix(s.rows, s.k, 3 + s.rows);
+      const Matrix w = random_matrix(s.k, s.n, 7 + s.n);
+      const std::vector<float> bias = random_vec(s.n, 11 + s.k);
+      for (Activation act : kAllActivations) {
+        expect_close(unfused_reference(*kt, x, w, bias, act), fused(*kt, x, w, bias, act));
+      }
+    }
+  }
+}
+
+TEST(KernelNan, FusedEpiloguePropagatesNan) {
+  std::vector<const KernelTable*> tables = {&detail::scalar_table()};
+  if (avx2_available()) tables.push_back(detail::avx2_table());
+  for (const KernelTable* kt : tables) {
+    SCOPED_TRACE(kt->name);
+    Matrix x = random_matrix(4, 8, 13);
+    x(1, 3) = std::numeric_limits<float>::quiet_NaN();
+    const Matrix w = random_matrix(8, 20, 15);
+    const std::vector<float> bias = random_vec(20, 17);
+    // SELU (and every exp-based activation) must propagate NaN through the
+    // fused epilogue: a poisoned input row means a poisoned output row.
+    const std::vector<float> y = fused(*kt, x, w, bias, Activation::kSelu);
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_TRUE(std::isnan(y[1 * 20 + j])) << "col " << j;
+    }
+    // Clean rows stay clean.
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_FALSE(std::isnan(y[0 * 20 + j])) << "col " << j;
+      EXPECT_FALSE(std::isnan(y[3 * 20 + j])) << "col " << j;
+    }
+    // ReLU deliberately maps NaN to 0 (NaN > 0 is false) — both backends
+    // must agree on that semantic, not just on finite inputs.
+    const std::vector<float> yr = fused(*kt, x, w, bias, Activation::kRelu);
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_TRUE(yr[1 * 20 + j] == 0.0f || yr[1 * 20 + j] > 0.0f) << "col " << j;
+      EXPECT_FALSE(std::isnan(yr[1 * 20 + j])) << "col " << j;
+    }
+  }
+}
+
+TEST(KernelDeterminism, SerialEqualsParallelBitwisePerBackend) {
+  std::vector<Backend> backends = {Backend::kScalar};
+  if (avx2_available()) backends.push_back(Backend::kAvx2);
+  Network net(3, Network::paper_architecture(), /*seed=*/321);
+  net.prepare_inference();
+  Rng rng(9);
+  Matrix x(61, 3);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  for (Backend b : backends) {
+    SCOPED_TRACE(to_string(b));
+    ScopedBackend guard(b);
+    set_num_threads(1);
+    const Matrix y1 = net.predict(x);
+    set_num_threads(4);
+    const Matrix y4 = net.predict(x);
+    set_num_threads(0);
+    ASSERT_EQ(y1.rows(), y4.rows());
+    for (std::size_t i = 0; i < y1.rows(); ++i) {
+      // Bitwise: the determinism contract, not a tolerance check.
+      EXPECT_EQ(y1(i, 0), y4(i, 0)) << "row " << i;
+    }
+  }
+}
+
+TEST(KernelDeterminism, EmptyBatchIsRejected) {
+  Network net(3, Network::paper_architecture(), /*seed=*/5);
+  EXPECT_THROW(net.predict(Matrix()), InvalidArgument);
+  InferenceWorkspace ws;
+  EXPECT_THROW(net.predict_into(Matrix(), ws), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpufreq::nn::kernels

@@ -1,0 +1,18 @@
+// Known-bad fixture for the lint self-check (tests/test_lint_selfcheck.py):
+// raw SIMD intrinsics outside src/nn/*/kernels/ must trip simd-intrinsics
+// on every line below. Never compiled.
+#include <immintrin.h>
+
+namespace fixture {
+
+// [simd-intrinsics] intrinsic vector type outside the kernel backends.
+inline float horizontal_add(const float* p) {
+  __m256 v;
+  // [simd-intrinsics] intrinsic call outside the kernel backends.
+  v = _mm256_loadu_ps(p);
+  float out[8];
+  _mm256_storeu_ps(out, v);
+  return out[0] + out[1] + out[2] + out[3] + out[4] + out[5] + out[6] + out[7];
+}
+
+}  // namespace fixture

@@ -24,6 +24,12 @@ offending line or the line directly above it):
                      implementation-defined, so iterating one into any
                      output is a determinism hazard (sort keys first, or
                      suppress where order provably cannot escape).
+  simd-intrinsics    raw SIMD intrinsics (<immintrin.h>, _mm*_*(), __m128/
+                     __m256/__m512) outside the kernel backend directories
+                     (src/nn/src/kernels/, src/nn/include/gpufreq/nn/
+                     kernels/). Everything else must go through the
+                     runtime-dispatched kernel table so the binary stays
+                     portable and the backend choice stays explicit.
 
 Usage:
   tools/lint/gpufreq_lint.py                  # lint the default tree
@@ -59,7 +65,13 @@ RULES = {
     "pragma-once": "header does not start with #pragma once",
     "auto-float-accum": "float accumulator declared auto (spell out the accumulator width)",
     "unordered-iter": "iteration over an unordered container (hash order is nondeterministic)",
+    "simd-intrinsics": "raw SIMD intrinsics outside the kernel backend directories "
+                       "(route compute through the gpufreq::nn::kernels table)",
 }
+
+# Directories where the simd-intrinsics rule does NOT apply: the runtime-
+# dispatched kernel backends are the one sanctioned home for intrinsics.
+SIMD_ALLOWED_PREFIXES = ("src/nn/src/kernels/", "src/nn/include/gpufreq/nn/kernels/")
 
 # Files exempt from specific rules (repo-relative, forward slashes).
 RULE_EXEMPT_FILES = {
@@ -93,6 +105,14 @@ NEW_RE = re.compile(r"(?<![\w.:>])new\s+[A-Za-z_:(<]")
 DELETE_RE = re.compile(r"(?<![\w.:>])delete\s*(?:\[\s*\])?\s+[A-Za-z_*(]|"
                        r"(?<![\w.:>])delete\s*(?:\[\s*\])?\s*\w+\s*;")
 DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+# x86 SIMD headers (immintrin/x86intrin/emmintrin/...), `_mm<width>_op(`
+# intrinsic calls, and the __m128/__m256/__m512 vector types (with d/i
+# suffixes). GCC generic vectors (`__attribute__((vector_size(...)))`) are
+# deliberately NOT matched: they are portable and any backend may use them.
+SIMD_INCLUDE_RE = re.compile(r'#\s*include\s*[<"]\w*intrin\.h[>"]')
+SIMD_CALL_RE = re.compile(r"(?<!\w)_mm\d*_\w+\s*\(")
+SIMD_TYPE_RE = re.compile(r"(?<!\w)__m(?:64|128|256|512)[di]?\b")
 
 AUTO_ACCUM_RE = re.compile(
     r"\b(?:const\s+)?auto\s+(\w+)\s*=\s*(?:[0-9]+\.[0-9]*|\.[0-9]+)f?\s*[;{]")
@@ -217,6 +237,15 @@ def lint_file(path: str, as_library: bool = False) -> list[Finding]:
             report(lineno, "naked-new", "naked new (use std::make_unique / containers)")
         if DELETE_RE.search(line) and not DELETED_FN_RE.search(line):
             report(lineno, "naked-new", "naked delete (ownership should be RAII)")
+
+        # --- simd-intrinsics (everywhere except the kernel backends)
+        if not rel.startswith(SIMD_ALLOWED_PREFIXES):
+            for pat in (SIMD_INCLUDE_RE, SIMD_CALL_RE, SIMD_TYPE_RE):
+                m = pat.search(line)
+                if m:
+                    report(lineno, "simd-intrinsics",
+                           f"{RULES['simd-intrinsics']}: matched '{m.group(0).strip()}'")
+                    break
 
         # --- auto-float-accum: auto + float literal init, then += nearby.
         m = AUTO_ACCUM_RE.search(line)

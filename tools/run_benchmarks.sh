@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Run the performance microbenchmarks (training, GEMM, prediction sweeps)
-# and write the google-benchmark JSON report to BENCH_perf.json at the repo
-# root. BENCH_*.json files are build artifacts and stay untracked.
+# Run the performance microbenchmarks (training, GEMM, prediction sweeps,
+# and the per-backend inference sweep) and write one merged google-benchmark
+# JSON report to BENCH_perf.json at the repo root. BENCH_*.json files are
+# build artifacts and stay untracked.
 #
-# The report is published atomically: the benchmark binary writes to a temp
-# file which is renamed into place only after the run succeeds, so a crashed
-# or interrupted run can never leave a truncated BENCH_perf.json for CI to
+# The report is published atomically: each benchmark binary writes to a temp
+# file, the temp files are merged into one JSON document, and the result is
+# renamed into place only after everything succeeds — a crashed or
+# interrupted run can never leave a truncated BENCH_perf.json for CI to
 # pick up. Any failure exits nonzero.
 #
 # Usage:
@@ -17,36 +19,65 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
-BENCH_BIN="$BUILD/bench/perf_model_training"
+BENCH_BINS=("$BUILD/bench/perf_model_training" "$BUILD/bench/perf_inference_sweep")
 REPORT="$ROOT/BENCH_perf.json"
-TMP_REPORT="$REPORT.tmp.$$"
+TMP_PREFIX="$REPORT.tmp.$$"
 JOBS="${GPUFREQ_NUM_THREADS:-$(nproc 2>/dev/null || echo 4)}"
 case "$JOBS" in
   ''|*[!0-9]*|0) JOBS="$(nproc 2>/dev/null || echo 4)" ;;
 esac
 
-cleanup() { rm -f "$TMP_REPORT"; }
+cleanup() { rm -f "$TMP_PREFIX".*; }
 trap cleanup EXIT
 
-if [[ ! -x "$BENCH_BIN" ]]; then
-  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGPUFREQ_BUILD_BENCH=ON
-  cmake --build "$BUILD" --target perf_model_training -j "$JOBS"
-fi
+for bin in "${BENCH_BINS[@]}"; do
+  if [[ ! -x "$bin" ]]; then
+    cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGPUFREQ_BUILD_BENCH=ON
+    cmake --build "$BUILD" --target perf_model_training perf_inference_sweep -j "$JOBS"
+    break
+  fi
+done
 
-if ! "$BENCH_BIN" \
-    --benchmark_out="$TMP_REPORT" \
-    --benchmark_out_format=json \
-    --benchmark_filter="${BENCH_FILTER:-.*}"; then
-  echo "error: benchmark run failed; not publishing $REPORT" >&2
-  exit 1
-fi
+idx=0
+parts=()
+for bin in "${BENCH_BINS[@]}"; do
+  part="$TMP_PREFIX.$idx.json"
+  if ! "$bin" \
+      --benchmark_out="$part" \
+      --benchmark_out_format=json \
+      --benchmark_filter="${BENCH_FILTER:-.*}"; then
+    echo "error: $(basename "$bin") failed; not publishing $REPORT" >&2
+    exit 1
+  fi
+  # Refuse to merge an empty or non-JSON report (benchmark binaries can die
+  # after creating the output file).
+  if [[ ! -s "$part" ]] || ! head -c1 "$part" | grep -q '{'; then
+    echo "error: $(basename "$bin") report is empty or malformed; not publishing $REPORT" >&2
+    exit 1
+  fi
+  parts+=("$part")
+  idx=$((idx + 1))
+done
 
-# Refuse to publish an empty or non-JSON report (benchmark binaries can die
-# after creating the output file).
-if [[ ! -s "$TMP_REPORT" ]] || ! head -c1 "$TMP_REPORT" | grep -q '{'; then
-  echo "error: benchmark report is empty or malformed; not publishing $REPORT" >&2
-  exit 1
-fi
+# Merge: keep the first report's context block, concatenate the benchmark
+# arrays in run order.
+python3 - "$TMP_PREFIX.merged" "${parts[@]}" <<'PY'
+import json
+import sys
 
-mv "$TMP_REPORT" "$REPORT"
+out_path = sys.argv[1]
+merged = None
+for path in sys.argv[2:]:
+    with open(path) as f:
+        report = json.load(f)
+    if merged is None:
+        merged = report
+    else:
+        merged.setdefault("benchmarks", []).extend(report.get("benchmarks", []))
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+PY
+
+mv "$TMP_PREFIX.merged" "$REPORT"
 echo "wrote $REPORT"

@@ -49,7 +49,8 @@ python3 "$ROOT/tools/lint/gpufreq_lint.py" || FAILED=1
 note "stage 1/7: lint self-check (fixtures must trip every rule)"
 if python3 "$ROOT/tools/lint/gpufreq_lint.py" --quiet \
     "$ROOT/tools/lint/fixtures/bad_example.cpp" \
-    "$ROOT/tools/lint/fixtures/bad_header.hpp" > /dev/null 2>&1; then
+    "$ROOT/tools/lint/fixtures/bad_header.hpp" \
+    "$ROOT/tools/lint/fixtures/bad_simd.cpp" > /dev/null 2>&1; then
   echo "error: linter reported the known-bad fixtures as clean" >&2
   FAILED=1
 else
