@@ -61,6 +61,10 @@ class DnnModel {
   /// call allocations.
   void predict_into(const nn::Matrix& x, Workspace& ws, std::span<double> out) const;
 
+  /// Pre-grow `ws` for predict_into batches of up to `max_rows` rows, so
+  /// even the first prediction through the workspace allocates nothing.
+  void reserve_workspace(Workspace& ws, std::size_t max_rows) const;
+
   /// Predict for a single feature row.
   double predict_one(std::span<const float> x) const;
 

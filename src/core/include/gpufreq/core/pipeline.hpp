@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <vector>
+
 #include "gpufreq/core/models.hpp"
 #include "gpufreq/core/profiles.hpp"
 
@@ -60,6 +64,48 @@ struct SweepWorkspace {
   DnnModel::Workspace time_model;
 };
 
+/// One entry of a fused multi-request sweep: the max-frequency counters
+/// and wall time of one application, plus the frequency grid to sweep it
+/// across. `counters` and `frequencies` are borrowed — they must stay
+/// alive until predict_sweep_batch returns.
+struct BatchSweepItem {
+  const sim::CounterSet* counters = nullptr;
+  double measured_time_at_max_s = 0.0;
+  std::span<const double> frequencies;
+};
+
+/// Reusable scratch + results for OnlinePredictor::predict_sweep_batch.
+/// All per-config arrays are concatenated item-major; `offsets` maps item
+/// i to its row range [offsets[i], offsets[i+1]). Like SweepWorkspace, a
+/// warmed-up instance serves any batch at or below its high-water mark
+/// without a single heap allocation. One per drain thread.
+struct BatchSweepWorkspace {
+  std::vector<std::size_t> offsets;  ///< item -> first row (size items+1)
+  std::vector<double> frequencies;   ///< per-item sorted grids, concatenated
+  std::vector<double> power_w;
+  std::vector<double> time_s;
+  std::vector<double> energy_j;
+
+  nn::Matrix features;               ///< total_rows x feature_dim
+  DnnModel::Workspace power_model;
+  DnnModel::Workspace time_model;
+
+  std::size_t items() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::size_t rows(std::size_t item) const { return offsets[item + 1] - offsets[item]; }
+  std::span<const double> item_frequencies(std::size_t item) const {
+    return {frequencies.data() + offsets[item], rows(item)};
+  }
+  std::span<const double> item_power(std::size_t item) const {
+    return {power_w.data() + offsets[item], rows(item)};
+  }
+  std::span<const double> item_time(std::size_t item) const {
+    return {time_s.data() + offsets[item], rows(item)};
+  }
+  std::span<const double> item_energy(std::size_t item) const {
+    return {energy_j.data() + offsets[item], rows(item)};
+  }
+};
+
 /// Online phase (§4, Figure 2 right side): execute an application once, at
 /// the maximum frequency only, then predict its power/time/energy across
 /// every DVFS configuration by replicating its (frequency-invariant)
@@ -89,6 +135,25 @@ class OnlinePredictor {
   void predict_sweep(const sim::CounterSet& max_freq_counters, double measured_time_at_max_s,
                      const sim::GpuSpec& spec, const std::vector<double>& frequencies,
                      SweepWorkspace& ws) const;
+
+  /// Fused multi-request sweep: the feature rows of every item are stacked
+  /// into ONE matrix and each model runs a single large fused GEMM chain
+  /// over it, amortizing kernel dispatch, scaler transforms, finite
+  /// checks, and weight-panel cache traffic across the whole batch. Every
+  /// per-row computation (feature extraction, both models, clamps) is
+  /// row-local in the kernel contract, so each item's slice of the result
+  /// is bitwise identical to an independent predict_sweep of that item.
+  /// Items may carry ragged (different-length) frequency grids; each grid
+  /// is sorted ascending into ws.frequencies exactly as predict_sweep
+  /// sorts its input. Allocation-free once ws is warmed (or reserved via
+  /// reserve_batch_workspace).
+  void predict_sweep_batch(std::span<const BatchSweepItem> items, const sim::GpuSpec& spec,
+                           BatchSweepWorkspace& ws) const;
+
+  /// Pre-grow `ws` for batches of up to `max_items` items and `max_rows`
+  /// total configurations, so the first drain is already allocation-free.
+  void reserve_batch_workspace(BatchSweepWorkspace& ws, std::size_t max_items,
+                               std::size_t max_rows) const;
 
  private:
   const PowerTimeModels& models_;

@@ -76,6 +76,12 @@ void DnnModel::predict_into(const nn::Matrix& x, Workspace& ws, std::span<double
   for (double& v : out) v = static_cast<double>(static_cast<float>(v * stddev + mean));
 }
 
+void DnnModel::reserve_workspace(Workspace& ws, std::size_t max_rows) const {
+  GPUFREQ_REQUIRE(trained_, "DnnModel::reserve_workspace: model not trained");
+  ws.scaled.reserve(max_rows, bundle_.network.input_dim());
+  bundle_.network.reserve_workspace(ws.net, max_rows);
+}
+
 double DnnModel::predict_one(std::span<const float> x) const {
   nn::Matrix m(1, x.size());
   std::copy(x.begin(), x.end(), m.row(0).begin());

@@ -160,4 +160,85 @@ void OnlinePredictor::predict_sweep(const sim::CounterSet& max_freq_counters,
   }
 }
 
+void OnlinePredictor::predict_sweep_batch(std::span<const BatchSweepItem> items,
+                                          const sim::GpuSpec& spec,
+                                          BatchSweepWorkspace& ws) const {
+  GPUFREQ_REQUIRE(!items.empty(), "OnlinePredictor: empty sweep batch");
+
+  ws.offsets.resize(items.size() + 1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchSweepItem& item = items[i];
+    GPUFREQ_REQUIRE(item.counters != nullptr, "OnlinePredictor: batch item without counters");
+    GPUFREQ_REQUIRE(item.measured_time_at_max_s > 0.0,
+                    "OnlinePredictor: measured time must be positive");
+    GPUFREQ_REQUIRE(!item.frequencies.empty(), "OnlinePredictor: batch item with no frequencies");
+    ws.offsets[i] = total;
+    total += item.frequencies.size();
+  }
+  ws.offsets[items.size()] = total;
+
+  // Per-item sorted grids, exactly the transform predict_sweep applies to
+  // its frequency list, concatenated item-major.
+  ws.frequencies.resize(total);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    double* seg = ws.frequencies.data() + ws.offsets[i];
+    std::copy(items[i].frequencies.begin(), items[i].frequencies.end(), seg);
+    std::sort(seg, seg + items[i].frequencies.size());
+  }
+
+  // One shared feature matrix for the whole batch. Rows are disjoint and
+  // each depends only on (its item's counters, its own frequency), so the
+  // flat parallel partition is output-order independent and per-row
+  // bitwise identical to the single-sweep extraction.
+  ws.features.resize_uninit(total, models_.features.dim());
+  parallel_for(0, total, 8, [&](std::size_t lo, std::size_t hi) {
+    std::size_t item =
+        static_cast<std::size_t>(std::upper_bound(ws.offsets.begin(), ws.offsets.end(), lo) -
+                                 ws.offsets.begin()) -
+        1;
+    sim::CounterSet c = *items[item].counters;
+    for (std::size_t i = lo; i < hi; ++i) {
+      while (i >= ws.offsets[item + 1]) {
+        ++item;
+        c = *items[item].counters;
+      }
+      c.sm_app_clock = ws.frequencies[i];
+      models_.features.extract_into(c, ws.features.row(i));
+    }
+  });
+
+  ws.power_w.resize(total);
+  ws.time_s.resize(total);
+  ws.energy_j.resize(total);
+  // The fused N-item GEMM chain: one predict per model over all rows.
+  models_.power.predict_into(ws.features, ws.power_model, ws.power_w);
+  models_.time.predict_into(ws.features, ws.time_model, ws.time_s);
+  GPUFREQ_CHECK_FINITE(ws.power_w);
+  GPUFREQ_CHECK_FINITE(ws.time_s);
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const double t_max = items[i].measured_time_at_max_s;
+    for (std::size_t r = ws.offsets[i]; r < ws.offsets[i + 1]; ++r) {
+      const double pw = std::max(1.0, ws.power_w[r] * spec.tdp_w);
+      const double t = std::max(1e-6, ws.time_s[r] * t_max);
+      ws.power_w[r] = pw;
+      ws.time_s[r] = t;
+      ws.energy_j[r] = pw * t;  // Equation 8
+    }
+  }
+}
+
+void OnlinePredictor::reserve_batch_workspace(BatchSweepWorkspace& ws, std::size_t max_items,
+                                              std::size_t max_rows) const {
+  ws.offsets.reserve(max_items + 1);
+  ws.frequencies.reserve(max_rows);
+  ws.power_w.reserve(max_rows);
+  ws.time_s.reserve(max_rows);
+  ws.energy_j.reserve(max_rows);
+  ws.features.reserve(max_rows, models_.features.dim());
+  models_.power.reserve_workspace(ws.power_model, max_rows);
+  models_.time.reserve_workspace(ws.time_model, max_rows);
+}
+
 }  // namespace gpufreq::core

@@ -32,6 +32,12 @@ class Matrix {
   void fill(float value);
   void resize(std::size_t rows, std::size_t cols);
 
+  /// Pre-grow capacity for a later resize/resize_uninit of up to
+  /// rows x cols without changing the current shape. Lets batch servers
+  /// warm a workspace to its high-water mark before entering an
+  /// allocation-free steady state.
+  void reserve(std::size_t rows, std::size_t cols);
+
   /// Resize without initializing the payload (contents unspecified).
   /// Reuses capacity, so repeated reshaping in a hot loop never allocates
   /// once the high-water mark is reached. Callers must overwrite every

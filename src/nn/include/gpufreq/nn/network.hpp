@@ -70,6 +70,11 @@ class Network {
   void predict_vector_into(const Matrix& x, InferenceWorkspace& ws,
                            std::span<double> out) const;
 
+  /// Pre-grow `ws` for batches of up to `max_rows` rows through this
+  /// network, so a later predict_into at or below that batch size performs
+  /// no allocation even on its first call. Capacity only grows.
+  void reserve_workspace(InferenceWorkspace& ws, std::size_t max_rows) const;
+
   /// Pack every layer's weights for the fused inference kernel. Idempotent;
   /// training steps and weight re-initialization invalidate the packs (the
   /// layers then fall back to the unfused path until re-prepared).

@@ -26,6 +26,8 @@ void Matrix::resize_uninit(std::size_t rows, std::size_t cols) {
   data_.resize(rows * cols);
 }
 
+void Matrix::reserve(std::size_t rows, std::size_t cols) { data_.reserve(rows * cols); }
+
 float Matrix::frobenius_norm() const {
   double s = 0.0;
   for (const double v : data_) s += v * v;

@@ -75,6 +75,13 @@ void Network::predict_vector_into(const Matrix& x, InferenceWorkspace& ws,
   for (std::size_t i = 0; i < y.rows(); ++i) out[i] = y(i, 0);
 }
 
+void Network::reserve_workspace(InferenceWorkspace& ws, std::size_t max_rows) const {
+  std::size_t widest = 0;
+  for (const auto& l : layers_) widest = std::max(widest, l.out_dim());
+  ws.bufs_[0].reserve(max_rows, widest);
+  ws.bufs_[1].reserve(max_rows, widest);
+}
+
 void Network::prepare_inference() {
   for (auto& l : layers_) l.prepare_inference();
 }

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/serve/request_queue.hpp"
+#include "gpufreq/serve/snapshot.hpp"
+#include "gpufreq/sim/gpu_spec.hpp"
+#include "gpufreq/util/thread_annotations.hpp"
+
+namespace gpufreq::serve {
+
+/// Tuning knobs for SweepService.
+struct ServiceConfig {
+  /// Max requests fused into one batched sweep per drain.
+  std::size_t max_batch = 128;
+  /// Coalesce bit-identical requests within a batch: compute one item,
+  /// copy its (bitwise-equal) curves to the duplicates. This is where the
+  /// multi-tenant win comes from — fleet nodes running the same app
+  /// catalog submit identical (counters, t_max, grid) requests.
+  bool coalesce_identical = true;
+  /// Default frequency grid for requests that do not carry their own.
+  /// Empty selects the GPU's used frequencies (the paper's 61 configs).
+  std::vector<double> frequencies;
+};
+
+/// Monotonic service counters (snapshot via SweepService::stats()).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;        ///< drains that served >= 1 request
+  std::uint64_t unique_items = 0;   ///< items actually occupying GEMM rows
+  std::uint64_t coalesced = 0;      ///< requests served by result copy
+  std::size_t max_batch_seen = 0;   ///< largest fused batch so far
+  std::uint64_t model_epoch = 0;    ///< snapshot epoch of the latest drain
+};
+
+/// Multi-tenant frequency-selection service. Concurrent submitters enqueue
+/// SweepRequests tagged with a WorkloadDescriptor; a drain (the background
+/// worker started by start(), or explicit drain_once() calls) pops up to
+/// max_batch requests in strict priority order, fuses them into one
+/// N-item x per-item-grid batched sweep (single GEMM chain per model via
+/// OnlinePredictor::predict_sweep_batch), and publishes per-request
+/// outcomes that are bitwise identical to N independent predict_sweep
+/// calls. Models are read through an epoch-cached snapshot, so a publish()
+/// on the ModelSnapshotHolder hot-swaps models between batches without
+/// ever blocking the drain on a reader lock in steady state.
+///
+/// Threading: submit()/stats()/pending() are safe from any thread.
+/// drain_once() is internally serialized (drain_mutex_), so explicit
+/// drains may race the background worker harmlessly. The drain loop is
+/// allocation-free in steady state: every scratch container below is
+/// high-water sized, outcome vectors are pre-reserved at submit, and a
+/// model swap refresh is itself allocation-free.
+class SweepService {
+ public:
+  SweepService(const ModelSnapshotHolder& models, sim::GpuSpec spec, ServiceConfig config = {});
+  ~SweepService();
+
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  /// Enqueue a request; returns immediately with a waitable ticket.
+  SweepTicket submit(SweepRequest request) GPUFREQ_EXCLUDES(mutex_);
+
+  /// Serve one batch synchronously on the calling thread. Returns the
+  /// number of requests completed (0 when the queue was empty).
+  std::size_t drain_once() GPUFREQ_EXCLUDES(mutex_, drain_mutex_);
+
+  /// Start/stop the background drain worker. stop() (and the destructor)
+  /// serves every still-pending request before returning.
+  void start();
+  void stop();
+  bool running() const { return worker_.joinable(); }
+
+  std::size_t pending() const GPUFREQ_EXCLUDES(mutex_);
+  ServiceStats stats() const GPUFREQ_EXCLUDES(mutex_);
+
+  const sim::GpuSpec& spec() const { return spec_; }
+  const std::vector<double>& default_frequencies() const { return config_.frequencies; }
+
+ private:
+  void worker_loop() GPUFREQ_EXCLUDES(mutex_, drain_mutex_);
+  std::size_t drain_locked() GPUFREQ_REQUIRES(drain_mutex_) GPUFREQ_EXCLUDES(mutex_);
+
+  const ModelSnapshotHolder& models_;
+  const sim::GpuSpec spec_;
+  const ServiceConfig config_;
+
+  mutable Mutex mutex_;
+  std::condition_variable cv_;  ///< signaled on submit and on stop
+  PriorityRequestQueue queue_ GPUFREQ_GUARDED_BY(mutex_);
+  ServiceStats stats_ GPUFREQ_GUARDED_BY(mutex_);
+  bool stopping_ GPUFREQ_GUARDED_BY(mutex_) = false;
+
+  // Drain scratch, reused across batches (see class comment).
+  Mutex drain_mutex_;
+  SnapshotCache snapshot_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  core::BatchSweepWorkspace ws_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  std::vector<std::shared_ptr<detail::SweepSlot>> batch_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  std::vector<std::uint32_t> rep_ GPUFREQ_GUARDED_BY(drain_mutex_);      ///< request -> item
+  std::vector<std::uint32_t> unique_ GPUFREQ_GUARDED_BY(drain_mutex_);   ///< item -> request
+  std::vector<std::uint32_t> group_size_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  std::vector<core::BatchSweepItem> items_ GPUFREQ_GUARDED_BY(drain_mutex_);
+
+  std::thread worker_;
+};
+
+}  // namespace gpufreq::serve

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gpufreq::serve {
+
+/// Scheduling class of a frequency-selection request. Categories are
+/// strict: any pending request of a higher category is served before any
+/// request of a lower one. The values are the category's urgency rank
+/// (higher = more urgent).
+enum class WorkloadCategory : std::uint8_t {
+  kBatch = 0,        ///< throughput work; tolerates queueing delay
+  kInteractive = 1,  ///< operator- or deadline-facing requests
+  kSystem = 2,       ///< fleet-controller traffic; always first
+};
+
+inline constexpr std::size_t kWorkloadCategories = 3;
+
+/// Bands per category. Within a category, band [0, kBandsPerCategory)
+/// orders requests (higher band = more urgent); within a band, service is
+/// FIFO by enqueue sequence number.
+inline constexpr int kBandsPerCategory = 4;
+
+/// Priority composition factors. The composed priority packs the category
+/// into bits [56, 63) and the band into bits [48, 56), leaving the low 48
+/// bits free for future sub-band refinement, so integer comparison orders
+/// first by category, then by band.
+inline constexpr std::int64_t kCategoryPriorityFactor = std::int64_t{1} << 56;
+inline constexpr std::int64_t kBandPriorityFactor = std::int64_t{1} << 48;
+
+/// Lower-case category name ("batch", "interactive", "system").
+std::string_view to_string(WorkloadCategory category);
+
+/// Scheduling tag carried by every sweep request: which category the
+/// requesting workload belongs to and its band within that category.
+/// Deliberately mirrors the shape of multi-tenant storage schedulers
+/// (category x band -> composed integer priority, FIFO within band).
+struct WorkloadDescriptor {
+  WorkloadCategory category = WorkloadCategory::kBatch;
+  int band = 0;  ///< [0, kBandsPerCategory), higher = more urgent
+
+  /// Composed scheduling priority; strictly increasing in (category, band).
+  std::int64_t priority() const;
+
+  /// Dense strict-priority level in [0, kWorkloadCategories *
+  /// kBandsPerCategory): category * kBandsPerCategory + band. Used as the
+  /// queue's band array index; consistent with priority() ordering.
+  std::size_t band_index() const;
+};
+
+}  // namespace gpufreq::serve

@@ -1,0 +1,232 @@
+#include "gpufreq/serve/sweep_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <utility>
+
+#include "gpufreq/util/error.hpp"
+#include "gpufreq/util/stats.hpp"
+
+namespace gpufreq::serve {
+
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Bitwise equality of the computation inputs (NOT the scheduling tag):
+/// two requests coalesce exactly when every input bit matches, which is
+/// precisely the condition under which the fused sweep would produce
+/// bit-identical rows for both.
+bool same_computation(const detail::SweepSlot& a, const detail::SweepSlot& b) {
+  if (bits(a.measured_time_at_max_s) != bits(b.measured_time_at_max_s)) return false;
+  if (a.frequencies.size() != b.frequencies.size()) return false;
+  const sim::CounterSet& x = a.counters;
+  const sim::CounterSet& y = b.counters;
+  if (bits(x.fp64_active) != bits(y.fp64_active) || bits(x.fp32_active) != bits(y.fp32_active) ||
+      bits(x.sm_app_clock) != bits(y.sm_app_clock) || bits(x.dram_active) != bits(y.dram_active) ||
+      bits(x.gr_engine_active) != bits(y.gr_engine_active) ||
+      bits(x.gpu_utilization) != bits(y.gpu_utilization) ||
+      bits(x.power_usage) != bits(y.power_usage) || bits(x.sm_active) != bits(y.sm_active) ||
+      bits(x.sm_occupancy) != bits(y.sm_occupancy) ||
+      bits(x.pcie_tx_bytes) != bits(y.pcie_tx_bytes) ||
+      bits(x.pcie_rx_bytes) != bits(y.pcie_rx_bytes) || bits(x.exec_time) != bits(y.exec_time))
+    return false;
+  for (std::size_t i = 0; i < a.frequencies.size(); ++i)
+    if (bits(a.frequencies[i]) != bits(b.frequencies[i])) return false;
+  return true;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+void assign(std::vector<double>& dst, std::span<const double> src) {
+  dst.resize(src.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+}  // namespace
+
+SweepService::SweepService(const ModelSnapshotHolder& models, sim::GpuSpec spec,
+                           ServiceConfig config)
+    : models_(models),
+      spec_(std::move(spec)),
+      config_([&] {
+        ServiceConfig c = std::move(config);
+        GPUFREQ_REQUIRE(c.max_batch > 0, "SweepService: max_batch must be positive");
+        if (c.frequencies.empty()) c.frequencies = spec_.used_frequencies();
+        GPUFREQ_REQUIRE(!c.frequencies.empty(), "SweepService: empty default frequency grid");
+        return c;
+      }()) {
+  batch_.reserve(config_.max_batch);
+  rep_.reserve(config_.max_batch);
+  unique_.reserve(config_.max_batch);
+  group_size_.reserve(config_.max_batch);
+  items_.reserve(config_.max_batch);
+}
+
+SweepService::~SweepService() { stop(); }
+
+SweepTicket SweepService::submit(SweepRequest request) {
+  GPUFREQ_REQUIRE(request.measured_time_at_max_s > 0.0,
+                  "SweepService: measured time must be positive");
+  auto slot = std::make_shared<detail::SweepSlot>();
+  slot->descriptor = request.descriptor;
+  (void)slot->descriptor.priority();  // validates the band range
+  slot->counters = request.counters;
+  slot->measured_time_at_max_s = request.measured_time_at_max_s;
+  slot->frequencies =
+      request.frequencies.empty() ? config_.frequencies : std::move(request.frequencies);
+  // Pre-size the outcome so the drain loop's result copies never allocate.
+  const std::size_t rows = slot->frequencies.size();
+  slot->outcome.frequencies.reserve(rows);
+  slot->outcome.power_w.reserve(rows);
+  slot->outcome.time_s.reserve(rows);
+  slot->outcome.energy_j.reserve(rows);
+  slot->enqueued_at = std::chrono::steady_clock::now();
+
+  {
+    MutexLock lock(mutex_);
+    GPUFREQ_REQUIRE(!stopping_, "SweepService: submit after stop");
+    queue_.push(slot);
+    ++stats_.submitted;
+  }
+  cv_.notify_one();
+  return SweepTicket(std::move(slot));
+}
+
+std::size_t SweepService::drain_once() {
+  MutexLock drain(drain_mutex_);
+  return drain_locked();
+}
+
+std::size_t SweepService::drain_locked() {
+  batch_.clear();
+  {
+    MutexLock lock(mutex_);
+    while (batch_.size() < config_.max_batch && !queue_.empty()) batch_.push_back(queue_.pop());
+  }
+  if (batch_.empty()) return 0;
+  const auto picked_up = std::chrono::steady_clock::now();
+
+  // Epoch-cached snapshot: one atomic load unless a publish() happened.
+  const core::OnlinePredictor& predictor = snapshot_.predictor(models_);
+
+  // Coalesce bit-identical requests into shared items. O(B * U) exact
+  // compares; B <= max_batch keeps this far below the GEMM cost, and the
+  // scan is deterministic (no hashing).
+  rep_.clear();
+  unique_.clear();
+  group_size_.clear();
+  items_.clear();
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    const detail::SweepSlot& slot = *batch_[i];
+    std::size_t u = unique_.size();
+    if (config_.coalesce_identical) {
+      for (std::size_t j = 0; j < unique_.size(); ++j) {
+        if (same_computation(*batch_[unique_[j]], slot)) {
+          u = j;
+          break;
+        }
+      }
+    }
+    rep_.push_back(static_cast<std::uint32_t>(u));
+    if (u == unique_.size()) {
+      unique_.push_back(static_cast<std::uint32_t>(i));
+      group_size_.push_back(1);
+      items_.push_back({.counters = &slot.counters,
+                        .measured_time_at_max_s = slot.measured_time_at_max_s,
+                        .frequencies = slot.frequencies});
+    } else {
+      ++group_size_[u];
+    }
+  }
+
+  // The fused sweep: every unique item's rows in ONE GEMM chain per model.
+  predictor.predict_sweep_batch(items_, spec_, ws_);
+
+  const auto completed = std::chrono::steady_clock::now();
+  const std::uint64_t epoch = snapshot_.epoch();
+  const std::size_t served = batch_.size();
+  // Account the batch BEFORE flipping any slot's done bit: a waiter that
+  // observes its completion must already see it reflected in stats().
+  {
+    MutexLock lock(mutex_);
+    stats_.completed += served;
+    ++stats_.batches;
+    stats_.unique_items += unique_.size();
+    stats_.coalesced += served - unique_.size();
+    stats_.max_batch_seen = std::max(stats_.max_batch_seen, served);
+    stats_.model_epoch = epoch;
+  }
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    detail::SweepSlot& slot = *batch_[i];
+    const std::size_t u = rep_[i];
+    SweepOutcome& out = slot.outcome;
+    assign(out.frequencies, ws_.item_frequencies(u));
+    assign(out.power_w, ws_.item_power(u));
+    assign(out.time_s, ws_.item_time(u));
+    assign(out.energy_j, ws_.item_energy(u));
+    out.min_energy_frequency_mhz = out.frequencies[stats::argmin(out.energy_j)];
+    out.queue_latency_s = seconds_between(slot.enqueued_at, picked_up);
+    out.total_latency_s = seconds_between(slot.enqueued_at, completed);
+    out.batch_size = batch_.size();
+    out.model_epoch = epoch;
+    out.coalesced = group_size_[u] > 1;
+    {
+      MutexLock lock(slot.mutex);
+      slot.done = true;
+    }
+    slot.cv.notify_all();
+  }
+
+  batch_.clear();  // drop slot pins promptly (tickets keep theirs)
+  return served;
+}
+
+void SweepService::start() {
+  GPUFREQ_REQUIRE(!worker_.joinable(), "SweepService: already started");
+  {
+    MutexLock lock(mutex_);
+    stopping_ = false;
+  }
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void SweepService::stop() {
+  if (!worker_.joinable()) return;
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void SweepService::worker_loop() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      cv_.wait(lock.native(), [this] {
+        mutex_.assert_held();
+        return stopping_ || !queue_.empty();
+      });
+      if (stopping_ && queue_.empty()) return;
+    }
+    drain_once();
+  }
+}
+
+std::size_t SweepService::pending() const {
+  MutexLock lock(mutex_);
+  return queue_.size();
+}
+
+ServiceStats SweepService::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace gpufreq::serve

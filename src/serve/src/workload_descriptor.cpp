@@ -1,0 +1,33 @@
+#include "gpufreq/serve/workload_descriptor.hpp"
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::serve {
+
+std::string_view to_string(WorkloadCategory category) {
+  switch (category) {
+    case WorkloadCategory::kBatch:
+      return "batch";
+    case WorkloadCategory::kInteractive:
+      return "interactive";
+    case WorkloadCategory::kSystem:
+      return "system";
+  }
+  GPUFREQ_REQUIRE(false, "WorkloadCategory: invalid enumerator");
+}
+
+std::int64_t WorkloadDescriptor::priority() const {
+  GPUFREQ_REQUIRE(band >= 0 && band < kBandsPerCategory,
+                  "WorkloadDescriptor: band out of range");
+  return static_cast<std::int64_t>(category) * kCategoryPriorityFactor +
+         static_cast<std::int64_t>(band) * kBandPriorityFactor;
+}
+
+std::size_t WorkloadDescriptor::band_index() const {
+  GPUFREQ_REQUIRE(band >= 0 && band < kBandsPerCategory,
+                  "WorkloadDescriptor: band out of range");
+  return static_cast<std::size_t>(category) * static_cast<std::size_t>(kBandsPerCategory) +
+         static_cast<std::size_t>(band);
+}
+
+}  // namespace gpufreq::serve

@@ -1,0 +1,132 @@
+// The scheduling surface of the serve layer: composed integer priorities
+// (category then band), the dense band index, and the banded FIFO queue —
+// strict priority across bands, FIFO by sequence number within a band.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gpufreq/serve/request_queue.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::serve {
+namespace {
+
+std::shared_ptr<detail::SweepSlot> make_slot(WorkloadCategory category, int band) {
+  auto slot = std::make_shared<detail::SweepSlot>();
+  slot->descriptor = {.category = category, .band = band};
+  return slot;
+}
+
+TEST(ServeDescriptor, PriorityComposition) {
+  const WorkloadDescriptor batch0{.category = WorkloadCategory::kBatch, .band = 0};
+  const WorkloadDescriptor batch3{.category = WorkloadCategory::kBatch, .band = 3};
+  const WorkloadDescriptor inter0{.category = WorkloadCategory::kInteractive, .band = 0};
+  const WorkloadDescriptor system0{.category = WorkloadCategory::kSystem, .band = 0};
+
+  EXPECT_EQ(batch0.priority(), 0);
+  EXPECT_EQ(batch3.priority(), 3 * kBandPriorityFactor);
+  EXPECT_EQ(inter0.priority(), kCategoryPriorityFactor);
+  EXPECT_EQ(system0.priority(), 2 * kCategoryPriorityFactor);
+
+  // Any band of a higher category beats every band of a lower one: the
+  // category field sits above the band field in the composed integer.
+  EXPECT_GT(inter0.priority(), batch3.priority());
+  EXPECT_GT(system0.priority(), inter0.priority());
+  EXPECT_GT(batch3.priority(), batch0.priority());
+}
+
+TEST(ServeDescriptor, BandIndexIsDenseAndOrderConsistent) {
+  std::int64_t last_priority = -1;
+  std::size_t expected_index = 0;
+  for (const auto category :
+       {WorkloadCategory::kBatch, WorkloadCategory::kInteractive, WorkloadCategory::kSystem}) {
+    for (int band = 0; band < kBandsPerCategory; ++band) {
+      const WorkloadDescriptor d{.category = category, .band = band};
+      EXPECT_EQ(d.band_index(), expected_index++);
+      EXPECT_GT(d.priority(), last_priority);
+      last_priority = d.priority();
+    }
+  }
+  EXPECT_EQ(expected_index, PriorityRequestQueue::band_count());
+}
+
+TEST(ServeDescriptor, BandOutOfRangeThrows) {
+  const WorkloadDescriptor low{.category = WorkloadCategory::kBatch, .band = -1};
+  const WorkloadDescriptor high{.category = WorkloadCategory::kBatch, .band = kBandsPerCategory};
+  EXPECT_THROW(low.priority(), InvalidArgument);
+  EXPECT_THROW(high.band_index(), InvalidArgument);
+}
+
+TEST(ServeQueue, StrictPriorityAcrossBands) {
+  PriorityRequestQueue queue;
+  const auto batch = make_slot(WorkloadCategory::kBatch, 1);
+  const auto interactive = make_slot(WorkloadCategory::kInteractive, 0);
+  const auto system = make_slot(WorkloadCategory::kSystem, 0);
+  const auto batch_high = make_slot(WorkloadCategory::kBatch, 3);
+  queue.push(batch);
+  queue.push(interactive);
+  queue.push(system);
+  queue.push(batch_high);
+  EXPECT_EQ(queue.size(), 4u);
+
+  // An interactive request preempts every pending batch request, even a
+  // batch one in its top band; system preempts both.
+  EXPECT_EQ(queue.pop(), system);
+  EXPECT_EQ(queue.pop(), interactive);
+  EXPECT_EQ(queue.pop(), batch_high);
+  EXPECT_EQ(queue.pop(), batch);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pop(), nullptr);
+}
+
+TEST(ServeQueue, FifoWithinBand) {
+  PriorityRequestQueue queue;
+  std::vector<std::shared_ptr<detail::SweepSlot>> slots;
+  for (int i = 0; i < 40; ++i) {
+    slots.push_back(make_slot(WorkloadCategory::kInteractive, 2));
+    queue.push(slots.back());
+  }
+  for (int i = 0; i < 40; ++i) {
+    const auto popped = queue.pop();
+    EXPECT_EQ(popped, slots[static_cast<std::size_t>(i)]) << i;
+    EXPECT_EQ(popped->sequence, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(ServeQueue, FifoSurvivesRingGrowthAndWraparound) {
+  PriorityRequestQueue queue;
+  std::uint64_t expected = 0;
+  // Interleave pushes and pops so head wraps while the ring grows past its
+  // initial capacity; FIFO order must hold throughout.
+  std::uint64_t next = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 13; ++i) {
+      queue.push(make_slot(WorkloadCategory::kBatch, 0));
+      ++next;
+    }
+    for (int i = 0; i < 9; ++i) {
+      const auto popped = queue.pop();
+      ASSERT_NE(popped, nullptr);
+      EXPECT_EQ(popped->sequence, expected++);
+    }
+  }
+  while (auto popped = queue.pop()) EXPECT_EQ(popped->sequence, expected++);
+  EXPECT_EQ(expected, next);
+}
+
+TEST(ServeQueue, BandSizesAndValidation) {
+  PriorityRequestQueue queue;
+  queue.push(make_slot(WorkloadCategory::kSystem, 1));
+  queue.push(make_slot(WorkloadCategory::kSystem, 1));
+  queue.push(make_slot(WorkloadCategory::kBatch, 0));
+  const WorkloadDescriptor system1{.category = WorkloadCategory::kSystem, .band = 1};
+  EXPECT_EQ(queue.band_size(system1.band_index()), 2u);
+  EXPECT_EQ(queue.band_size(0), 1u);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_THROW(queue.band_size(PriorityRequestQueue::band_count()), InvalidArgument);
+  EXPECT_THROW(queue.push(nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpufreq::serve

@@ -1,0 +1,241 @@
+// End-to-end SweepService behavior: fused batched outcomes bitwise-match
+// independent sweeps, strict priority with FIFO within band, bit-identical
+// request coalescing, hot model swaps between batches, and the background
+// worker + open-loop load generator.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/serve/load_generator.hpp"
+#include "gpufreq/serve/sweep_service.hpp"
+#include "gpufreq/sim/gpu_spec.hpp"
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::serve {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+struct Fixture {
+  std::shared_ptr<const core::PowerTimeModels> models = fabricate_models(42);
+  sim::GpuSpec spec = sim::GpuSpec::ga100();
+  ModelSnapshotHolder holder{models};
+  std::vector<CatalogEntry> catalog = make_catalog(8, spec, 7);
+
+  SweepRequest request(std::size_t app, WorkloadCategory category = WorkloadCategory::kBatch,
+                       int band = 0) const {
+    SweepRequest r;
+    r.descriptor = {.category = category, .band = band};
+    r.counters = catalog[app].counters;
+    r.measured_time_at_max_s = catalog[app].measured_time_at_max_s;
+    return r;
+  }
+};
+
+TEST(ServeService, BatchedOutcomeMatchesIndependentSweepBitwise) {
+  Fixture f;
+  SweepService service(f.holder, f.spec);
+  std::vector<SweepTicket> tickets;
+  for (std::size_t i = 0; i < 6; ++i) tickets.push_back(service.submit(f.request(i)));
+  EXPECT_EQ(service.pending(), 6u);
+  EXPECT_EQ(service.drain_once(), 6u);
+  EXPECT_EQ(service.pending(), 0u);
+
+  const core::OnlinePredictor predictor(*f.models);
+  core::SweepWorkspace ws;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const SweepOutcome& out = tickets[i].wait();
+    predictor.predict_sweep(f.catalog[i].counters, f.catalog[i].measured_time_at_max_s, f.spec,
+                            service.default_frequencies(), ws);
+    ASSERT_EQ(out.frequencies.size(), ws.frequencies.size());
+    for (std::size_t r = 0; r < ws.frequencies.size(); ++r) {
+      EXPECT_EQ(bits(out.frequencies[r]), bits(ws.frequencies[r]));
+      EXPECT_EQ(bits(out.power_w[r]), bits(ws.power_w[r]));
+      EXPECT_EQ(bits(out.time_s[r]), bits(ws.time_s[r]));
+      EXPECT_EQ(bits(out.energy_j[r]), bits(ws.energy_j[r]));
+    }
+    // The service's frequency pick is the energy argmin of the same curve.
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < ws.energy_j.size(); ++r)
+      if (ws.energy_j[r] < ws.energy_j[best]) best = r;
+    EXPECT_EQ(out.min_energy_frequency_mhz, ws.frequencies[best]);
+    EXPECT_EQ(out.batch_size, 6u);
+    EXPECT_EQ(out.model_epoch, 0u);
+    EXPECT_FALSE(out.coalesced);  // six distinct applications
+    EXPECT_GE(out.total_latency_s, out.queue_latency_s);
+  }
+}
+
+TEST(ServeService, StrictPriorityThenFifoAcrossDrains) {
+  Fixture f;
+  ServiceConfig config;
+  config.max_batch = 1;  // one request per drain -> observable order
+  SweepService service(f.holder, f.spec, config);
+
+  const SweepTicket batch_a = service.submit(f.request(0, WorkloadCategory::kBatch, 0));
+  const SweepTicket batch_b = service.submit(f.request(1, WorkloadCategory::kBatch, 0));
+  const SweepTicket interactive = service.submit(f.request(2, WorkloadCategory::kInteractive, 0));
+  const SweepTicket system = service.submit(f.request(3, WorkloadCategory::kSystem, 0));
+
+  // Interactive (and system) preempt earlier-enqueued batch work; the two
+  // batch requests drain in FIFO order.
+  EXPECT_EQ(service.drain_once(), 1u);
+  EXPECT_TRUE(system.done());
+  EXPECT_FALSE(interactive.done());
+  EXPECT_EQ(service.drain_once(), 1u);
+  EXPECT_TRUE(interactive.done());
+  EXPECT_FALSE(batch_a.done());
+  EXPECT_EQ(service.drain_once(), 1u);
+  EXPECT_TRUE(batch_a.done());
+  EXPECT_FALSE(batch_b.done());
+  EXPECT_EQ(service.drain_once(), 1u);
+  EXPECT_TRUE(batch_b.done());
+  EXPECT_EQ(service.drain_once(), 0u);
+}
+
+TEST(ServeService, CoalescesBitIdenticalRequests) {
+  Fixture f;
+  SweepService service(f.holder, f.spec);
+  std::vector<SweepTicket> same;
+  for (int i = 0; i < 8; ++i) same.push_back(service.submit(f.request(0)));
+  const SweepTicket other = service.submit(f.request(1));
+  EXPECT_EQ(service.drain_once(), 9u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 9u);
+  EXPECT_EQ(stats.unique_items, 2u);  // one GEMM row-block per distinct app
+  EXPECT_EQ(stats.coalesced, 7u);
+
+  const SweepOutcome& reference = same[0].wait();
+  EXPECT_TRUE(reference.coalesced);
+  for (const SweepTicket& t : same) {
+    const SweepOutcome& out = t.wait();
+    ASSERT_EQ(out.energy_j.size(), reference.energy_j.size());
+    for (std::size_t r = 0; r < out.energy_j.size(); ++r)
+      EXPECT_EQ(bits(out.energy_j[r]), bits(reference.energy_j[r]));
+  }
+  EXPECT_FALSE(other.wait().coalesced);
+}
+
+TEST(ServeService, CoalescingCanBeDisabled) {
+  Fixture f;
+  ServiceConfig config;
+  config.coalesce_identical = false;
+  SweepService service(f.holder, f.spec, config);
+  for (int i = 0; i < 4; ++i) (void)service.submit(f.request(0));
+  EXPECT_EQ(service.drain_once(), 4u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.unique_items, 4u);
+  EXPECT_EQ(stats.coalesced, 0u);
+}
+
+TEST(ServeService, PerRequestGridsAndDefaults) {
+  Fixture f;
+  SweepService service(f.holder, f.spec);
+  SweepRequest custom = f.request(0);
+  custom.frequencies = {1410.0, 510.0, 900.0};  // unsorted on purpose
+  const SweepTicket with_grid = service.submit(std::move(custom));
+  const SweepTicket with_default = service.submit(f.request(1));
+  EXPECT_EQ(service.drain_once(), 2u);
+
+  const SweepOutcome& a = with_grid.wait();
+  ASSERT_EQ(a.frequencies.size(), 3u);
+  EXPECT_EQ(a.frequencies, (std::vector<double>{510.0, 900.0, 1410.0}));
+
+  const SweepOutcome& b = with_default.wait();
+  EXPECT_EQ(b.frequencies.size(), f.spec.used_frequencies().size());
+}
+
+TEST(ServeService, HotSwapBetweenBatchesChangesEpochAndModels) {
+  Fixture f;
+  SweepService service(f.holder, f.spec);
+  const SweepTicket before = service.submit(f.request(0));
+  EXPECT_EQ(service.drain_once(), 1u);
+  EXPECT_EQ(before.wait().model_epoch, 0u);
+
+  f.holder.publish(fabricate_models(777));
+  const SweepTicket after = service.submit(f.request(0));
+  EXPECT_EQ(service.drain_once(), 1u);
+  EXPECT_EQ(after.wait().model_epoch, 1u);
+
+  // Different weights -> different predictions for the same request.
+  bool any_diff = false;
+  for (std::size_t r = 0; r < before.wait().energy_j.size(); ++r)
+    any_diff |= bits(before.wait().energy_j[r]) != bits(after.wait().energy_j[r]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ServeService, BackgroundWorkerServesConcurrentSubmitters) {
+  Fixture f;
+  SweepService service(f.holder, f.spec);
+  service.start();
+  EXPECT_TRUE(service.running());
+
+  std::vector<SweepTicket> tickets;
+  for (int i = 0; i < 200; ++i)
+    tickets.push_back(service.submit(f.request(static_cast<std::size_t>(i) % 8)));
+  for (const SweepTicket& t : tickets) EXPECT_GT(t.wait().energy_j.size(), 0u);
+
+  service.stop();
+  EXPECT_FALSE(service.running());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 200u);
+  EXPECT_EQ(stats.submitted, 200u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_THROW(service.submit(f.request(0)), InvalidArgument);  // stopped
+}
+
+TEST(ServeService, OpenLoopLoadGeneratorReportsPerBandLatency) {
+  Fixture f;
+  SweepService service(f.holder, f.spec);
+  LoadSpec load;
+  load.rate_hz = 2000.0;
+  load.duration_s = 0.1;
+  load.catalog_size = 4;
+
+  EXPECT_THROW(run_open_loop(service, load), InvalidArgument);  // not started
+
+  service.start();
+  const LoadReport report = run_open_loop(service, load);
+  service.stop();
+
+  EXPECT_GT(report.submitted, 0u);
+  EXPECT_EQ(report.completed, report.submitted);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  ASSERT_EQ(report.bands.size(), kWorkloadCategories);
+  EXPECT_EQ(report.bands[0].band, "system");
+  EXPECT_EQ(report.bands[1].band, "interactive");
+  EXPECT_EQ(report.bands[2].band, "batch");
+  std::size_t across_bands = 0;
+  for (const BandLoadStats& b : report.bands) {
+    across_bands += b.completed;
+    if (b.completed > 0) {
+      EXPECT_LE(b.p50_latency_ms, b.p99_latency_ms);
+    }
+  }
+  EXPECT_EQ(across_bands, report.completed);
+  EXPECT_EQ(report.service.completed, report.completed);
+}
+
+TEST(ServeService, ValidatesRequests) {
+  Fixture f;
+  SweepService service(f.holder, f.spec);
+  SweepRequest bad_time = f.request(0);
+  bad_time.measured_time_at_max_s = 0.0;
+  EXPECT_THROW(service.submit(std::move(bad_time)), InvalidArgument);
+
+  SweepRequest bad_band = f.request(0);
+  bad_band.descriptor.band = kBandsPerCategory;
+  EXPECT_THROW(service.submit(std::move(bad_band)), InvalidArgument);
+
+  ServiceConfig zero_batch;
+  zero_batch.max_batch = 0;
+  EXPECT_THROW(SweepService(f.holder, f.spec, zero_batch), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpufreq::serve

@@ -7,7 +7,8 @@ Checks:
 
   layering         every `#include "gpufreq/<module>/..."` edge must respect
                    the declared layer DAG: `util` (base) -> the mid layer
-                   {nn, ml, features, sim, dcgm, workloads} -> `core` (top).
+                   {nn, ml, features, sim, dcgm, workloads} -> `core` ->
+                   `serve` (top).
                    A module may include itself and any strictly lower layer.
                    Mid-layer cross-edges are forbidden unless listed in
                    ALLOWED_EDGES (each entry documents why it exists).
@@ -57,6 +58,7 @@ LAYERS = {
     "dcgm": 1,
     "workloads": 1,
     "core": 2,
+    "serve": 3,
 }
 
 # Mid-layer edges that are part of the architecture on purpose. Every entry

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Run the performance microbenchmarks (training, GEMM, prediction sweeps,
-# and the per-backend inference sweep) and write one merged google-benchmark
-# JSON report to BENCH_perf.json at the repo root. BENCH_*.json files are
-# build artifacts and stay untracked.
+# the per-backend inference sweep, and the multi-tenant serve layer) and
+# write one merged google-benchmark JSON report to BENCH_perf.json at the
+# repo root. BENCH_*.json files are build artifacts and stay untracked.
 #
 # The report is published atomically: each benchmark binary writes to a temp
 # file, the temp files are merged into one JSON document, and the result is
@@ -19,7 +19,8 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
-BENCH_BINS=("$BUILD/bench/perf_model_training" "$BUILD/bench/perf_inference_sweep")
+BENCH_BINS=("$BUILD/bench/perf_model_training" "$BUILD/bench/perf_inference_sweep"
+  "$BUILD/bench/perf_serve")
 REPORT="$ROOT/BENCH_perf.json"
 TMP_PREFIX="$REPORT.tmp.$$"
 JOBS="${GPUFREQ_NUM_THREADS:-$(nproc 2>/dev/null || echo 4)}"
@@ -33,7 +34,7 @@ trap cleanup EXIT
 for bin in "${BENCH_BINS[@]}"; do
   if [[ ! -x "$bin" ]]; then
     cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGPUFREQ_BUILD_BENCH=ON
-    cmake --build "$BUILD" --target perf_model_training perf_inference_sweep -j "$JOBS"
+    cmake --build "$BUILD" --target perf_model_training perf_inference_sweep perf_serve -j "$JOBS"
     break
   fi
 done
@@ -60,20 +61,38 @@ for bin in "${BENCH_BINS[@]}"; do
 done
 
 # Merge: keep the first report's context block, concatenate the benchmark
-# arrays in run order.
+# arrays in run order, then dedupe rows by benchmark name keeping the LAST
+# occurrence — a rerun of one binary (or an overlapping BENCH_FILTER)
+# updates a row instead of appending a stale duplicate.
 python3 - "$TMP_PREFIX.merged" "${parts[@]}" <<'PY'
 import json
 import sys
 
 out_path = sys.argv[1]
 merged = None
+rows = []
 for path in sys.argv[2:]:
     with open(path) as f:
         report = json.load(f)
     if merged is None:
         merged = report
+    rows.extend(report.get("benchmarks", []))
+
+# Rebuild preserving first-seen order with last-seen content.
+deduped = []
+seen = {}
+for row in rows:
+    key = row.get("name")
+    if key is None:
+        deduped.append(row)
+        continue
+    if key in seen:
+        deduped[seen[key]] = row
     else:
-        merged.setdefault("benchmarks", []).extend(report.get("benchmarks", []))
+        seen[key] = len(deduped)
+        deduped.append(row)
+
+merged["benchmarks"] = deduped
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")

@@ -17,7 +17,8 @@
 #      (GPUFREQ_SANITIZE="address;undefined") with debug invariant checks
 #      (GPUFREQ_DCHECK / GPUFREQ_CHECK_FINITE) compiled in,
 #   7. the concurrency-sensitive test subset (thread pool, trainer,
-#      integration/predict sweep) under ThreadSanitizer
+#      integration/predict sweep, and the serve layer: snapshot hot-swap
+#      and the batched sweep service) under ThreadSanitizer
 #      (GPUFREQ_SANITIZE=thread) with DCHECKs on.
 #
 # Any stage failing fails the gate. Build trees live under build-sa/ so the
@@ -134,19 +135,21 @@ fi
 if [[ "${SA_SKIP_SANITIZE:-0}" == "1" ]]; then
   note "stage 7/7: TSan lane (skipped: SA_SKIP_SANITIZE=1)"
 else
-  note "stage 7/7: thread pool / trainer / predict sweep under GPUFREQ_SANITIZE=thread"
+  note "stage 7/7: thread pool / trainer / predict sweep / serve under GPUFREQ_SANITIZE=thread"
   TSAN_BUILD="$BUILD_ROOT/tsan"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DGPUFREQ_SANITIZE=thread \
     -DCMAKE_CXX_FLAGS=-DGPUFREQ_ENABLE_DCHECKS \
     -DGPUFREQ_BUILD_BENCH=OFF -DGPUFREQ_BUILD_EXAMPLES=OFF > /dev/null
   cmake --build "$TSAN_BUILD" -j "$JOBS" \
-    --target test_util_thread_pool test_nn_trainer_serialize test_integration_pipeline
+    --target test_util_thread_pool test_nn_trainer_serialize test_integration_pipeline \
+    test_serve_snapshot test_serve_service
   # Run with >1 pool thread even on 1-core CI so lock discipline is
   # actually exercised; the suites are chosen because they drive
-  # parallel_for, Trainer::fit, and the parallel predict sweep.
+  # parallel_for, Trainer::fit, the parallel predict sweep, and the serve
+  # layer's concurrent submit / background drain / snapshot hot-swap paths.
   (cd "$TSAN_BUILD" && GPUFREQ_NUM_THREADS=4 ctest --output-on-failure -j 1 \
-    -R '^(ThreadPoolTest|Trainer|Serialize|Scaler|Integration)')
+    -R '^(ThreadPoolTest|Trainer|Serialize|Scaler|Integration|Serve)')
 fi
 
 note "static analysis gate: PASSED"

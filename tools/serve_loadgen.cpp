@@ -1,0 +1,79 @@
+// Open-loop load generator CLI for the multi-tenant sweep service.
+//
+// Starts a SweepService on fabricated (seeded-random-weight) models so the
+// tool comes up in milliseconds, fires a Poisson arrival stream with the
+// configured interactive/system/batch mix, and prints requests/sec plus
+// p50/p99 latency per priority band — the same numbers the perf_serve
+// benchmark feeds into BENCH_perf.json. CI runs this as the serve smoke
+// lane.
+//
+// Usage:
+//   serve_loadgen [rate_hz] [duration_s] [catalog_size] [seed]
+// Defaults: 2000 Hz for 1 s over a 27-app catalog, seed 0x10AD.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "gpufreq/serve/load_generator.hpp"
+#include "gpufreq/serve/sweep_service.hpp"
+#include "gpufreq/sim/gpu_spec.hpp"
+
+namespace {
+
+double parse_positive(const char* arg, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || !(v > 0.0)) {
+    std::fprintf(stderr, "serve_loadgen: %s must be a positive number, got '%s'\n", what, arg);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace gpufreq;
+
+  serve::LoadSpec load;
+  if (argc > 1) load.rate_hz = parse_positive(argv[1], "rate_hz");
+  if (argc > 2) load.duration_s = parse_positive(argv[2], "duration_s");
+  if (argc > 3) load.catalog_size = static_cast<std::size_t>(parse_positive(argv[3], "catalog_size"));
+  if (argc > 4) load.seed = static_cast<std::uint64_t>(std::strtoull(argv[4], nullptr, 0));
+
+  const sim::GpuSpec spec = sim::GpuSpec::ga100();
+  serve::ModelSnapshotHolder holder(serve::fabricate_models(/*seed=*/42));
+  serve::SweepService service(holder, spec);
+  service.start();
+
+  std::printf("serve_loadgen: %.0f req/s for %.2f s, %zu-app catalog, seed %#llx\n",
+              load.rate_hz, load.duration_s, load.catalog_size,
+              static_cast<unsigned long long>(load.seed));
+  const serve::LoadReport report = serve::run_open_loop(service, load);
+  service.stop();
+
+  std::printf("submitted   %zu\n", report.submitted);
+  std::printf("completed   %zu\n", report.completed);
+  std::printf("wall        %.3f s\n", report.wall_s);
+  std::printf("throughput  %.1f req/s\n", report.throughput_rps);
+  for (const serve::BandLoadStats& band : report.bands) {
+    std::printf("%-12s n=%-6zu p50=%8.3f ms  p99=%8.3f ms\n", band.band.c_str(), band.completed,
+                band.p50_latency_ms, band.p99_latency_ms);
+  }
+  const serve::ServiceStats& s = report.service;
+  std::printf("batches     %llu (max fused %zu, %llu unique items, %llu coalesced)\n",
+              static_cast<unsigned long long>(s.batches), s.max_batch_seen,
+              static_cast<unsigned long long>(s.unique_items),
+              static_cast<unsigned long long>(s.coalesced));
+
+  if (report.completed != report.submitted) {
+    std::fprintf(stderr, "serve_loadgen: FAIL — %zu of %zu requests never completed\n",
+                 report.submitted - report.completed, report.submitted);
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "serve_loadgen: FAIL — %s\n", e.what());
+  return 1;
+}
