@@ -1,19 +1,20 @@
 // End-to-end microbench of the online inference path: one full
 // 61-configuration DVFS sweep (power + time models) per iteration, per
-// kernel backend, plus network-level fused-vs-unfused forward passes that
+// kernel backend and precision, plus network-level forward passes that
 // isolate where the time goes. tools/run_benchmarks.sh merges this into
-// BENCH_perf.json next to the training numbers.
+// BENCH_perf.json.
 //
-// Benchmark arguments: the first argument selects the kernel backend
-// (0 = scalar, 1 = avx2); avx2 rows are skipped on machines without
-// AVX2+FMA, so the JSON stays comparable across hosts.
+// Benchmark arguments follow the shared axes in backend_axis.hpp: arg0 is
+// the kernel backend (0 = scalar, 1 = avx2, 2 = avx512), arg1 the
+// precision (0 = fp32, 1 = int8); rows whose backend this machine lacks
+// are skipped, and every row carries `backend` and `precision` counters.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
 
+#include "backend_axis.hpp"
 #include "common.hpp"
 #include "gpufreq/core/pipeline.hpp"
-#include "gpufreq/nn/kernels/dispatch.hpp"
 #include "gpufreq/nn/network.hpp"
 #include "gpufreq/util/rng.hpp"
 
@@ -23,16 +24,16 @@ namespace {
 
 constexpr std::size_t kSweepRows = 61;  // GA100 used-frequency count
 
-bool select_backend(benchmark::State& state) {
-  const auto b = state.range(0) == 0 ? nn::kernels::Backend::kScalar
-                                     : nn::kernels::Backend::kAvx2;
-  if (b == nn::kernels::Backend::kAvx2 && !nn::kernels::avx2_available()) {
-    state.SkipWithError("avx2 backend unavailable on this machine");
-    return false;
-  }
-  nn::kernels::set_kernel_backend(b);
-  state.SetLabel(nn::kernels::to_string(b));
-  return true;
+// Paper models with both the fp32 and int8 inference packs prepared, so
+// every backend x precision row sweeps the same trained weights.
+const core::PowerTimeModels& sweep_models() {
+  static const core::PowerTimeModels models = [] {
+    core::PowerTimeModels m = bench::paper_models();
+    m.power.prepare_inference(nn::Precision::kInt8);
+    m.time.prepare_inference(nn::Precision::kInt8);
+    return m;
+  }();
+  return models;
 }
 
 nn::Matrix random_batch(std::size_t rows, std::size_t cols) {
@@ -43,37 +44,40 @@ nn::Matrix random_batch(std::size_t rows, std::size_t cols) {
 }
 
 // Forward pass of the paper architecture (3 -> 64 SELU x3 -> 1 linear)
-// over the sweep batch; second argument: 0 = unfused fallback, 1 = fused
-// over packed weights.
+// over the sweep batch; third argument: 0 = unfused fallback, 1 = fused
+// over packed weights (the int8 path only exists fused, so the unfused
+// row is fp32-only).
 void BM_NetworkForward(benchmark::State& state) {
-  if (!select_backend(state)) return;
+  const auto sel = bench::select_axes(state);
+  if (!sel) return;
   nn::Network net(3, nn::Network::paper_architecture(), /*seed=*/123);
-  if (state.range(1) != 0) net.prepare_inference();
+  const bool fused = state.range(2) != 0;
+  if (fused) net.prepare_inference(sel->precision);
   const nn::Matrix x = random_batch(kSweepRows, 3);
   nn::InferenceWorkspace ws;
   for (auto _ : state) {
-    const nn::Matrix& y = net.predict_into(x, ws);
+    const nn::Matrix& y = net.predict_into(x, ws, sel->precision);
     benchmark::DoNotOptimize(y.flat().data());
     benchmark::ClobberMemory();
   }
   state.counters["rows"] = static_cast<double>(kSweepRows);
-  state.counters["fused"] = static_cast<double>(state.range(1));
-  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+  state.counters["fused"] = fused ? 1.0 : 0.0;
+  bench::reset_backend();
 }
 BENCHMARK(BM_NetworkForward)
-    ->ArgPair(0, 0)
-    ->ArgPair(0, 1)
-    ->ArgPair(1, 0)
-    ->ArgPair(1, 1)
+    ->Args({0, 0, 0})->Args({0, 0, 1})->Args({0, 1, 1})
+    ->Args({1, 0, 0})->Args({1, 0, 1})->Args({1, 1, 1})
+    ->Args({2, 0, 0})->Args({2, 0, 1})->Args({2, 1, 1})
     ->Unit(benchmark::kMicrosecond);
 
 // The full online sweep through the allocation-free entry point: feature
-// replication + both models + clamps, reusing one workspace.
+// replication + both models + clamps, reusing one workspace. This is the
+// 61-config sweep latency the int8-vs-fp32 acceptance numbers quote.
 void BM_SweepPredict(benchmark::State& state) {
-  if (!select_backend(state)) return;
-  static const core::PowerTimeModels models = bench::paper_models();
+  const auto sel = bench::select_axes(state);
+  if (!sel) return;
   static sim::GpuDevice gpu = bench::make_ga100();
-  const core::OnlinePredictor predictor(models);
+  const core::OnlinePredictor predictor(sweep_models(), sel->precision);
 
   gpu.reset_clocks();
   sim::RunOptions ro;
@@ -88,18 +92,24 @@ void BM_SweepPredict(benchmark::State& state) {
     benchmark::ClobberMemory();
   }
   state.counters["configs"] = static_cast<double>(freqs.size());
-  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+  bench::reset_backend();
 }
-BENCHMARK(BM_SweepPredict)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SweepPredict)
+    ->ArgPair(0, 0)->ArgPair(0, 1)
+    ->ArgPair(1, 0)->ArgPair(1, 1)
+    ->ArgPair(2, 0)->ArgPair(2, 1)
+    ->Unit(benchmark::kMicrosecond);
 
 // Same sweep through the legacy DvfsProfile-returning wrapper (what the
 // seed benchmarked as BM_PredictFullDvfsSpace), for the before/after
-// comparison in BENCH_perf.json.
+// comparison in BENCH_perf.json. fp32-only: the wrapper predates the
+// precision knob and allocates its result, so it is not the path int8
+// serving uses.
 void BM_SweepPredictLegacy(benchmark::State& state) {
-  if (!select_backend(state)) return;
-  static const core::PowerTimeModels models = bench::paper_models();
+  const auto sel = bench::select_axes(state);
+  if (!sel) return;
   static sim::GpuDevice gpu = bench::make_ga100();
-  const core::OnlinePredictor predictor(models);
+  const core::OnlinePredictor predictor(sweep_models());
 
   gpu.reset_clocks();
   sim::RunOptions ro;
@@ -113,9 +123,11 @@ void BM_SweepPredictLegacy(benchmark::State& state) {
     benchmark::DoNotOptimize(p.energy_j.data());
   }
   state.counters["configs"] = static_cast<double>(freqs.size());
-  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+  bench::reset_backend();
 }
-BENCHMARK(BM_SweepPredictLegacy)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SweepPredictLegacy)
+    ->ArgPair(0, 0)->ArgPair(1, 0)->ArgPair(2, 0)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -5,12 +5,14 @@
 // p50/p99 latency per priority band. tools/run_benchmarks.sh merges this
 // into BENCH_perf.json.
 //
-// Benchmark arguments: the first argument selects the kernel backend
-// (0 = scalar, 1 = avx2), as in perf_inference_sweep; the second is the
-// batch size N; BM_ServiceDrainFleet adds a third — the number of distinct
+// Benchmark arguments follow the shared axes in backend_axis.hpp: arg0 is
+// the kernel backend (0 = scalar, 1 = avx2, 2 = avx512), arg1 the
+// precision (0 = fp32, 1 = int8); the next argument is the batch size N;
+// BM_ServiceDrainFleet adds one more — the number of distinct
 // applications the N requests are drawn from ("sweeps_per_s" counts ALL
 // requests served, so the batched/sequential ratio at equal N is the
-// service's aggregate speedup).
+// service's aggregate speedup). Every row carries `backend` and
+// `precision` counters.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -18,9 +20,9 @@
 #include <utility>
 #include <vector>
 
+#include "backend_axis.hpp"
 #include "common.hpp"
 #include "gpufreq/core/pipeline.hpp"
-#include "gpufreq/nn/kernels/dispatch.hpp"
 #include "gpufreq/serve/load_generator.hpp"
 #include "gpufreq/serve/sweep_service.hpp"
 
@@ -28,21 +30,15 @@ using namespace gpufreq;
 
 namespace {
 
-bool select_backend(benchmark::State& state) {
-  const auto b = state.range(0) == 0 ? nn::kernels::Backend::kScalar
-                                     : nn::kernels::Backend::kAvx2;
-  if (b == nn::kernels::Backend::kAvx2 && !nn::kernels::avx2_available()) {
-    state.SkipWithError("avx2 backend unavailable on this machine");
-    return false;
-  }
-  nn::kernels::set_kernel_backend(b);
-  state.SetLabel(nn::kernels::to_string(b));
-  return true;
-}
-
+// Paper models with both inference packs prepared, shared by every row
+// (the int8 rows need the quantized pack; the fp32 rows ignore it).
 std::shared_ptr<const core::PowerTimeModels> shared_models_ptr() {
-  static const auto ptr =
-      std::make_shared<const core::PowerTimeModels>(bench::paper_models());
+  static const auto ptr = [] {
+    auto models = std::make_shared<core::PowerTimeModels>(bench::paper_models());
+    models->power.prepare_inference(nn::Precision::kInt8);
+    models->time.prepare_inference(nn::Precision::kInt8);
+    return std::shared_ptr<const core::PowerTimeModels>(std::move(models));
+  }();
   return ptr;
 }
 
@@ -57,10 +53,11 @@ std::vector<serve::CatalogEntry> unique_apps(std::size_t n, const sim::GpuSpec& 
 // Baseline: N independent online sweeps, one predict_sweep per request
 // (what N tenants hitting N per-tenant predictors would cost).
 void BM_SequentialSweeps(benchmark::State& state) {
-  if (!select_backend(state)) return;
-  const core::OnlinePredictor predictor(shared_models());
+  const auto sel = bench::select_axes(state);
+  if (!sel) return;
+  const core::OnlinePredictor predictor(shared_models(), sel->precision);
   const sim::GpuSpec spec = sim::GpuSpec::ga100();
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = static_cast<std::size_t>(state.range(2));
   const auto apps = unique_apps(n, spec);
   const std::vector<double> freqs = spec.used_frequencies();
 
@@ -75,21 +72,24 @@ void BM_SequentialSweeps(benchmark::State& state) {
   state.counters["batch"] = static_cast<double>(n);
   state.counters["sweeps_per_s"] =
       benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
-  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+  bench::reset_backend();
 }
 BENCHMARK(BM_SequentialSweeps)
-    ->ArgPair(1, 1)->ArgPair(1, 16)->ArgPair(1, 61)->ArgPair(1, 100)
-    ->ArgPair(0, 16)
+    ->Args({1, 0, 1})->Args({1, 0, 16})->Args({1, 0, 61})->Args({1, 0, 100})
+    ->Args({0, 0, 16})->Args({0, 1, 16})
+    ->Args({1, 1, 100})
+    ->Args({2, 0, 100})->Args({2, 1, 100})
     ->Unit(benchmark::kMicrosecond);
 
 // The fused path on the same N unique requests: one predict_sweep_batch,
 // i.e. one GEMM chain per model over N x 61 rows. Measures pure fusion
 // (dispatch/scaler/finite-check amortization) with zero coalescing.
 void BM_BatchedSweepUnique(benchmark::State& state) {
-  if (!select_backend(state)) return;
-  const core::OnlinePredictor predictor(shared_models());
+  const auto sel = bench::select_axes(state);
+  if (!sel) return;
+  const core::OnlinePredictor predictor(shared_models(), sel->precision);
   const sim::GpuSpec spec = sim::GpuSpec::ga100();
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = static_cast<std::size_t>(state.range(2));
   const auto apps = unique_apps(n, spec);
   const std::vector<double> freqs = spec.used_frequencies();
 
@@ -110,11 +110,13 @@ void BM_BatchedSweepUnique(benchmark::State& state) {
   state.counters["batch"] = static_cast<double>(n);
   state.counters["sweeps_per_s"] =
       benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
-  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+  bench::reset_backend();
 }
 BENCHMARK(BM_BatchedSweepUnique)
-    ->ArgPair(1, 1)->ArgPair(1, 16)->ArgPair(1, 61)->ArgPair(1, 100)
-    ->ArgPair(0, 16)
+    ->Args({1, 0, 1})->Args({1, 0, 16})->Args({1, 0, 61})->Args({1, 0, 100})
+    ->Args({0, 0, 16})->Args({0, 1, 16})
+    ->Args({1, 1, 100})
+    ->Args({2, 0, 100})->Args({2, 1, 100})
     ->Unit(benchmark::kMicrosecond);
 
 // The full service drain cycle under a fleet mix: N requests per batch
@@ -123,13 +125,15 @@ BENCHMARK(BM_BatchedSweepUnique)
 // coalesce). sweeps_per_s counts all N served requests — the multi-tenant
 // aggregate a deployment sees.
 void BM_ServiceDrainFleet(benchmark::State& state) {
-  if (!select_backend(state)) return;
+  const auto sel = bench::select_axes(state);
+  if (!sel) return;
   const sim::GpuSpec spec = sim::GpuSpec::ga100();
   serve::ModelSnapshotHolder holder(shared_models_ptr());
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  const std::size_t napps = static_cast<std::size_t>(state.range(2));
+  const std::size_t n = static_cast<std::size_t>(state.range(2));
+  const std::size_t napps = static_cast<std::size_t>(state.range(3));
   serve::ServiceConfig config;
   config.max_batch = n;
+  config.precision = sel->precision;
   serve::SweepService service(holder, spec, config);
   const auto catalog = serve::make_catalog(napps, spec, /*seed=*/0xF1EE7);
 
@@ -160,26 +164,31 @@ void BM_ServiceDrainFleet(benchmark::State& state) {
       stats.completed > 0
           ? static_cast<double>(stats.coalesced) / static_cast<double>(stats.completed)
           : 0.0;
-  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+  bench::reset_backend();
 }
 BENCHMARK(BM_ServiceDrainFleet)
-    ->Args({1, 16, 4})->Args({1, 61, 27})->Args({1, 100, 27})
-    ->Args({1, 100, 100})  // worst case: every request unique, no coalescing
-    ->Args({0, 16, 4})
+    ->Args({1, 0, 16, 4})->Args({1, 0, 61, 27})->Args({1, 0, 100, 27})
+    ->Args({1, 0, 100, 100})  // worst case: every request unique, no coalescing
+    ->Args({0, 0, 16, 4})->Args({0, 1, 16, 4})
+    ->Args({1, 1, 100, 27})->Args({1, 1, 100, 100})
+    ->Args({2, 0, 100, 100})->Args({2, 1, 100, 100})
     ->Unit(benchmark::kMicrosecond);
 
 // Open-loop load against the background worker: requests/sec plus p50/p99
 // total latency per priority band (system / interactive / batch), the
 // service-level numbers BENCH_perf.json tracks.
 void BM_ServeOpenLoop(benchmark::State& state) {
-  if (!select_backend(state)) return;
+  const auto sel = bench::select_axes(state);
+  if (!sel) return;
   const sim::GpuSpec spec = sim::GpuSpec::ga100();
   serve::ModelSnapshotHolder holder(shared_models_ptr());
-  serve::SweepService service(holder, spec);
+  serve::ServiceConfig config;
+  config.precision = sel->precision;
+  serve::SweepService service(holder, spec, config);
   service.start();
 
   serve::LoadSpec load;
-  load.rate_hz = static_cast<double>(state.range(1));
+  load.rate_hz = static_cast<double>(state.range(2));
   load.duration_s = 0.25;
   load.catalog_size = 27;
 
@@ -196,10 +205,11 @@ void BM_ServeOpenLoop(benchmark::State& state) {
     state.counters["p50_ms_" + band.band] = band.p50_latency_ms;
     state.counters["p99_ms_" + band.band] = band.p99_latency_ms;
   }
-  nn::kernels::set_kernel_backend(nn::kernels::Backend::kAuto);
+  bench::reset_backend();
 }
 BENCHMARK(BM_ServeOpenLoop)
-    ->ArgPair(1, 2000)->ArgPair(1, 8000)
+    ->Args({1, 0, 2000})->Args({1, 0, 8000})->Args({1, 1, 8000})
+    ->Args({2, 1, 8000})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

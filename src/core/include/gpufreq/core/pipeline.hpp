@@ -112,7 +112,16 @@ struct BatchSweepWorkspace {
 /// features with the clock feature swapped.
 class OnlinePredictor {
  public:
-  explicit OnlinePredictor(const PowerTimeModels& models);
+  /// `precision` selects the network inference path for every sweep this
+  /// predictor runs (default: the session default, GPUFREQ_PRECISION).
+  /// kInt8 needs the models packed at kInt8 (DnnModel::prepare_inference);
+  /// models without int8 packs silently run the fp32 kernels instead —
+  /// the predictor borrows the models const and never repacks them.
+  explicit OnlinePredictor(const PowerTimeModels& models,
+                           nn::Precision precision = nn::default_precision());
+
+  /// The inference precision this predictor was constructed with.
+  nn::Precision precision() const { return precision_; }
 
   /// Predicted DVFS profile for the workload on the given device. `runs`
   /// controls the max-frequency feature acquisition (paper: one execution).
@@ -157,6 +166,7 @@ class OnlinePredictor {
 
  private:
   const PowerTimeModels& models_;
+  nn::Precision precision_;
 };
 
 }  // namespace gpufreq::core

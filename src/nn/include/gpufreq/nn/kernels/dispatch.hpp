@@ -6,9 +6,10 @@ namespace gpufreq::nn::kernels {
 
 /// Which kernel implementation set the nn library computes with. The
 /// scalar backend is the portable reference (compiler-vectorized, no
-/// intrinsics); the AVX2 backend is hand-vectorized with AVX2+FMA
-/// intrinsics in a TU compiled with `-mavx2 -mfma` only, so the rest of
-/// the binary stays portable and the choice is made at runtime via CPUID.
+/// intrinsics); the AVX2 and AVX-512 backends are hand-vectorized in TUs
+/// compiled with `-mavx2 -mfma` / `-mavx512f -mavx512bw` only, so the
+/// rest of the binary stays portable and the choice is made at runtime
+/// via CPUID.
 ///
 /// Determinism contract: within one backend, every kernel's per-element
 /// accumulation order is fixed (ascending inner dimension) and the
@@ -21,17 +22,25 @@ enum class Backend {
   kAuto,    ///< pick the best supported backend (env override respected)
   kScalar,  ///< portable reference kernels
   kAvx2,    ///< AVX2+FMA kernels (requires CPU support)
+  kAvx512,  ///< AVX-512F+BW kernels (requires CPU support)
 };
 
 const char* to_string(Backend b);
 
-/// Parse "auto" | "scalar" | "avx2" (the accepted GPUFREQ_KERNEL_BACKEND
-/// values); throws InvalidArgument for anything else.
+/// Parse "auto" | "scalar" | "avx2" | "avx512" (the accepted
+/// GPUFREQ_KERNEL_BACKEND values); throws InvalidArgument for anything
+/// else. Both the parser and its error message are generated from the
+/// same backend registry that drives selection, so the accepted set can
+/// never go stale against the enum.
 Backend backend_from_string(const std::string& name);
 
 /// True when this binary contains the AVX2 kernels AND the executing CPU
 /// reports AVX2+FMA support.
 bool avx2_available();
+
+/// True when this binary contains the AVX-512 kernels AND the executing
+/// CPU reports AVX-512F+BW support.
+bool avx512_available();
 
 /// The backend actually computing (never kAuto). First use runs selection:
 /// GPUFREQ_KERNEL_BACKEND if set, else the best supported backend.

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "gpufreq/nn/activations.hpp"
 #include "gpufreq/nn/kernels/packing.hpp"
 #include "gpufreq/nn/matrix.hpp"
 #include "gpufreq/nn/optimizer.hpp"
+#include "gpufreq/nn/precision.hpp"
 #include "gpufreq/util/rng.hpp"
 
 namespace gpufreq::nn {
@@ -42,14 +46,31 @@ class DenseLayer {
   /// scratch.
   void forward_inference(const Matrix& x, Matrix& out) const;
 
-  /// Pack the weights for the fused inference kernel. Call after the
-  /// weights settle (end of training / deserialization / any external
-  /// mutation through weights()); gradient updates and re-initialization
-  /// invalidate the pack automatically.
-  void prepare_inference();
+  /// Int8 inference forward: quantize the batch rows into the caller's
+  /// scratch (`q` int16 carriers, `scales` per-row), then run the fused
+  /// int8 kernel over the quantized pack. Requires
+  /// inference_prepared(Precision::kInt8); inputs must be finite (int8
+  /// cannot carry NaN — the fp32 path owns NaN semantics).
+  void forward_inference_i8(const Matrix& x, Matrix& out,
+                            std::vector<std::int16_t>& q,
+                            std::vector<float>& scales) const;
 
-  /// True when the packed weights are current (fused path will be used).
-  bool inference_prepared() const { return !packed_.empty(); }
+  /// Pack the weights for the fused inference kernel. kInt8 builds the
+  /// quantized sibling pack IN ADDITION to the fp32 pack (fp32 stays
+  /// available as the fallback/reference). Call after the weights settle
+  /// (end of training / deserialization / any external mutation through
+  /// weights()); gradient updates and re-initialization invalidate both
+  /// packs automatically.
+  void prepare_inference(Precision precision = Precision::kFp32);
+
+  /// True when the packed weights for `precision` are current.
+  bool inference_prepared(Precision precision = Precision::kFp32) const {
+    return precision == Precision::kInt8 ? !packed_.empty() && !qpacked_.empty()
+                                         : !packed_.empty();
+  }
+
+  /// Quantized-pack row stride (k rounded up to even); 0 when not packed.
+  std::size_t quantized_kpad() const { return qpacked_.empty() ? 0 : qpacked_.kpad(); }
 
   /// Backward: `delta` is dL/dY (batch x out). Computes parameter
   /// gradients (averaged over the batch) and overwrites `dx` with dL/dX.
@@ -62,7 +83,8 @@ class DenseLayer {
   Matrix w_;               // in x out
   std::vector<float> b_;   // out
   Activation act_;
-  kernels::PackedWeights packed_;  // panel-packed w_, empty when stale
+  kernels::PackedWeights packed_;            // panel-packed w_, empty when stale
+  kernels::QuantizedPackedWeights qpacked_;  // int8 sibling, empty unless prepared
 
   Matrix grad_w_;
   std::vector<float> grad_b_;

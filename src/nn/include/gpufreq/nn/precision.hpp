@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+namespace gpufreq::nn {
+
+/// Arithmetic the inference chain computes with. Training is always fp32;
+/// precision only selects which packed-weight sibling prepare_inference
+/// builds and which fused kernel predict uses.
+///
+/// kInt8 is the opt-in reduced-precision path: weights are quantized
+/// symmetrically per 16-wide output panel at pack time, activations are
+/// quantized symmetrically per row at inference time, the GEMM accumulates
+/// in exact int32, and the epilogue dequantizes to fp32 before bias +
+/// activation. It trades a bounded accuracy delta (gated by
+/// tools/check_quantization and tests/test_int8_accuracy) for cheaper
+/// arithmetic and half the weight-streaming bandwidth. fp32 stays the
+/// default everywhere.
+enum class Precision {
+  kFp32,  ///< full-precision packed weights + fp32 GEMM (default)
+  kInt8,  ///< int8 weights/activations, int32 accumulate, fp32 epilogue
+};
+
+const char* to_string(Precision p);
+
+/// Parse "fp32" | "int8" (the accepted GPUFREQ_PRECISION values); throws
+/// InvalidArgument for anything else.
+Precision precision_from_string(const std::string& name);
+
+/// The process-wide default precision: GPUFREQ_PRECISION if set (read once
+/// on first use), else kFp32. Consumed as the default argument by the
+/// model/serve layers so a deployment (or a CI lane) can flip the whole
+/// stack without touching call sites.
+Precision default_precision();
+
+/// Override the process-wide default (wins over the env from then on).
+/// Like set_num_threads, not safe to call concurrently with in-flight
+/// compute.
+void set_default_precision(Precision p);
+
+}  // namespace gpufreq::nn

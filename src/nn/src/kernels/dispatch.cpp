@@ -1,6 +1,7 @@
 #include "gpufreq/nn/kernels/dispatch.hpp"
 
 #include <atomic>
+#include <cstddef>
 #include <cstdlib>
 
 #include "gpufreq/nn/kernels/kernel_table.hpp"
@@ -23,49 +24,112 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
+bool cpu_has_avx512f_bw() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* scalar_table_ptr() { return &detail::scalar_table(); }
+bool scalar_always() { return true; }
+bool avx2_ok() { return avx2_available(); }
+bool avx512_ok() { return avx512_available(); }
+
+// The single source of truth for every concrete backend: name strings,
+// parsing, the accepted-set error message, availability gating, table
+// lookup, and auto-selection preference are all derived from this list.
+// Adding a backend means adding one row (best first).
+struct BackendEntry {
+  Backend backend;
+  const char* name;
+  bool (*available)();
+  const KernelTable* (*table)();
+};
+
+constexpr std::size_t kBackendCount = 3;
+
+const BackendEntry* registry() {
+  // Ordered best-first for kAuto selection; the scalar reference is always
+  // available and terminates the search.
+  static const BackendEntry entries[kBackendCount] = {
+      {Backend::kAvx512, "avx512", &avx512_ok, &detail::avx512_table},
+      {Backend::kAvx2, "avx2", &avx2_ok, &detail::avx2_table},
+      {Backend::kScalar, "scalar", &scalar_always, &scalar_table_ptr},
+  };
+  return entries;
+}
+
+// "auto|scalar|avx2|avx512": generated from the registry so the message in
+// backend_from_string can never drift from the accepted set.
+const std::string& accepted_set() {
+  static const std::string joined = [] {
+    std::string s = "auto";
+    const BackendEntry* entries = registry();
+    // Present in enum order (scalar before the SIMD tiers), i.e. reversed
+    // relative to the best-first selection order.
+    for (std::size_t i = kBackendCount; i > 0; --i) {
+      s += '|';
+      s += entries[i - 1].name;
+    }
+    return s;
+  }();
+  return joined;
+}
+
+const BackendEntry* find_entry(Backend b) {
+  const BackendEntry* entries = registry();
+  for (std::size_t i = 0; i < kBackendCount; ++i) {
+    if (entries[i].backend == b) return &entries[i];
+  }
+  return nullptr;
+}
+
 const KernelTable* table_for(Backend b) {
-  switch (b) {
-    case Backend::kScalar:
-      return &detail::scalar_table();
-    case Backend::kAvx2:
-      GPUFREQ_REQUIRE(avx2_available(),
-                      "kernel backend 'avx2' requested but unavailable "
-                      "(CPU or build lacks AVX2+FMA)");
-      return detail::avx2_table();
-    case Backend::kAuto:
-      break;
+  if (b != Backend::kAuto) {
+    const BackendEntry* e = find_entry(b);
+    GPUFREQ_REQUIRE(e != nullptr, "table_for: unknown backend enumerator");
+    GPUFREQ_REQUIRE(e->available(), std::string("kernel backend '") + e->name +
+                                        "' requested but unavailable (CPU or "
+                                        "build lacks the required ISA)");
+    return e->table();
   }
   // Auto: honor GPUFREQ_KERNEL_BACKEND, else pick the best supported.
   if (const char* env = std::getenv("GPUFREQ_KERNEL_BACKEND")) {
     const Backend forced = backend_from_string(env);
     if (forced != Backend::kAuto) return table_for(forced);
   }
-  return avx2_available() ? detail::avx2_table() : &detail::scalar_table();
+  const BackendEntry* entries = registry();
+  for (std::size_t i = 0; i < kBackendCount; ++i) {
+    if (entries[i].available()) return entries[i].table();
+  }
+  return &detail::scalar_table();  // unreachable: scalar is always available
 }
 
 }  // namespace
 
 const char* to_string(Backend b) {
-  switch (b) {
-    case Backend::kAuto:
-      return "auto";
-    case Backend::kScalar:
-      return "scalar";
-    case Backend::kAvx2:
-      return "avx2";
-  }
-  return "?";
+  if (b == Backend::kAuto) return "auto";
+  const BackendEntry* e = find_entry(b);
+  return e != nullptr ? e->name : "?";
 }
 
 Backend backend_from_string(const std::string& name) {
   if (name == "auto") return Backend::kAuto;
-  if (name == "scalar") return Backend::kScalar;
-  if (name == "avx2") return Backend::kAvx2;
-  throw InvalidArgument("unknown kernel backend '" + name +
-                        "' (expected auto|scalar|avx2)");
+  const BackendEntry* entries = registry();
+  for (std::size_t i = 0; i < kBackendCount; ++i) {
+    if (name == entries[i].name) return entries[i].backend;
+  }
+  throw InvalidArgument("unknown kernel backend '" + name + "' (expected " +
+                        accepted_set() + ")");
 }
 
 bool avx2_available() { return detail::avx2_table() != nullptr && cpu_has_avx2_fma(); }
+
+bool avx512_available() {
+  return detail::avx512_table() != nullptr && cpu_has_avx512f_bw();
+}
 
 const KernelTable& active() {
   const KernelTable* t = g_active.load(std::memory_order_acquire);
@@ -83,7 +147,14 @@ const KernelTable& active() {
 }
 
 Backend active_backend() {
-  return &active() == detail::avx2_table() ? Backend::kAvx2 : Backend::kScalar;
+  const KernelTable* t = &active();
+  const BackendEntry* entries = registry();
+  for (std::size_t i = 0; i < kBackendCount; ++i) {
+    if (entries[i].backend != Backend::kScalar && entries[i].table() == t) {
+      return entries[i].backend;
+    }
+  }
+  return Backend::kScalar;
 }
 
 void set_kernel_backend(Backend b) {

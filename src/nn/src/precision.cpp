@@ -1,0 +1,56 @@
+#include "gpufreq/nn/precision.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "gpufreq/util/error.hpp"
+
+namespace gpufreq::nn {
+
+namespace {
+
+// 0 = unset, else 1 + static_cast<int>(Precision). Same publication shape
+// as the kernel dispatch table: first use runs env selection under a magic
+// static, set_default_precision overrides with a release store.
+std::atomic<int> g_default{0};
+
+}  // namespace
+
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+Precision precision_from_string(const std::string& name) {
+  if (name == "fp32") return Precision::kFp32;
+  if (name == "int8") return Precision::kInt8;
+  throw InvalidArgument("unknown precision '" + name + "' (expected fp32|int8)");
+}
+
+Precision default_precision() {
+  int v = g_default.load(std::memory_order_acquire);
+  if (v == 0) {
+    static const int selected = [] {
+      Precision p = Precision::kFp32;
+      if (const char* env = std::getenv("GPUFREQ_PRECISION")) {
+        p = precision_from_string(env);
+      }
+      const int enc = 1 + static_cast<int>(p);
+      g_default.store(enc, std::memory_order_release);
+      return enc;
+    }();
+    v = selected;
+  }
+  return static_cast<Precision>(v - 1);
+}
+
+void set_default_precision(Precision p) {
+  g_default.store(1 + static_cast<int>(p), std::memory_order_release);
+}
+
+}  // namespace gpufreq::nn

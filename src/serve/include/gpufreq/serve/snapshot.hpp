@@ -55,10 +55,12 @@ class ModelSnapshotHolder {
 /// rebuild), so a model swap never perturbs a zero-allocation drain loop.
 class SnapshotCache {
  public:
-  /// Predictor over the holder's current snapshot. Steady state (epoch
-  /// unchanged): a single atomic load, wait-free. The reference is valid
-  /// until the next predictor() call on this cache.
-  const core::OnlinePredictor& predictor(const ModelSnapshotHolder& holder);
+  /// Predictor over the holder's current snapshot, running at `precision`.
+  /// Steady state (epoch AND precision unchanged): a single atomic load,
+  /// wait-free; a change in either rebuilds the predictor. The reference
+  /// is valid until the next predictor() call on this cache.
+  const core::OnlinePredictor& predictor(const ModelSnapshotHolder& holder,
+                                         nn::Precision precision = nn::Precision::kFp32);
 
   /// The models backing the last predictor() result (requires one).
   const core::PowerTimeModels& models() const;
@@ -70,6 +72,7 @@ class SnapshotCache {
   std::shared_ptr<const core::PowerTimeModels> pinned_;
   std::optional<core::OnlinePredictor> predictor_;
   std::uint64_t epoch_ = ~std::uint64_t{0};
+  nn::Precision precision_ = nn::Precision::kFp32;
 };
 
 }  // namespace gpufreq::serve

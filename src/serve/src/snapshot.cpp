@@ -36,9 +36,10 @@ std::shared_ptr<const core::PowerTimeModels> ModelSnapshotHolder::snapshot() con
   return current_;
 }
 
-const core::OnlinePredictor& SnapshotCache::predictor(const ModelSnapshotHolder& holder) {
+const core::OnlinePredictor& SnapshotCache::predictor(const ModelSnapshotHolder& holder,
+                                                      nn::Precision precision) {
   const std::uint64_t current = holder.epoch();
-  if (current != epoch_ || !predictor_.has_value()) {
+  if (current != epoch_ || precision != precision_ || !predictor_.has_value()) {
     {
       MutexLock lock(holder.mutex_);
       pinned_ = holder.current_;
@@ -47,7 +48,8 @@ const core::OnlinePredictor& SnapshotCache::predictor(const ModelSnapshotHolder&
       // if another publish raced the unlocked probe above.
       epoch_ = holder.epoch_.load(std::memory_order_acquire);
     }
-    predictor_.emplace(*pinned_);
+    predictor_.emplace(*pinned_, precision);
+    precision_ = precision;
   }
   return *predictor_;
 }

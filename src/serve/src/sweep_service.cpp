@@ -112,7 +112,7 @@ std::size_t SweepService::drain_locked() {
   const auto picked_up = std::chrono::steady_clock::now();
 
   // Epoch-cached snapshot: one atomic load unless a publish() happened.
-  const core::OnlinePredictor& predictor = snapshot_.predictor(models_);
+  const core::OnlinePredictor& predictor = snapshot_.predictor(models_, config_.precision);
 
   // Coalesce bit-identical requests into shared items. O(B * U) exact
   // compares; B <= max_batch keeps this far below the GEMM cost, and the

@@ -68,6 +68,16 @@ def main() -> int:
     check("every rule fires on the fixtures", not missing,
           f"rules that never fired: {sorted(missing)}\n{r.stdout}")
 
+    # The AVX-512 sub-rule must fire on the fixture's __mmask16 / _mm512
+    # lines with its own boundary message (kernels' include/ headers are
+    # NOT a sanctioned home for 512-bit intrinsics).
+    avx512_hits = [line for line in r.stdout.splitlines()
+                   if "only legal under src/nn/src/kernels/" in line]
+    check("avx512 sub-rule fires with the tighter boundary message",
+          any("__mmask16" in line for line in avx512_hits)
+          and any("_mm512_" in line for line in avx512_hits),
+          r.stdout)
+
     # Findings must carry file:line anchors.
     anchored = all(re.match(r"^\S+:\d+: \[", line)
                    for line in r.stdout.splitlines() if "[" in line)

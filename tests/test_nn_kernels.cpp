@@ -5,7 +5,9 @@
 // sanitizer lanes' GPUFREQ_DCHECK_FINITE layer checks stay out of the way.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <vector>
 
@@ -74,14 +76,35 @@ std::vector<float> fused(const KernelTable& kt, const Matrix& x, const Matrix& w
   return y;
 }
 
+// int8 reference path through one table: quantize rows, run the fused
+// int8 kernel. The x carrier is padded to kpad columns like the real
+// inference workspace.
+std::vector<float> fused_i8(const KernelTable& kt, const Matrix& x, const Matrix& w,
+                            const std::vector<float>& bias, Activation act) {
+  QuantizedPackedWeights packed;
+  packed.pack(w);
+  const std::size_t rows = x.rows();
+  std::vector<std::int16_t> q(rows * packed.kpad());
+  std::vector<float> scales(rows);
+  kt.quantize_rows_i8(x.flat().data(), w.rows(), q.data(), packed.kpad(), scales.data(),
+                      0, rows);
+  std::vector<float> y(rows * w.cols());
+  kt.dense_bias_act_i8(q.data(), scales.data(), packed, bias.data(), act, y.data(), 0,
+                       rows);
+  return y;
+}
+
 struct Shape {
   std::size_t rows, k, n;
 };
 
 // Tile boundaries, single-row/column edges, padding tails, the paper's
-// sweep shape (61 x 3 -> 64), and square power-of-two.
+// sweep shape (61 x 3 -> 64), square power-of-two, and the 32-wide panel
+// -pair edges of the AVX-512 tile: K=1 with n>32, n straddling one panel
+// pair plus a masked tail, and n just under the pair width.
 const Shape kShapes[] = {{1, 1, 1},  {1, 17, 1}, {5, 3, 16},   {6, 16, 16}, {7, 19, 33},
-                         {61, 3, 64}, {64, 64, 64}, {13, 1, 7}, {1, 64, 1}};
+                         {61, 3, 64}, {64, 64, 64}, {13, 1, 7}, {1, 64, 1},
+                         {3, 1, 33},  {9, 7, 49},  {8, 2, 96},  {2, 5, 31}};
 
 const Activation kAllActivations[] = {
     Activation::kLinear, Activation::kRelu,    Activation::kElu,
@@ -92,11 +115,22 @@ TEST(KernelDispatch, BackendStringRoundTrip) {
   EXPECT_EQ(backend_from_string("auto"), Backend::kAuto);
   EXPECT_EQ(backend_from_string("scalar"), Backend::kScalar);
   EXPECT_EQ(backend_from_string("avx2"), Backend::kAvx2);
+  EXPECT_EQ(backend_from_string("avx512"), Backend::kAvx512);
   EXPECT_STREQ(to_string(Backend::kScalar), "scalar");
   EXPECT_STREQ(to_string(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(to_string(Backend::kAvx512), "avx512");
   EXPECT_THROW(backend_from_string("sse42"), InvalidArgument);
   EXPECT_THROW(backend_from_string(""), InvalidArgument);
   EXPECT_THROW(backend_from_string("AVX2 "), InvalidArgument);
+  // The accepted set in the error message is generated from the backend
+  // registry — it must name every backend the parser accepts.
+  try {
+    backend_from_string("sse42");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("auto|scalar|avx2|avx512"), std::string::npos) << msg;
+  }
 }
 
 TEST(KernelDispatch, ForcedScalarIsHonored) {
@@ -115,7 +149,10 @@ TEST(KernelDispatch, AutoSelectionNeverReturnsAuto) {
       env != nullptr && backend_from_string(env) != Backend::kAuto) {
     EXPECT_EQ(b, backend_from_string(env));
   } else {
-    EXPECT_EQ(b, avx2_available() ? Backend::kAvx2 : Backend::kScalar);
+    const Backend best = avx512_available() ? Backend::kAvx512
+                         : avx2_available() ? Backend::kAvx2
+                                            : Backend::kScalar;
+    EXPECT_EQ(b, best);
   }
 }
 
@@ -127,6 +164,19 @@ TEST(KernelDispatch, Avx2RequestMatchesAvailability) {
     EXPECT_NE(detail::avx2_table(), nullptr);
   } else {
     EXPECT_THROW(set_kernel_backend(Backend::kAvx2), InvalidArgument);
+  }
+}
+
+TEST(KernelDispatch, Avx512RequestMatchesAvailability) {
+  if (avx512_available()) {
+    ScopedBackend guard(Backend::kAvx512);
+    EXPECT_EQ(active_backend(), Backend::kAvx512);
+    EXPECT_STREQ(active().name, "avx512");
+    EXPECT_NE(detail::avx512_table(), nullptr);
+  } else {
+    // Requesting an unavailable backend must throw, never fall back
+    // silently — deployments that pin avx512 should fail loudly.
+    EXPECT_THROW(set_kernel_backend(Backend::kAvx512), InvalidArgument);
   }
 }
 
@@ -166,10 +216,10 @@ TEST(KernelPacking, MultiPanelAndRepack) {
   EXPECT_TRUE(packed.empty());
 }
 
-TEST(KernelParity, ScalarVsAvx2AllPrimitives) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2+FMA on this machine";
+// Scalar-vs-SIMD parity over every primitive and shape; shared by the
+// avx2 and avx512 suites.
+void check_simd_parity(const KernelTable& av) {
   const KernelTable& sc = detail::scalar_table();
-  const KernelTable& av = *detail::avx2_table();
   for (const Shape& s : kShapes) {
     SCOPED_TRACE(::testing::Message() << "rows=" << s.rows << " k=" << s.k << " n=" << s.n);
     const Matrix x = random_matrix(s.rows, s.k, 17 + s.rows);
@@ -205,12 +255,34 @@ TEST(KernelParity, ScalarVsAvx2AllPrimitives) {
       expect_close(as, aa);
       expect_close(fused(sc, x, w, bias, act), fused(av, x, w, bias, act));
     }
+
+    // int8: the integer accumulator is exact and order-free, so backends
+    // may differ only in the fp32 dequant epilogue — regular tolerance.
+    for (Activation act : {Activation::kRelu, Activation::kLinear, Activation::kSelu}) {
+      expect_close(fused_i8(sc, x, w, bias, act), fused_i8(av, x, w, bias, act));
+    }
   }
 }
 
-TEST(KernelParity, FusedMatchesUnfusedPerBackend) {
+TEST(KernelParity, ScalarVsAvx2AllPrimitives) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  check_simd_parity(*detail::avx2_table());
+}
+
+TEST(KernelParity, ScalarVsAvx512AllPrimitives) {
+  if (!avx512_available()) GTEST_SKIP() << "no AVX-512F+BW on this machine";
+  check_simd_parity(*detail::avx512_table());
+}
+
+std::vector<const KernelTable*> all_available_tables() {
   std::vector<const KernelTable*> tables = {&detail::scalar_table()};
   if (avx2_available()) tables.push_back(detail::avx2_table());
+  if (avx512_available()) tables.push_back(detail::avx512_table());
+  return tables;
+}
+
+TEST(KernelParity, FusedMatchesUnfusedPerBackend) {
+  const std::vector<const KernelTable*> tables = all_available_tables();
   for (const KernelTable* kt : tables) {
     SCOPED_TRACE(kt->name);
     for (const Shape& s : kShapes) {
@@ -226,8 +298,7 @@ TEST(KernelParity, FusedMatchesUnfusedPerBackend) {
 }
 
 TEST(KernelNan, FusedEpiloguePropagatesNan) {
-  std::vector<const KernelTable*> tables = {&detail::scalar_table()};
-  if (avx2_available()) tables.push_back(detail::avx2_table());
+  const std::vector<const KernelTable*> tables = all_available_tables();
   for (const KernelTable* kt : tables) {
     SCOPED_TRACE(kt->name);
     Matrix x = random_matrix(4, 8, 13);
@@ -258,6 +329,7 @@ TEST(KernelNan, FusedEpiloguePropagatesNan) {
 TEST(KernelDeterminism, SerialEqualsParallelBitwisePerBackend) {
   std::vector<Backend> backends = {Backend::kScalar};
   if (avx2_available()) backends.push_back(Backend::kAvx2);
+  if (avx512_available()) backends.push_back(Backend::kAvx512);
   Network net(3, Network::paper_architecture(), /*seed=*/321);
   net.prepare_inference();
   Rng rng(9);
@@ -284,6 +356,152 @@ TEST(KernelDeterminism, EmptyBatchIsRejected) {
   EXPECT_THROW(net.predict(Matrix()), InvalidArgument);
   InferenceWorkspace ws;
   EXPECT_THROW(net.predict_into(Matrix(), ws), InvalidArgument);
+}
+
+TEST(KernelQuantizedPacking, PanelScalesLayoutAndPadding) {
+  // 3x5 weights, one panel: per-column scale = column maxabs/127 stored
+  // panel-major (0 past cols), k padded to 4 rows, k-pair interleaved
+  // within the panel.
+  Matrix w(3, 5);
+  float v = -7.0f;
+  for (float& e : w.flat()) e = (v += 1.0f);  // values in [-6, 8]
+  QuantizedPackedWeights packed;
+  packed.pack(w);
+  EXPECT_FALSE(packed.empty());
+  EXPECT_EQ(packed.rows(), 3u);
+  EXPECT_EQ(packed.kpad(), 4u);
+  EXPECT_EQ(packed.cols(), 5u);
+  ASSERT_EQ(packed.panel_count(), 1u);
+  const float* scales = packed.scales(0);
+  float amax[5] = {};
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t r = 0; r < 3; ++r) amax[j] = std::max(amax[j], std::fabs(w(r, j)));
+    EXPECT_FLOAT_EQ(scales[j], amax[j] / 127.0f) << "col " << j;
+  }
+  for (std::size_t j = 5; j < kPanelWidth; ++j) EXPECT_EQ(scales[j], 0.0f) << "pad col " << j;
+  const std::int8_t* p0 = packed.panel(0);
+  for (std::size_t kp = 0; kp < 2; ++kp) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      const std::size_t row = 2 * kp + r;
+      for (std::size_t j = 0; j < kPanelWidth; ++j) {
+        const std::int8_t got = p0[kp * 2 * kPanelWidth + j * 2 + r];
+        if (row < 3 && j < 5) {
+          const int want = static_cast<int>(std::nearbyintf(w(row, j) * (127.0f / amax[j])));
+          EXPECT_EQ(static_cast<int>(got), std::clamp(want, -127, 127))
+              << "row " << row << " col " << j;
+        } else {
+          EXPECT_EQ(got, 0) << "pad row " << row << " col " << j;
+        }
+      }
+    }
+  }
+  packed.clear();
+  EXPECT_TRUE(packed.empty());
+}
+
+TEST(KernelQuantizedPacking, RejectsOverflowingK) {
+  // k > 1024 would overflow the exact int32 accumulator; pack refuses.
+  Matrix w(1025, 1);
+  for (float& e : w.flat()) e = 1.0f;
+  QuantizedPackedWeights packed;
+  EXPECT_THROW(packed.pack(w), InvalidArgument);
+}
+
+TEST(KernelQuantizedPacking, AllZeroPanelHasZeroScale) {
+  Matrix w(2, 20);
+  for (float& e : w.flat()) e = 0.0f;
+  w(0, 2) = 3.0f;  // column 2 non-zero, everything else all zero
+  QuantizedPackedWeights packed;
+  packed.pack(w);
+  ASSERT_EQ(packed.panel_count(), 2u);
+  EXPECT_GT(packed.scales(0)[2], 0.0f);
+  for (std::size_t j = 0; j < kPanelWidth; ++j) {
+    if (j != 2) {
+      EXPECT_EQ(packed.scales(0)[j], 0.0f) << "col " << j;
+    }
+    EXPECT_EQ(packed.scales(1)[j], 0.0f) << "panel 1 col " << j;
+  }
+  // Dequantizing the zero panel yields exact zeros, never NaN.
+  const KernelTable& sc = detail::scalar_table();
+  const Matrix x = random_matrix(3, 2, 7);
+  const std::vector<float> bias(20, 0.0f);
+  const std::vector<float> y = fused_i8(sc, x, w, bias, Activation::kLinear);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 16; j < 20; ++j) EXPECT_EQ(y[i * 20 + j], 0.0f);
+  }
+}
+
+TEST(KernelInt8, TracksFp32WithinQuantizationError) {
+  // The int8 path approximates fp32: per-row symmetric activation scales
+  // and per-panel weight scales bound the element error by about
+  // (|x|_max |w|_max k) / 127 — loose here, tight statistically. The
+  // model-level accuracy gate (test_int8_accuracy) owns the real bound;
+  // this guards against gross indexing/scale bugs per backend.
+  for (const KernelTable* kt : all_available_tables()) {
+    SCOPED_TRACE(kt->name);
+    for (const Shape& s : kShapes) {
+      SCOPED_TRACE(::testing::Message() << "rows=" << s.rows << " k=" << s.k << " n=" << s.n);
+      const Matrix x = random_matrix(s.rows, s.k, 43 + s.rows);
+      const Matrix w = random_matrix(s.k, s.n, 47 + s.n);
+      const std::vector<float> bias = random_vec(s.n, 53 + s.k);
+      const std::vector<float> y32 = fused(*kt, x, w, bias, Activation::kRelu);
+      const std::vector<float> y8 = fused_i8(*kt, x, w, bias, Activation::kRelu);
+      ASSERT_EQ(y32.size(), y8.size());
+      const double tol = 0.15 * std::sqrt(static_cast<double>(s.k));
+      for (std::size_t i = 0; i < y32.size(); ++i) {
+        EXPECT_NEAR(y32[i], y8[i], tol) << "at index " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelInt8, QuantizePackPredictTwiceIsBitwiseStable) {
+  // quantize -> pack -> predict run twice must be bitwise identical per
+  // backend: no hidden state, no order dependence, re-packing included.
+  for (const KernelTable* kt : all_available_tables()) {
+    SCOPED_TRACE(kt->name);
+    const Matrix x = random_matrix(9, 19, 61);
+    const Matrix w = random_matrix(19, 33, 67);
+    const std::vector<float> bias = random_vec(33, 71);
+    for (Activation act : kAllActivations) {
+      const std::vector<float> y1 = fused_i8(*kt, x, w, bias, act);
+      const std::vector<float> y2 = fused_i8(*kt, x, w, bias, act);
+      ASSERT_EQ(y1.size(), y2.size());
+      for (std::size_t i = 0; i < y1.size(); ++i) {
+        EXPECT_EQ(y1[i], y2[i]) << "at index " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelInt8, SerialEqualsParallelBandSplit) {
+  // Band partitioning must not change int8 results: computing [0, rows)
+  // in one band vs row-by-row bands is bitwise identical (row-local math).
+  for (const KernelTable* kt : all_available_tables()) {
+    SCOPED_TRACE(kt->name);
+    const Matrix x = random_matrix(13, 24, 73);
+    const Matrix w = random_matrix(24, 40, 79);
+    const std::vector<float> bias = random_vec(40, 83);
+    QuantizedPackedWeights packed;
+    packed.pack(w);
+    const std::size_t rows = x.rows();
+    std::vector<std::int16_t> q(rows * packed.kpad());
+    std::vector<float> scales(rows);
+    std::vector<float> y_one(rows * w.cols()), y_split(rows * w.cols());
+    kt->quantize_rows_i8(x.flat().data(), w.rows(), q.data(), packed.kpad(),
+                         scales.data(), 0, rows);
+    kt->dense_bias_act_i8(q.data(), scales.data(), packed, bias.data(),
+                          Activation::kSelu, y_one.data(), 0, rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      kt->quantize_rows_i8(x.flat().data(), w.rows(), q.data(), packed.kpad(),
+                           scales.data(), i, i + 1);
+      kt->dense_bias_act_i8(q.data(), scales.data(), packed, bias.data(),
+                            Activation::kSelu, y_split.data(), i, i + 1);
+    }
+    for (std::size_t i = 0; i < y_one.size(); ++i) {
+      EXPECT_EQ(y_one[i], y_split[i]) << "at index " << i;
+    }
+  }
 }
 
 }  // namespace

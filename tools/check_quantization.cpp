@@ -1,0 +1,161 @@
+// Quantization accuracy gate, runnable from the command line (CI lane
+// and local checks). Trains the paper-shape power/time models on a
+// reduced campaign, packs them for int8, sweeps every registry workload
+// across the full used-frequency grid at both precisions, and fails
+// (exit 1) when the int8 curves drift past the thresholds:
+//
+//   --max-mape-delta <pct>     per-row |int8-fp32|/fp32 MAPE cap for both
+//                              the power and time models (default 2.0)
+//   --min-edp-agreement <frac> minimum fraction of workloads whose
+//                              EDP-optimal selection is EDP-equivalent to
+//                              fp32's (default 0.95)
+//   --max-edp-regret <pct>     how close (in fp32-EDP) a differing argmin
+//                              must be to count as EDP-equivalent
+//                              (default 0.5)
+//   --fast                     cheaper training campaign (CI uses this)
+//
+// Mirrors tests/test_int8_accuracy.cpp; the strict argmin-identity rate
+// is always printed so drift is visible even while the gate passes.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/util/stats.hpp"
+#include "gpufreq/workloads/registry.hpp"
+
+using namespace gpufreq;
+
+namespace {
+
+struct Options {
+  double max_mape_delta_pct = 2.0;
+  double min_edp_agreement = 0.95;
+  double max_edp_regret_pct = 0.5;
+  bool fast = false;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--max-mape-delta PCT] [--min-edp-agreement FRAC] "
+               "[--max-edp-regret PCT] [--fast]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> double {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--max-mape-delta") {
+      opt.max_mape_delta_pct = value();
+    } else if (arg == "--min-edp-agreement") {
+      opt.min_edp_agreement = value();
+    } else if (arg == "--max-edp-regret") {
+      opt.max_edp_regret_pct = value();
+    } else if (arg == "--fast") {
+      opt.fast = true;
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  return opt;
+}
+
+std::vector<double> coarse_grid(const sim::GpuSpec& spec, double step = 90.0) {
+  std::vector<double> freqs;
+  for (double f = spec.used_min_mhz; f <= spec.core_max_mhz + 1e-9; f += step) {
+    freqs.push_back(spec.nearest_frequency(f));
+  }
+  if (freqs.back() != spec.core_max_mhz) freqs.push_back(spec.core_max_mhz);
+  return freqs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  sim::GpuDevice gpu(sim::GpuSpec::ga100());
+  core::OfflineConfig cfg;
+  cfg.collection.frequencies_mhz = coarse_grid(gpu.spec());
+  if (opt.fast) {
+    cfg.collection.runs = 2;
+    cfg.collection.samples_per_run = 3;
+    cfg.power_model.epochs = 60;
+    cfg.time_model.epochs = 25;
+  }
+  core::PowerTimeModels models = core::OfflineTrainer(cfg).train(gpu, workloads::training_set());
+  models.power.prepare_inference(nn::Precision::kInt8);
+  models.time.prepare_inference(nn::Precision::kInt8);
+
+  const core::OnlinePredictor fp32(models, nn::Precision::kFp32);
+  const core::OnlinePredictor int8(models, nn::Precision::kInt8);
+  const std::vector<double> grid = gpu.spec().used_frequencies();
+
+  double power_err = 0.0, time_err = 0.0;
+  std::size_t rows = 0, n_workloads = 0, strict = 0, agree = 0;
+  double worst_regret_pct = 0.0;
+  core::SweepWorkspace a, b;
+  sim::RunOptions ro;
+  ro.collect_samples = false;
+  for (const auto& wl : workloads::all()) {
+    const sim::RunResult acq = gpu.run(wl, ro);
+    fp32.predict_sweep(acq.mean_counters, acq.exec_time_s, gpu.spec(), grid, a);
+    int8.predict_sweep(acq.mean_counters, acq.exec_time_s, gpu.spec(), grid, b);
+    std::vector<double> edp_a(grid.size()), edp_b(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      power_err += std::abs(b.power_w[i] - a.power_w[i]) / a.power_w[i];
+      time_err += std::abs(b.time_s[i] - a.time_s[i]) / a.time_s[i];
+      edp_a[i] = a.energy_j[i] * a.time_s[i];
+      edp_b[i] = b.energy_j[i] * b.time_s[i];
+      ++rows;
+    }
+    ++n_workloads;
+    const std::size_t pick_a = stats::argmin(edp_a);
+    const std::size_t pick_b = stats::argmin(edp_b);
+    const double regret_pct = 100.0 * (edp_a[pick_b] - edp_a[pick_a]) / edp_a[pick_a];
+    worst_regret_pct = std::max(worst_regret_pct, regret_pct);
+    if (pick_a == pick_b) ++strict;
+    if (pick_a == pick_b || regret_pct <= opt.max_edp_regret_pct) {
+      ++agree;
+    } else {
+      std::printf("DISAGREE %-12s fp32 bin %zu vs int8 bin %zu (fp32-EDP regret %.4f%%)\n",
+                  wl.name.c_str(), pick_a, pick_b, regret_pct);
+    }
+  }
+
+  const double power_mape = 100.0 * power_err / static_cast<double>(rows);
+  const double time_mape = 100.0 * time_err / static_cast<double>(rows);
+  const double agreement = static_cast<double>(agree) / static_cast<double>(n_workloads);
+  std::printf("grid: %zu workloads x %zu configs (%zu rows)\n", n_workloads, grid.size(), rows);
+  std::printf("power MAPE %.4f%% | time MAPE %.4f%% (cap %.2f%%)\n", power_mape, time_mape,
+              opt.max_mape_delta_pct);
+  std::printf("EDP-equivalent selections %zu/%zu (%.1f%%, floor %.1f%%) | strict argmin %zu/%zu "
+              "| worst fp32-EDP regret %.4f%% (cap %.2f%%)\n",
+              agree, n_workloads, 100.0 * agreement, 100.0 * opt.min_edp_agreement, strict,
+              n_workloads, worst_regret_pct, opt.max_edp_regret_pct);
+
+  bool ok = true;
+  if (power_mape >= opt.max_mape_delta_pct) {
+    std::printf("FAIL: power MAPE %.4f%% exceeds cap %.2f%%\n", power_mape, opt.max_mape_delta_pct);
+    ok = false;
+  }
+  if (time_mape >= opt.max_mape_delta_pct) {
+    std::printf("FAIL: time MAPE %.4f%% exceeds cap %.2f%%\n", time_mape, opt.max_mape_delta_pct);
+    ok = false;
+  }
+  if (agreement < opt.min_edp_agreement) {
+    std::printf("FAIL: EDP agreement %.3f below floor %.3f\n", agreement, opt.min_edp_agreement);
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "quantization gate PASSED" : "quantization gate FAILED");
+  return ok ? 0 : 1;
+}

@@ -15,4 +15,14 @@ inline float horizontal_add(const float* p) {
   return out[0] + out[1] + out[2] + out[3] + out[4] + out[5] + out[6] + out[7];
 }
 
+// [simd-intrinsics] AVX-512 surface: these three lines must each trip the
+// tighter avx512 sub-rule (legal only under src/nn/src/kernels/, nowhere
+// else — not even the kernels' include/ headers).
+inline int mask_popcount(__mmask16 m) { return static_cast<int>(m); }
+
+inline void zmm_copy(const float* in, float* out) {
+  __m512 v = _mm512_loadu_ps(in);
+  _mm512_storeu_ps(out, v);
+}
+
 }  // namespace fixture

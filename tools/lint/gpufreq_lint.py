@@ -30,6 +30,12 @@ offending line or the line directly above it):
                      kernels/). Everything else must go through the
                      runtime-dispatched kernel table so the binary stays
                      portable and the backend choice stays explicit.
+                     AVX-512 patterns (_mm512_*, __m512*, __mmask*) are
+                     held to a tighter boundary: legal ONLY under
+                     src/nn/src/kernels/ — the kernels' public headers are
+                     included by TUs compiled without -mavx512*, so any
+                     512-bit intrinsic there would break the single-TU
+                     isolation that keeps the rest of the binary portable.
 
 Usage:
   tools/lint/gpufreq_lint.py                  # lint the default tree
@@ -72,6 +78,11 @@ RULES = {
 # Directories where the simd-intrinsics rule does NOT apply: the runtime-
 # dispatched kernel backends are the one sanctioned home for intrinsics.
 SIMD_ALLOWED_PREFIXES = ("src/nn/src/kernels/", "src/nn/include/gpufreq/nn/kernels/")
+# AVX-512 intrinsics are tighter still: only the backend TU directory.
+# The kernels' include/ headers are compiled into every TU, none of which
+# pass -mavx512*, so 512-bit intrinsics there would not even compile
+# portably — the lint catches it before the least-capable builder does.
+SIMD512_ALLOWED_PREFIXES = ("src/nn/src/kernels/",)
 
 # Files exempt from specific rules (repo-relative, forward slashes).
 RULE_EXEMPT_FILES = {
@@ -113,6 +124,13 @@ DELETED_FN_RE = re.compile(r"=\s*delete\b")
 SIMD_INCLUDE_RE = re.compile(r'#\s*include\s*[<"]\w*intrin\.h[>"]')
 SIMD_CALL_RE = re.compile(r"(?<!\w)_mm\d*_\w+\s*\(")
 SIMD_TYPE_RE = re.compile(r"(?<!\w)__m(?:64|128|256|512)[di]?\b")
+# AVX-512-specific surface: 512-bit intrinsic calls, zmm vector types, and
+# the opmask register types.
+SIMD512_PATTERNS = (
+    re.compile(r"(?<!\w)_mm512_\w+\s*\("),
+    re.compile(r"(?<!\w)__m512[di]?\b"),
+    re.compile(r"(?<!\w)__mmask(?:8|16|32|64)\b"),
+)
 
 AUTO_ACCUM_RE = re.compile(
     r"\b(?:const\s+)?auto\s+(\w+)\s*=\s*(?:[0-9]+\.[0-9]*|\.[0-9]+)f?\s*[;{]")
@@ -238,14 +256,28 @@ def lint_file(path: str, as_library: bool = False) -> list[Finding]:
         if DELETE_RE.search(line) and not DELETED_FN_RE.search(line):
             report(lineno, "naked-new", "naked delete (ownership should be RAII)")
 
-        # --- simd-intrinsics (everywhere except the kernel backends)
-        if not rel.startswith(SIMD_ALLOWED_PREFIXES):
-            for pat in (SIMD_INCLUDE_RE, SIMD_CALL_RE, SIMD_TYPE_RE):
+        # --- simd-intrinsics: generic intrinsics are legal only in the
+        # kernel backend directories; AVX-512 surface (which includes the
+        # __mmask opmask types the generic patterns don't cover) only in
+        # the backend TU directory, because the kernels' include/ headers
+        # compile into TUs built without -mavx512*.
+        if not rel.startswith(SIMD512_ALLOWED_PREFIXES):
+            matched = False
+            for pat in SIMD512_PATTERNS:
                 m = pat.search(line)
                 if m:
                     report(lineno, "simd-intrinsics",
-                           f"{RULES['simd-intrinsics']}: matched '{m.group(0).strip()}'")
+                           "AVX-512 intrinsics are only legal under src/nn/src/kernels/ "
+                           f"(headers compile into non-avx512 TUs): matched '{m.group(0).strip()}'")
+                    matched = True
                     break
+            if not matched and not rel.startswith(SIMD_ALLOWED_PREFIXES):
+                for pat in (SIMD_INCLUDE_RE, SIMD_CALL_RE, SIMD_TYPE_RE):
+                    m = pat.search(line)
+                    if m:
+                        report(lineno, "simd-intrinsics",
+                               f"{RULES['simd-intrinsics']}: matched '{m.group(0).strip()}'")
+                        break
 
         # --- auto-float-accum: auto + float literal init, then += nearby.
         m = AUTO_ACCUM_RE.search(line)
