@@ -1,0 +1,74 @@
+# gpufreq_register_hotpath_gate()
+#
+# Wires the hot-path purity analyzer (tools/analyze/gpufreq_hotpath.py)
+# into the build. The analyzer disassembles the built libgpufreq_*.a
+# archives, walks the call graph from every GPUFREQ_HOT root, and fails if
+# any root can reach an allocation, throw, lock acquisition, IO call, or
+# unvouched indirect/extern call that is not sanctioned by
+# tools/analyze/hotpath_allow.txt (see DESIGN.md §8).
+#
+# Registers:
+#   * `hotpath_check` — custom target that rebuilds the proof on demand
+#     (`cmake --build build --target hotpath_check`). Depends on the
+#     archives, so it is always run against fresh objects, and drops the
+#     extracted root manifest at ${CMAKE_BINARY_DIR}/hotpath_roots.txt.
+#   * `hotpath_real_tree` — ctest entry running the same proof, registered
+#     only for optimized (Release/RelWithDebInfo), unsanitized builds:
+#     sanitizers interpose allocation/lock machinery into every function,
+#     and -O0 keeps cold branches that optimized codegen provably folds
+#     away, so the proof is only meaningful on the shipped configuration.
+#
+# The binutils toolchain (objdump/readelf/c++filt) ships with any gcc
+# install; when it or python3 is missing the gate degrades to a warning so
+# exotic local setups still configure.
+
+function(gpufreq_register_hotpath_gate)
+  find_package(Python3 COMPONENTS Interpreter)
+  find_program(GPUFREQ_HOTPATH_OBJDUMP objdump)
+  find_program(GPUFREQ_HOTPATH_READELF readelf)
+  find_program(GPUFREQ_HOTPATH_CXXFILT c++filt)
+  if(NOT Python3_FOUND OR NOT GPUFREQ_HOTPATH_OBJDUMP
+     OR NOT GPUFREQ_HOTPATH_READELF OR NOT GPUFREQ_HOTPATH_CXXFILT)
+    message(WARNING "hot-path purity gate not registered "
+      "(needs python3 + binutils objdump/readelf/c++filt)")
+    return()
+  endif()
+
+  set(analyzer "${CMAKE_SOURCE_DIR}/tools/analyze/gpufreq_hotpath.py")
+  set(allowlist "${CMAKE_SOURCE_DIR}/tools/analyze/hotpath_allow.txt")
+  set(hotpath_cmd
+    "${Python3_EXECUTABLE}" "${analyzer}"
+    --build-dir "${CMAKE_BINARY_DIR}"
+    --allowlist "${allowlist}"
+    --write-roots "${CMAKE_BINARY_DIR}/hotpath_roots.txt")
+
+  set(archive_targets
+    gpufreq_util gpufreq_workloads gpufreq_sim gpufreq_nn gpufreq_ml
+    gpufreq_dcgm gpufreq_features gpufreq_core gpufreq_serve)
+
+  add_custom_target(hotpath_check
+    COMMAND ${hotpath_cmd}
+    WORKING_DIRECTORY "${CMAKE_SOURCE_DIR}"
+    COMMENT "hotpath: proving the GPUFREQ_HOT zero-alloc/lock/throw contract"
+    VERBATIM)
+  add_dependencies(hotpath_check ${archive_targets})
+
+  if(NOT GPUFREQ_BUILD_TESTS)
+    return()
+  endif()
+  if(NOT GPUFREQ_SANITIZE STREQUAL "")
+    message(STATUS "hotpath_real_tree not registered: sanitizer build "
+      "(GPUFREQ_SANITIZE=${GPUFREQ_SANITIZE}) interposes alloc/lock machinery")
+    return()
+  endif()
+  if(NOT CMAKE_BUILD_TYPE MATCHES "^(Release|RelWithDebInfo)$")
+    message(STATUS "hotpath_real_tree not registered: build type "
+      "'${CMAKE_BUILD_TYPE}' is not an optimized configuration")
+    return()
+  endif()
+
+  add_test(NAME hotpath_real_tree
+    COMMAND ${hotpath_cmd}
+    WORKING_DIRECTORY "${CMAKE_SOURCE_DIR}")
+  set_tests_properties(hotpath_real_tree PROPERTIES TIMEOUT 120)
+endfunction()

@@ -22,8 +22,33 @@ struct FeatureConfig {
   std::vector<float> extract(const sim::CounterSet& counters) const;
 
   /// extract() into a caller-owned row (out.size() must equal dim());
-  /// performs no allocation.
+  /// performs no allocation. Resolves metric names per call — hot loops
+  /// should build a FeaturePlan once and use it instead.
   void extract_into(const sim::CounterSet& counters, std::span<float> out) const;
+};
+
+/// A FeatureConfig resolved for hot extraction: metric names are mapped to
+/// sim::MetricId plus their unit scale (GHz, GB/s) exactly once, at
+/// construction. extract_into is then a pure id-switch loop — no string
+/// compares, no allocation, no reachable throw other than the row-width
+/// contract funnel — so it is safe inside GPUFREQ_HOT sweep loops (the
+/// hot-path purity contract, DESIGN.md §8).
+class FeaturePlan {
+ public:
+  /// Resolves `config.metrics`; throws InvalidArgument on unknown names.
+  explicit FeaturePlan(const FeatureConfig& config);
+
+  std::size_t dim() const { return steps_.size(); }
+
+  /// Extract the planned feature row (out.size() must equal dim()).
+  void extract_into(const sim::CounterSet& counters, std::span<float> out) const;
+
+ private:
+  struct Step {
+    sim::MetricId id;
+    double scale;  ///< unit conversion (MHz->GHz, bytes/s->GB/s)
+  };
+  std::vector<Step> steps_;
 };
 
 /// Supervised dataset for the power and time models.

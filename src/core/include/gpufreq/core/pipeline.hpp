@@ -167,6 +167,9 @@ class OnlinePredictor {
  private:
   const PowerTimeModels& models_;
   nn::Precision precision_;
+  /// Metric names resolved once at construction so the sweep extraction
+  /// loops run string-free (hot-path purity contract, DESIGN.md §8).
+  FeaturePlan feature_plan_;
 };
 
 }  // namespace gpufreq::core

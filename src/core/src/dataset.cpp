@@ -14,13 +14,26 @@ std::vector<float> FeatureConfig::extract(const sim::CounterSet& counters) const
 }
 
 void FeatureConfig::extract_into(const sim::CounterSet& counters, std::span<float> out) const {
-  GPUFREQ_REQUIRE(out.size() == metrics.size(), "FeatureConfig::extract: row width mismatch");
-  for (std::size_t i = 0; i < metrics.size(); ++i) {
-    const std::string& m = metrics[i];
-    double v = counters.value(m);
-    if (m == "sm_app_clock") v *= 1e-3;          // MHz -> GHz
-    if (m == "pcie_tx_bytes" || m == "pcie_rx_bytes") v *= 1e-9;  // -> GB/s
-    out[i] = static_cast<float>(v);
+  FeaturePlan(*this).extract_into(counters, out);
+}
+
+FeaturePlan::FeaturePlan(const FeatureConfig& config) {
+  steps_.reserve(config.metrics.size());
+  for (const std::string& m : config.metrics) {
+    Step s{sim::metric_id(m), 1.0};
+    if (s.id == sim::MetricId::kSmAppClock) s.scale = 1e-3;  // MHz -> GHz
+    if (s.id == sim::MetricId::kPcieTxBytes || s.id == sim::MetricId::kPcieRxBytes)
+      s.scale = 1e-9;  // bytes/s -> GB/s
+    steps_.push_back(s);
+  }
+}
+
+void FeaturePlan::extract_into(const sim::CounterSet& counters, std::span<float> out) const {
+  GPUFREQ_REQUIRE(out.size() == steps_.size(), "FeaturePlan::extract: row width mismatch");
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    // Scale in double THEN narrow, matching the historical
+    // FeatureConfig::extract_into rounding bit-for-bit.
+    out[i] = static_cast<float>(counters.value(steps_[i].id) * steps_[i].scale);
   }
 }
 

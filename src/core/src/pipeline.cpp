@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "gpufreq/util/error.hpp"
+#include "gpufreq/util/hot_path.hpp"
 #include "gpufreq/util/logging.hpp"
 #include "gpufreq/util/thread_pool.hpp"
+#include "gpufreq/util/workspace.hpp"
 
 namespace gpufreq::core {
 
@@ -36,7 +38,7 @@ PowerTimeModels OfflineTrainer::train(
 }
 
 OnlinePredictor::OnlinePredictor(const PowerTimeModels& models, nn::Precision precision)
-    : models_(models), precision_(precision) {
+    : models_(models), precision_(precision), feature_plan_(models.features) {
   GPUFREQ_REQUIRE(models_.power.trained() && models_.time.trained(),
                   "OnlinePredictor: models must be trained");
 }
@@ -119,11 +121,13 @@ void OnlinePredictor::predict_sweep(const sim::CounterSet& max_freq_counters,
                                     double measured_time_at_max_s, const sim::GpuSpec& spec,
                                     const std::vector<double>& frequencies,
                                     SweepWorkspace& ws) const {
+  GPUFREQ_HOT("gpufreq::core::OnlinePredictor::predict_sweep");
   GPUFREQ_REQUIRE(measured_time_at_max_s > 0.0,
                   "OnlinePredictor: measured time must be positive");
   GPUFREQ_REQUIRE(!frequencies.empty(), "OnlinePredictor: no frequencies");
 
-  ws.frequencies.assign(frequencies.begin(), frequencies.end());
+  detail::workspace_assign(ws.frequencies, frequencies.data(),
+                           frequencies.data() + frequencies.size());
   std::sort(ws.frequencies.begin(), ws.frequencies.end());
   const std::size_t n = ws.frequencies.size();
 
@@ -137,13 +141,13 @@ void OnlinePredictor::predict_sweep(const sim::CounterSet& max_freq_counters,
     sim::CounterSet c = max_freq_counters;
     for (std::size_t i = lo; i < hi; ++i) {
       c.sm_app_clock = ws.frequencies[i];
-      models_.features.extract_into(c, ws.features.row(i));
+      feature_plan_.extract_into(c, ws.features.row(i));
     }
   });
 
-  ws.power_w.resize(n);
-  ws.time_s.resize(n);
-  ws.energy_j.resize(n);
+  detail::workspace_resize(ws.power_w, n);
+  detail::workspace_resize(ws.time_s, n);
+  detail::workspace_resize(ws.energy_j, n);
   models_.power.predict_into(ws.features, ws.power_model, ws.power_w, precision_);
   models_.time.predict_into(ws.features, ws.time_model, ws.time_s, precision_);
   // A NaN here means poisoned weights or features; fail before it turns
@@ -164,9 +168,10 @@ void OnlinePredictor::predict_sweep(const sim::CounterSet& max_freq_counters,
 void OnlinePredictor::predict_sweep_batch(std::span<const BatchSweepItem> items,
                                           const sim::GpuSpec& spec,
                                           BatchSweepWorkspace& ws) const {
+  GPUFREQ_HOT("gpufreq::core::OnlinePredictor::predict_sweep_batch");
   GPUFREQ_REQUIRE(!items.empty(), "OnlinePredictor: empty sweep batch");
 
-  ws.offsets.resize(items.size() + 1);
+  detail::workspace_resize(ws.offsets, items.size() + 1);
   std::size_t total = 0;
   for (std::size_t i = 0; i < items.size(); ++i) {
     const BatchSweepItem& item = items[i];
@@ -181,7 +186,7 @@ void OnlinePredictor::predict_sweep_batch(std::span<const BatchSweepItem> items,
 
   // Per-item sorted grids, exactly the transform predict_sweep applies to
   // its frequency list, concatenated item-major.
-  ws.frequencies.resize(total);
+  detail::workspace_resize(ws.frequencies, total);
   for (std::size_t i = 0; i < items.size(); ++i) {
     double* seg = ws.frequencies.data() + ws.offsets[i];
     std::copy(items[i].frequencies.begin(), items[i].frequencies.end(), seg);
@@ -205,13 +210,13 @@ void OnlinePredictor::predict_sweep_batch(std::span<const BatchSweepItem> items,
         c = *items[item].counters;
       }
       c.sm_app_clock = ws.frequencies[i];
-      models_.features.extract_into(c, ws.features.row(i));
+      feature_plan_.extract_into(c, ws.features.row(i));
     }
   });
 
-  ws.power_w.resize(total);
-  ws.time_s.resize(total);
-  ws.energy_j.resize(total);
+  detail::workspace_resize(ws.power_w, total);
+  detail::workspace_resize(ws.time_s, total);
+  detail::workspace_resize(ws.energy_j, total);
   // The fused N-item GEMM chain: one predict per model over all rows.
   models_.power.predict_into(ws.features, ws.power_model, ws.power_w, precision_);
   models_.time.predict_into(ws.features, ws.time_model, ws.time_s, precision_);

@@ -34,6 +34,13 @@ const char* to_string(Backend b);
 /// never go stale against the enum.
 Backend backend_from_string(const std::string& name);
 
+/// The registry-generated accepted set for GPUFREQ_KERNEL_BACKEND —
+/// "auto|scalar|avx2|avx512" — i.e. the exact string embedded in
+/// backend_from_string's InvalidArgument message. Exposed so tests (and
+/// tools printing usage) stay in lockstep with the registry instead of
+/// hand-copying the list.
+const std::string& accepted_backends();
+
 /// True when this binary contains the AVX2 kernels AND the executing CPU
 /// reports AVX2+FMA support.
 bool avx2_available();

@@ -24,8 +24,16 @@ enum class Precision {
 const char* to_string(Precision p);
 
 /// Parse "fp32" | "int8" (the accepted GPUFREQ_PRECISION values); throws
-/// InvalidArgument for anything else.
+/// InvalidArgument for anything else. The parser, to_string, and the
+/// error message's accepted set all derive from one registry table, so
+/// none of them can drift when a precision is added.
 Precision precision_from_string(const std::string& name);
+
+/// The registry-generated accepted set for GPUFREQ_PRECISION — "fp32|int8"
+/// — i.e. the exact string embedded in precision_from_string's
+/// InvalidArgument message. Exposed so tests stay in lockstep with the
+/// registry instead of hand-copying the list.
+const std::string& accepted_precisions();
 
 /// The process-wide default precision: GPUFREQ_PRECISION if set (read once
 /// on first use), else kFp32. Consumed as the default argument by the

@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "gpufreq/util/hot_path.hpp"
 #include "scalar_math.hpp"
 
 namespace gpufreq::nn::kernels {
@@ -233,6 +234,7 @@ inline void bias_act_store(Activation act, __m256 accl, __m256 acch, const float
 
 void dense_bias_act_f(const float* x, const PackedWeights& w, const float* bias,
                       Activation act, float* y, std::size_t lo, std::size_t hi) {
+  GPUFREQ_HOT("gpufreq::nn::kernels::(anonymous namespace)::dense_bias_act_f");
   const std::size_t k = w.rows();
   const std::size_t n = w.cols();
   for (std::size_t p = 0; p < w.panel_count(); ++p) {
@@ -265,6 +267,7 @@ void dense_bias_act_f(const float* x, const PackedWeights& w, const float* bias,
 void quantize_rows_i8_f(const float* x, std::size_t k, std::int16_t* q,
                         std::size_t qstride, float* scales, std::size_t lo,
                         std::size_t hi) {
+  GPUFREQ_HOT("gpufreq::nn::kernels::(anonymous namespace)::quantize_rows_i8_f");
   const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
   for (std::size_t i = lo; i < hi; ++i) {
     const float* xi = x + i * k;
@@ -305,6 +308,7 @@ void quantize_rows_i8_f(const float* x, std::size_t k, std::int16_t* q,
 void dense_bias_act_i8_f(const std::int16_t* q, const float* row_scales,
                          const QuantizedPackedWeights& w, const float* bias,
                          Activation act, float* y, std::size_t lo, std::size_t hi) {
+  GPUFREQ_HOT("gpufreq::nn::kernels::(anonymous namespace)::dense_bias_act_i8_f");
   const std::size_t kpad = w.kpad();
   const std::size_t n = w.cols();
   for (std::size_t p = 0; p < w.panel_count(); ++p) {

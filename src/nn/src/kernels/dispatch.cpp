@@ -125,24 +125,41 @@ Backend backend_from_string(const std::string& name) {
                         accepted_set() + ")");
 }
 
+const std::string& accepted_backends() { return accepted_set(); }
+
 bool avx2_available() { return detail::avx2_table() != nullptr && cpu_has_avx2_fma(); }
 
 bool avx512_available() {
   return detail::avx512_table() != nullptr && cpu_has_avx512f_bw();
 }
 
+namespace {
+
+// One-time default selection, deliberately out-of-line and cold: the magic
+// static's __cxa_guard_acquire (a lock sink) and getenv/parse machinery must
+// not sit inside active() itself, whose fast path is on the hot inference
+// chain. The hot-path analyzer sanctions this function as a boundary
+// (tools/analyze/hotpath_allow.txt: first-call initialization only).
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((cold, noinline))
+#endif
+const KernelTable*
+select_and_publish_default() {
+  // Magic static: exactly one thread runs the default selection, and any
+  // concurrent first callers block on it here rather than racing.
+  static const KernelTable* selected = [] {
+    const KernelTable* s = table_for(Backend::kAuto);
+    g_active.store(s, std::memory_order_release);
+    return s;
+  }();
+  return selected;
+}
+
+}  // namespace
+
 const KernelTable& active() {
   const KernelTable* t = g_active.load(std::memory_order_acquire);
-  if (t == nullptr) {
-    // Magic static: exactly one thread runs the default selection, and any
-    // concurrent first callers block on it here rather than racing.
-    static const KernelTable* selected = [] {
-      const KernelTable* s = table_for(Backend::kAuto);
-      g_active.store(s, std::memory_order_release);
-      return s;
-    }();
-    t = selected;
-  }
+  if (t == nullptr) t = select_and_publish_default();
   return *t;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "gpufreq/nn/kernels/kernel_table.hpp"
+#include "gpufreq/util/hot_path.hpp"
 #include "scalar_math.hpp"
 
 namespace gpufreq::nn::kernels {
@@ -221,6 +222,7 @@ void activate_f(Activation act, const float* z, float* out, std::size_t n) {
 
 void dense_bias_act_f(const float* x, const PackedWeights& w, const float* bias,
                       Activation act, float* y, std::size_t lo, std::size_t hi) {
+  GPUFREQ_HOT("gpufreq::nn::kernels::(anonymous namespace)::dense_bias_act_f");
   // Band-level fusion. A per-tile epilogue (bias + activation on the 6x16
   // accumulator block) was measured SLOWER than the unfused three-pass
   // path here: the extra round trips through the stack tile eat more than
@@ -269,6 +271,7 @@ void dense_bias_act_f(const float* x, const PackedWeights& w, const float* bias,
 void quantize_rows_i8_f(const float* x, std::size_t k, std::int16_t* q,
                         std::size_t qstride, float* scales, std::size_t lo,
                         std::size_t hi) {
+  GPUFREQ_HOT("gpufreq::nn::kernels::(anonymous namespace)::quantize_rows_i8_f");
   for (std::size_t i = lo; i < hi; ++i) {
     const float* xi = x + i * k;
     // max is commutative/associative over finite floats, so the reduction
@@ -291,6 +294,7 @@ void quantize_rows_i8_f(const float* x, std::size_t k, std::int16_t* q,
 void dense_bias_act_i8_f(const std::int16_t* q, const float* row_scales,
                          const QuantizedPackedWeights& w, const float* bias,
                          Activation act, float* y, std::size_t lo, std::size_t hi) {
+  GPUFREQ_HOT("gpufreq::nn::kernels::(anonymous namespace)::dense_bias_act_i8_f");
   const std::size_t kpad = w.kpad();
   const std::size_t n = w.cols();
   for (std::size_t p = 0; p < w.panel_count(); ++p) {

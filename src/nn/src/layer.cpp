@@ -2,7 +2,9 @@
 
 #include "gpufreq/nn/kernels/kernel_table.hpp"
 #include "gpufreq/util/error.hpp"
+#include "gpufreq/util/hot_path.hpp"
 #include "gpufreq/util/thread_pool.hpp"
+#include "gpufreq/util/workspace.hpp"
 
 namespace gpufreq::nn {
 
@@ -34,6 +36,7 @@ void DenseLayer::forward(const Matrix& x, Matrix& out) {
 }
 
 void DenseLayer::forward_inference(const Matrix& x, Matrix& out) const {
+  GPUFREQ_HOT("gpufreq::nn::DenseLayer::forward_inference");
   GPUFREQ_REQUIRE(x.cols() == w_.rows(), "DenseLayer::forward_inference: width mismatch");
   if (packed_.empty()) {
     // Unfused fallback: `out` doubles as the Z buffer (gemm output, bias
@@ -61,6 +64,7 @@ void DenseLayer::forward_inference(const Matrix& x, Matrix& out) const {
 void DenseLayer::forward_inference_i8(const Matrix& x, Matrix& out,
                                       std::vector<std::int16_t>& q,
                                       std::vector<float>& scales) const {
+  GPUFREQ_HOT("gpufreq::nn::DenseLayer::forward_inference_i8");
   GPUFREQ_REQUIRE(x.cols() == w_.rows(), "DenseLayer::forward_inference_i8: width mismatch");
   GPUFREQ_REQUIRE(!qpacked_.empty(),
                   "DenseLayer::forward_inference_i8: int8 pack not prepared");
@@ -68,8 +72,8 @@ void DenseLayer::forward_inference_i8(const Matrix& x, Matrix& out,
   out.resize_uninit(rows, w_.cols());
   if (rows == 0) return;
   const std::size_t kpad = qpacked_.kpad();
-  q.resize(rows * kpad);
-  scales.resize(rows);
+  gpufreq::detail::workspace_resize(q, rows * kpad);
+  gpufreq::detail::workspace_resize(scales, rows);
   const kernels::KernelTable& kt = kernels::active();
   const float* X = x.flat().data();
   const float* bias = b_.data();

@@ -1,6 +1,7 @@
 #include "gpufreq/nn/network.hpp"
 
 #include "gpufreq/util/error.hpp"
+#include "gpufreq/util/hot_path.hpp"
 
 namespace gpufreq::nn {
 
@@ -46,6 +47,7 @@ InferenceWorkspace& fallback_workspace() {
 
 const Matrix& Network::predict_into(const Matrix& x, InferenceWorkspace& ws,
                                     Precision precision) const {
+  GPUFREQ_HOT("gpufreq::nn::Network::predict_into");
   GPUFREQ_REQUIRE(!layers_.empty(), "Network::predict: empty network");
   GPUFREQ_REQUIRE(x.rows() > 0, "Network::predict: empty batch");
   // Ping-pong between the workspace buffers; the input is only ever read,
@@ -78,6 +80,7 @@ std::vector<double> Network::predict_vector(const Matrix& x, Precision precision
 
 void Network::predict_vector_into(const Matrix& x, InferenceWorkspace& ws,
                                   std::span<double> out, Precision precision) const {
+  GPUFREQ_HOT("gpufreq::nn::Network::predict_vector_into");
   GPUFREQ_REQUIRE(output_dim() == 1, "Network::predict_vector: network is not single-output");
   GPUFREQ_REQUIRE(out.size() == x.rows(), "Network::predict_vector: output size mismatch");
   const Matrix& y = predict_into(x, ws, precision);

@@ -14,22 +14,46 @@ namespace {
 // static, set_default_precision overrides with a release store.
 std::atomic<int> g_default{0};
 
+// The single source of truth for the precision names: to_string, parsing,
+// and the accepted-set error message all derive from this table (mirrors
+// the backend registry in kernels/dispatch.cpp). Adding a precision means
+// adding one row.
+struct PrecisionEntry {
+  Precision precision;
+  const char* name;
+};
+constexpr PrecisionEntry kRegistry[] = {
+    {Precision::kFp32, "fp32"},
+    {Precision::kInt8, "int8"},
+};
+
 }  // namespace
 
 const char* to_string(Precision p) {
-  switch (p) {
-    case Precision::kFp32:
-      return "fp32";
-    case Precision::kInt8:
-      return "int8";
+  for (const PrecisionEntry& e : kRegistry) {
+    if (e.precision == p) return e.name;
   }
   return "?";
 }
 
 Precision precision_from_string(const std::string& name) {
-  if (name == "fp32") return Precision::kFp32;
-  if (name == "int8") return Precision::kInt8;
-  throw InvalidArgument("unknown precision '" + name + "' (expected fp32|int8)");
+  for (const PrecisionEntry& e : kRegistry) {
+    if (name == e.name) return e.precision;
+  }
+  throw InvalidArgument("unknown precision '" + name + "' (expected " +
+                        accepted_precisions() + ")");
+}
+
+const std::string& accepted_precisions() {
+  static const std::string joined = [] {
+    std::string s;
+    for (const PrecisionEntry& e : kRegistry) {
+      if (!s.empty()) s += '|';
+      s += e.name;
+    }
+    return s;
+  }();
+  return joined;
 }
 
 Precision default_precision() {

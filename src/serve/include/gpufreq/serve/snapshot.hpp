@@ -69,6 +69,12 @@ class SnapshotCache {
   std::uint64_t epoch() const { return epoch_; }
 
  private:
+  /// Cold refresh: pin the holder's current snapshot and rebuild the
+  /// predictor. Out-of-line so predictor()'s steady-state fast path stays
+  /// free of lock/refcount code (see the hot-path purity contract,
+  /// DESIGN.md §8).
+  void refresh(const ModelSnapshotHolder& holder, nn::Precision precision);
+
   std::shared_ptr<const core::PowerTimeModels> pinned_;
   std::optional<core::OnlinePredictor> predictor_;
   std::uint64_t epoch_ = ~std::uint64_t{0};

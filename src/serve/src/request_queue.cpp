@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "gpufreq/util/error.hpp"
+#include "gpufreq/util/hot_path.hpp"
 
 namespace gpufreq::serve {
 
@@ -31,6 +32,7 @@ const WorkloadDescriptor& SweepTicket::descriptor() const {
 PriorityRequestQueue::PriorityRequestQueue() : bands_(band_count()) {}
 
 void PriorityRequestQueue::push(std::shared_ptr<detail::SweepSlot> slot) {
+  GPUFREQ_HOT("gpufreq::serve::PriorityRequestQueue::push");
   GPUFREQ_REQUIRE(slot != nullptr, "PriorityRequestQueue: null slot");
   Ring& ring = bands_[slot->descriptor.band_index()];
   if (ring.count == ring.slots.size()) grow(ring);
@@ -41,6 +43,7 @@ void PriorityRequestQueue::push(std::shared_ptr<detail::SweepSlot> slot) {
 }
 
 std::shared_ptr<detail::SweepSlot> PriorityRequestQueue::pop() {
+  GPUFREQ_HOT("gpufreq::serve::PriorityRequestQueue::pop");
   // Highest band index = highest composed priority; FIFO inside the ring.
   for (std::size_t b = bands_.size(); b-- > 0;) {
     Ring& ring = bands_[b];

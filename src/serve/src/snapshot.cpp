@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "gpufreq/util/error.hpp"
+#include "gpufreq/util/hot_path.hpp"
 
 namespace gpufreq::serve {
 
@@ -38,20 +39,28 @@ std::shared_ptr<const core::PowerTimeModels> ModelSnapshotHolder::snapshot() con
 
 const core::OnlinePredictor& SnapshotCache::predictor(const ModelSnapshotHolder& holder,
                                                       nn::Precision precision) {
+  GPUFREQ_HOT("gpufreq::serve::SnapshotCache::predictor");
   const std::uint64_t current = holder.epoch();
   if (current != epoch_ || precision != precision_ || !predictor_.has_value()) {
-    {
-      MutexLock lock(holder.mutex_);
-      pinned_ = holder.current_;
-      // Re-read under the lock: publish() bumps the epoch under the same
-      // mutex, so this pairs the pinned pointer with its exact epoch even
-      // if another publish raced the unlocked probe above.
-      epoch_ = holder.epoch_.load(std::memory_order_acquire);
-    }
-    predictor_.emplace(*pinned_, precision);
-    precision_ = precision;
+    refresh(holder, precision);
   }
   return *predictor_;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((cold, noinline))
+#endif
+void SnapshotCache::refresh(const ModelSnapshotHolder& holder, nn::Precision precision) {
+  {
+    MutexLock lock(holder.mutex_);
+    pinned_ = holder.current_;
+    // Re-read under the lock: publish() bumps the epoch under the same
+    // mutex, so this pairs the pinned pointer with its exact epoch even
+    // if another publish raced the unlocked probe above.
+    epoch_ = holder.epoch_.load(std::memory_order_acquire);
+  }
+  predictor_.emplace(*pinned_, precision);
+  precision_ = precision;
 }
 
 const core::PowerTimeModels& SnapshotCache::models() const {

@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "gpufreq/util/error.hpp"
+#include "gpufreq/util/hot_path.hpp"
 #include "gpufreq/util/stats.hpp"
+#include "gpufreq/util/workspace.hpp"
 
 namespace gpufreq::serve {
 
@@ -43,8 +45,9 @@ double seconds_between(std::chrono::steady_clock::time_point from,
 }
 
 void assign(std::vector<double>& dst, std::span<const double> src) {
-  dst.resize(src.size());
-  std::copy(src.begin(), src.end(), dst.begin());
+  // Out-of-line so the (never-taken: outcomes are pre-reserved at submit)
+  // growth path stays off the drain loop's static call graph.
+  gpufreq::detail::workspace_assign(dst, src.data(), src.data() + src.size());
 }
 
 }  // namespace
@@ -103,10 +106,12 @@ std::size_t SweepService::drain_once() {
 }
 
 std::size_t SweepService::drain_locked() {
+  GPUFREQ_HOT("gpufreq::serve::SweepService::drain_locked");
   batch_.clear();
   {
     MutexLock lock(mutex_);
-    while (batch_.size() < config_.max_batch && !queue_.empty()) batch_.push_back(queue_.pop());
+    while (batch_.size() < config_.max_batch && !queue_.empty())
+      gpufreq::detail::workspace_push(batch_, queue_.pop());
   }
   if (batch_.empty()) return 0;
   const auto picked_up = std::chrono::steady_clock::now();
@@ -132,13 +137,14 @@ std::size_t SweepService::drain_locked() {
         }
       }
     }
-    rep_.push_back(static_cast<std::uint32_t>(u));
+    gpufreq::detail::workspace_push(rep_, static_cast<std::uint32_t>(u));
     if (u == unique_.size()) {
-      unique_.push_back(static_cast<std::uint32_t>(i));
-      group_size_.push_back(1);
-      items_.push_back({.counters = &slot.counters,
-                        .measured_time_at_max_s = slot.measured_time_at_max_s,
-                        .frequencies = slot.frequencies});
+      gpufreq::detail::workspace_push(unique_, static_cast<std::uint32_t>(i));
+      gpufreq::detail::workspace_push(group_size_, std::uint32_t{1});
+      gpufreq::detail::workspace_push(
+          items_, core::BatchSweepItem{.counters = &slot.counters,
+                                       .measured_time_at_max_s = slot.measured_time_at_max_s,
+                                       .frequencies = slot.frequencies});
     } else {
       ++group_size_[u];
     }

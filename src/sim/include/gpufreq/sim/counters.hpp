@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 #include "gpufreq/sim/exec_model.hpp"
@@ -8,6 +9,30 @@
 #include "gpufreq/workloads/workload.hpp"
 
 namespace gpufreq::sim {
+
+/// Stable ids for the CounterSet metrics plus the derived "fp_active"
+/// feature. Name->id resolution (metric_id) happens once at configuration
+/// time; hot extraction loops read by id so they stay free of string
+/// compares and of the unknown-name throw (see the hot-path purity
+/// contract, DESIGN.md §8).
+enum class MetricId : std::uint8_t {
+  kFp64Active,
+  kFp32Active,
+  kSmAppClock,
+  kDramActive,
+  kGrEngineActive,
+  kGpuUtilization,
+  kPowerUsage,
+  kSmActive,
+  kSmOccupancy,
+  kPcieTxBytes,
+  kPcieRxBytes,
+  kExecTime,
+  kFpActive,  ///< derived: fp64_active + fp32_active
+};
+
+/// Id for a metric name; throws InvalidArgument for unknown names.
+MetricId metric_id(const std::string& metric);
 
 /// The 12 GPU utilization metrics of the paper (§4.1), with DCGM semantics:
 /// *_active fields are the fraction of elapsed cycles the unit was busy,
@@ -36,6 +61,10 @@ struct CounterSet {
 
   /// Value by metric name; throws InvalidArgument for unknown names.
   double value(const std::string& metric) const;
+
+  /// Value by id: a total switch — no string compares, never throws for
+  /// any MetricId enumerator. Safe inside GPUFREQ_HOT extraction loops.
+  double value(MetricId id) const;
 };
 
 /// Ground-truth (noise-free) counters for a workload at a core clock.

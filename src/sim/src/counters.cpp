@@ -17,21 +17,43 @@ const std::array<std::string, 12>& CounterSet::metric_names() {
   return names;
 }
 
-double CounterSet::value(const std::string& metric) const {
-  if (metric == "fp64_active") return fp64_active;
-  if (metric == "fp32_active") return fp32_active;
-  if (metric == "sm_app_clock") return sm_app_clock;
-  if (metric == "dram_active") return dram_active;
-  if (metric == "gr_engine_active") return gr_engine_active;
-  if (metric == "gpu_utilization") return gpu_utilization;
-  if (metric == "power_usage") return power_usage;
-  if (metric == "sm_active") return sm_active;
-  if (metric == "sm_occupancy") return sm_occupancy;
-  if (metric == "pcie_tx_bytes") return pcie_tx_bytes;
-  if (metric == "pcie_rx_bytes") return pcie_rx_bytes;
-  if (metric == "exec_time") return exec_time;
-  if (metric == "fp_active") return fp_active();
+MetricId metric_id(const std::string& metric) {
+  if (metric == "fp64_active") return MetricId::kFp64Active;
+  if (metric == "fp32_active") return MetricId::kFp32Active;
+  if (metric == "sm_app_clock") return MetricId::kSmAppClock;
+  if (metric == "dram_active") return MetricId::kDramActive;
+  if (metric == "gr_engine_active") return MetricId::kGrEngineActive;
+  if (metric == "gpu_utilization") return MetricId::kGpuUtilization;
+  if (metric == "power_usage") return MetricId::kPowerUsage;
+  if (metric == "sm_active") return MetricId::kSmActive;
+  if (metric == "sm_occupancy") return MetricId::kSmOccupancy;
+  if (metric == "pcie_tx_bytes") return MetricId::kPcieTxBytes;
+  if (metric == "pcie_rx_bytes") return MetricId::kPcieRxBytes;
+  if (metric == "exec_time") return MetricId::kExecTime;
+  if (metric == "fp_active") return MetricId::kFpActive;
   throw InvalidArgument("CounterSet: unknown metric '" + metric + "'");
+}
+
+double CounterSet::value(const std::string& metric) const { return value(metric_id(metric)); }
+
+double CounterSet::value(MetricId id) const {
+  switch (id) {
+    case MetricId::kFp64Active: return fp64_active;
+    case MetricId::kFp32Active: return fp32_active;
+    case MetricId::kSmAppClock: return sm_app_clock;
+    case MetricId::kDramActive: return dram_active;
+    case MetricId::kGrEngineActive: return gr_engine_active;
+    case MetricId::kGpuUtilization: return gpu_utilization;
+    case MetricId::kPowerUsage: return power_usage;
+    case MetricId::kSmActive: return sm_active;
+    case MetricId::kSmOccupancy: return sm_occupancy;
+    case MetricId::kPcieTxBytes: return pcie_tx_bytes;
+    case MetricId::kPcieRxBytes: return pcie_rx_bytes;
+    case MetricId::kExecTime: return exec_time;
+    case MetricId::kFpActive: return fp_active();
+  }
+  // Out-of-range enum value: contract violation, funneled cold.
+  ::gpufreq::detail::fail_invalid("CounterSet: invalid metric id");
 }
 
 CounterSet derive_counters(const GpuSpec& spec, const workloads::WorkloadDescriptor& wl,

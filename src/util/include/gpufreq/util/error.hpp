@@ -51,35 +51,39 @@ class NumericError : public Error {
 };
 
 namespace detail {
-[[noreturn]] inline void throw_invalid(const std::string& msg) { throw InvalidArgument(msg); }
+// Cold, out-of-line failure funnels (src/util/src/error.cpp). Every
+// contract macro routes its failure branch through one of these so the
+// message formatting, exception allocation, and __cxa_throw machinery
+// live in ONE cold symbol instead of being inlined into every caller.
+// That is what lets the static hot-path analyzer
+// (tools/analyze/gpufreq_hotpath.py) prove a hot function throw- and
+// allocation-free on its success path: the only failure-side code left at
+// the call site is a compare and a call to a `gpufreq::detail::fail_*`
+// boundary. Hot-path call sites must pass string literals; the
+// std::string overload exists for cold API boundaries that compose their
+// message (composition would otherwise allocate inside the caller).
+[[noreturn]] void fail_invalid(const char* msg);
+[[noreturn]] void fail_invalid(const std::string& msg);
 
-[[noreturn]] inline void throw_contract(const char* expr, const char* file, long line,
-                                        const std::string& msg) {
-  throw ContractViolation(std::string("gpufreq: DCHECK failed: (") + expr + ") at " + file + ":" +
-                          std::to_string(line) + ": " + msg);
-}
+[[noreturn]] void fail_contract(const char* expr, const char* file, long line, const char* msg);
 
-[[noreturn]] inline void throw_non_finite(const char* expr, const char* file, long line,
-                                          std::size_t index, double value) {
-  throw NumericError(std::string("gpufreq: non-finite value in ") + expr + " at " + file + ":" +
-                     std::to_string(line) + " (element " + std::to_string(index) + " = " +
-                     std::to_string(value) + ")");
-}
+[[noreturn]] void fail_non_finite(const char* expr, const char* file, long line, std::size_t index,
+                                  double value);
 
 inline void check_finite(std::span<const float> v, const char* expr, const char* file, long line) {
   for (std::size_t i = 0; i < v.size(); ++i) {
-    if (!std::isfinite(v[i])) throw_non_finite(expr, file, line, i, static_cast<double>(v[i]));
+    if (!std::isfinite(v[i])) fail_non_finite(expr, file, line, i, static_cast<double>(v[i]));
   }
 }
 
 inline void check_finite(std::span<const double> v, const char* expr, const char* file, long line) {
   for (std::size_t i = 0; i < v.size(); ++i) {
-    if (!std::isfinite(v[i])) throw_non_finite(expr, file, line, i, v[i]);
+    if (!std::isfinite(v[i])) fail_non_finite(expr, file, line, i, v[i]);
   }
 }
 
 inline void check_finite(double v, const char* expr, const char* file, long line) {
-  if (!std::isfinite(v)) throw_non_finite(expr, file, line, 0, v);
+  if (!std::isfinite(v)) fail_non_finite(expr, file, line, 0, v);
 }
 
 /// Anything exposing a flat() span of elements (nn::Matrix) checks its
@@ -91,13 +95,17 @@ inline void check_finite(const M& m, const char* expr, const char* file, long li
 }
 }  // namespace detail
 
-/// GPUFREQ_REQUIRE(cond, msg): contract check that throws InvalidArgument.
-/// Used at public API boundaries; always compiled in.
-#define GPUFREQ_REQUIRE(cond, msg)                                      \
-  do {                                                                  \
-    if (!(cond)) {                                                      \
-      ::gpufreq::detail::throw_invalid(std::string("gpufreq: ") + (msg)); \
-    }                                                                   \
+/// GPUFREQ_REQUIRE(cond, msg): contract check that throws InvalidArgument
+/// ("gpufreq: " is prepended by the funnel). Used at public API boundaries;
+/// always compiled in. With a string-literal message the failure branch is
+/// just a call into the cold funnel — no allocation or throw machinery is
+/// inlined at the call site, which is what keeps GPUFREQ_HOT functions
+/// statically clean (tools/analyze/gpufreq_hotpath.py).
+#define GPUFREQ_REQUIRE(cond, msg)          \
+  do {                                      \
+    if (!(cond)) {                          \
+      ::gpufreq::detail::fail_invalid(msg); \
+    }                                       \
   } while (false)
 
 /// Debug invariant checks are on in any build without NDEBUG (Debug,
@@ -114,11 +122,11 @@ inline void check_finite(const M& m, const char* expr, const char* file, long li
 /// GPUFREQ_DCHECK(cond, msg): internal invariant check. Throws
 /// ContractViolation in debug builds; compiled out (condition not
 /// evaluated) in release builds.
-#define GPUFREQ_DCHECK(cond, msg)                                            \
-  do {                                                                       \
-    if (!(cond)) {                                                           \
-      ::gpufreq::detail::throw_contract(#cond, __FILE__, __LINE__, (msg));   \
-    }                                                                        \
+#define GPUFREQ_DCHECK(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::gpufreq::detail::fail_contract(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                      \
   } while (false)
 
 /// GPUFREQ_DCHECK_FINITE(x): debug-only whole-payload NaN/Inf scan of a

@@ -1,0 +1,54 @@
+#pragma once
+
+// Out-of-line workspace-vector mutations for GPUFREQ_HOT functions.
+//
+// std::vector::resize/assign/push_back inline their growth slow path
+// (operator new + copy + operator delete + __throw_length_error) straight
+// into the caller at -O2, which would make every hot function that touches
+// a workspace vector statically reach an allocation even though the
+// steady state never grows (workspaces are reserved to their high-water
+// mark up front; the counting-operator-new tests prove it dynamically).
+//
+// These helpers move the whole mutation — fast path and growth path —
+// behind one non-inlined call, so a GPUFREQ_HOT caller contains a single
+// direct call edge that the hot-path analyzer
+// (tools/analyze/gpufreq_hotpath.py) sanctions as a vetted boundary
+// (tools/analyze/hotpath_allow.txt), instead of an inlined operator-new
+// call site it would have to reject. Only use them for workspace vectors
+// with a pre-reserve story; anything else should keep the ordinary
+// std::vector calls and let the analyzer complain.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gpufreq::detail {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GPUFREQ_OUTLINE __attribute__((noinline))
+#else
+#define GPUFREQ_OUTLINE
+#endif
+
+/// v.resize(n) behind a call boundary (capacity-reusing in steady state).
+template <class T>
+GPUFREQ_OUTLINE void workspace_resize(std::vector<T>& v, std::size_t n) {
+  v.resize(n);
+}
+
+/// v.assign(first, last) behind a call boundary.
+template <class T>
+GPUFREQ_OUTLINE void workspace_assign(std::vector<T>& v, const T* first, const T* last) {
+  v.assign(first, last);
+}
+
+/// v.push_back(value) behind a call boundary (never grows once the
+/// workspace is reserved to its high-water mark).
+template <class T, class V>
+GPUFREQ_OUTLINE void workspace_push(std::vector<T>& v, V&& value) {
+  v.push_back(std::forward<V>(value));
+}
+
+#undef GPUFREQ_OUTLINE
+
+}  // namespace gpufreq::detail

@@ -1,0 +1,45 @@
+#include "gpufreq/util/error.hpp"
+
+#include <string>
+
+// Cold failure funnels for the contract macros in error.hpp.
+//
+// These are deliberately out-of-line and marked cold: a GPUFREQ_REQUIRE in a
+// hot function must compile down to `test; jcc; ...` on the success path with
+// the whole message-formatting + exception-allocation + unwind machinery
+// behind one call into this TU. tools/analyze/gpufreq_hotpath.py treats
+// `gpufreq::detail::fail_*` as sanctioned cold boundaries (see
+// tools/analyze/hotpath_allow.txt), which is only sound because nothing here
+// ever returns into the caller.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GPUFREQ_COLD_FN __attribute__((cold, noinline))
+#else
+#define GPUFREQ_COLD_FN
+#endif
+
+namespace gpufreq {
+namespace detail {
+
+GPUFREQ_COLD_FN void fail_invalid(const char* msg) {
+  throw InvalidArgument(std::string("gpufreq: ") + msg);
+}
+
+GPUFREQ_COLD_FN void fail_invalid(const std::string& msg) {
+  throw InvalidArgument("gpufreq: " + msg);
+}
+
+GPUFREQ_COLD_FN void fail_contract(const char* expr, const char* file, long line, const char* msg) {
+  throw ContractViolation(std::string("gpufreq: DCHECK failed: (") + expr + ") at " + file + ":" +
+                          std::to_string(line) + ": " + msg);
+}
+
+GPUFREQ_COLD_FN void fail_non_finite(const char* expr, const char* file, long line,
+                                     std::size_t index, double value) {
+  throw NumericError(std::string("gpufreq: non-finite value in ") + expr + " at " + file + ":" +
+                     std::to_string(line) + " (element " + std::to_string(index) + " = " +
+                     std::to_string(value) + ")");
+}
+
+}  // namespace detail
+}  // namespace gpufreq

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Self-check for tools/analyze/gpufreq_hotpath.py, registered with ctest as
+`hotpath_selfcheck` (mirrors tests/test_arch_selfcheck.py). Compiles the
+known-bad fixtures under tools/analyze/fixtures/hotpath/ with the session's
+C++ compiler at -O2 and verifies:
+
+  1. the clean fixture is proven pure (exit 0, one matched root),
+  2. each known-bad fixture is rejected (exit 1) by exactly the sink class
+     it seeds: allocating kernel, throwing epilogue, locking drain, and the
+     allocation buried three non-inlined calls below the root (whose
+     violation chain must name the intermediate functions),
+  3. a stale GPUFREQ_HOT annotation (matching no symbol) is a configuration
+     error (exit 2), not a silent pass,
+  4. the escape hatch: a justified `hotpath-allow: ... lock ::` sidecar
+     entry turns the locking fixture green, while an entry WITHOUT a
+     justification is rejected (exit 2, justify-or-fail),
+  5. the JSON report is well-formed and carries class/root/chain.
+
+Skips with a note (exit 0) when no C++ compiler or binutils are available;
+the CI matrix always has both. Stdlib-only.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HOTPATH = os.path.join(ROOT, "tools", "analyze", "gpufreq_hotpath.py")
+FIXTURES = os.path.join(ROOT, "tools", "analyze", "fixtures", "hotpath")
+UTIL_INCLUDE = os.path.join(ROOT, "src", "util", "include")
+
+failures = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}")
+    if not ok:
+        if detail:
+            print(detail)
+        failures.append(name)
+
+
+def find_cxx() -> str | None:
+    for cand in (os.environ.get("CXX", ""), "c++", "g++", "clang++"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def compile_fixture(cxx: str, name: str, outdir: str) -> str:
+    src = os.path.join(FIXTURES, name + ".cpp")
+    obj = os.path.join(outdir, name + ".o")
+    cmd = [cxx, "-std=c++20", "-O2", "-c", "-I", UTIL_INCLUDE, src, "-o", obj]
+    r = subprocess.run(cmd, capture_output=True, text=True)
+    if r.returncode != 0:
+        raise RuntimeError(f"fixture {name} failed to compile:\n{r.stderr}")
+    return obj
+
+
+def run_hotpath(*args: str, allowlist: str = "/dev/null") -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, HOTPATH, "--allowlist", allowlist, *args],
+        capture_output=True, text=True, cwd=ROOT)
+
+
+def main() -> int:
+    cxx = find_cxx()
+    if cxx is None:
+        print("[skip] hotpath self-check: no C++ compiler on PATH")
+        return 0
+    for tool in ("objdump", "readelf", "c++filt"):
+        if not shutil.which(tool):
+            print(f"[skip] hotpath self-check: {tool} not on PATH")
+            return 0
+
+    with tempfile.TemporaryDirectory(prefix="gpufreq_hotpath_test_") as tmp:
+        objs = {name: compile_fixture(cxx, name, tmp)
+                for name in ("clean", "alloc_kernel", "throwing_epilogue",
+                             "locking_drain", "transitive_alloc", "phantom_root")}
+
+        # 1. Clean fixture: proven pure.
+        r = run_hotpath(objs["clean"])
+        check("clean fixture is proven pure", r.returncode == 0,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("clean fixture matches its root", "1 root annotation" in r.stderr,
+              r.stderr)
+
+        # 2a. Allocating kernel.
+        r = run_hotpath(objs["alloc_kernel"])
+        check("alloc fixture exits 1", r.returncode == 1,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("alloc fixture flags [alloc] naming operator new",
+              "[alloc]" in r.stderr and "operator new" in r.stderr, r.stderr)
+
+        # 2b. Throwing epilogue.
+        r = run_hotpath(objs["throwing_epilogue"])
+        check("throw fixture exits 1", r.returncode == 1,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("throw fixture flags [throw]", "[throw]" in r.stderr, r.stderr)
+
+        # 2c. Locking drain.
+        r = run_hotpath(objs["locking_drain"])
+        check("lock fixture exits 1", r.returncode == 1,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("lock fixture flags [lock] naming pthread_mutex_lock",
+              "[lock]" in r.stderr and "pthread_mutex_lock" in r.stderr, r.stderr)
+
+        # 2d. Transitive allocation: the chain must name the intermediate
+        #     (boundary) functions between the root and the sink.
+        r = run_hotpath(objs["transitive_alloc"])
+        check("transitive fixture exits 1", r.returncode == 1,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("transitive chain names every intermediate hop",
+              all(hop in r.stderr for hop in ("level_one", "level_two",
+                                              "level_three"))
+              and "operator new" in r.stderr, r.stderr)
+
+        # 3. Stale root annotation: configuration error, not a pass.
+        r = run_hotpath(objs["phantom_root"])
+        check("phantom root is a usage error (exit 2)", r.returncode == 2,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("phantom root message names the stale annotation",
+              "fixture::phantom_root" in r.stderr, r.stderr)
+
+        # 4. Escape hatch: justified allow entry -> green; unjustified -> 2.
+        allow_ok = os.path.join(tmp, "allow_ok.txt")
+        with open(allow_ok, "w", encoding="utf-8") as f:
+            f.write("hotpath-allow: fixture::locking_drain lock :: "
+                    "selfcheck fixture exercising the sanctioned-sink hatch\n")
+        r = run_hotpath(objs["locking_drain"], allowlist=allow_ok)
+        check("justified lock allow turns the fixture green", r.returncode == 0,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+
+        allow_bad = os.path.join(tmp, "allow_bad.txt")
+        with open(allow_bad, "w", encoding="utf-8") as f:
+            f.write("hotpath-allow: fixture::locking_drain lock\n")
+        r = run_hotpath(objs["locking_drain"], allowlist=allow_bad)
+        check("allow entry without justification is rejected (exit 2)",
+              r.returncode == 2, f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+
+        # 5. JSON report.
+        report_path = os.path.join(tmp, "report.json")
+        run_hotpath(objs["alloc_kernel"], "--json", report_path, "--quiet")
+        try:
+            with open(report_path, encoding="utf-8") as f:
+                report = json.load(f)
+            check("json report parses", True)
+            viol = report.get("violations", [])
+            check("json report carries the violation",
+                  report.get("ok") is False and len(viol) >= 1
+                  and any(v.get("class") == "alloc"
+                          and v.get("root") == "fixture::alloc_kernel"
+                          and v.get("chain") for v in viol),
+                  json.dumps(viol, indent=2))
+            check("json report lists the root manifest",
+                  report.get("roots") == ["fixture::alloc_kernel"],
+                  json.dumps(report.get("roots")))
+        except (OSError, json.JSONDecodeError) as e:
+            check("json report parses", False, str(e))
+
+    if failures:
+        print(f"\nhotpath self-check: {len(failures)} failure(s)")
+        return 1
+    print("\nhotpath self-check: all properties hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@
 #include "gpufreq/nn/kernels/dispatch.hpp"
 #include "gpufreq/nn/kernels/kernel_table.hpp"
 #include "gpufreq/nn/network.hpp"
+#include "gpufreq/nn/precision.hpp"
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/rng.hpp"
 #include "gpufreq/util/thread_pool.hpp"
@@ -131,6 +132,67 @@ TEST(KernelDispatch, BackendStringRoundTrip) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("auto|scalar|avx2|avx512"), std::string::npos) << msg;
   }
+}
+
+// Split "a|b|c" on '|'.
+std::vector<std::string> split_accepted(const std::string& joined) {
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= joined.size()) {
+    const std::size_t bar = joined.find('|', start);
+    if (bar == std::string::npos) {
+      names.push_back(joined.substr(start));
+      break;
+    }
+    names.push_back(joined.substr(start, bar - start));
+    start = bar + 1;
+  }
+  return names;
+}
+
+// The GPUFREQ_KERNEL_BACKEND rejection message must embed the registry-
+// generated accepted set verbatim, every name it lists must parse, and
+// every name the parser accepts must be listed — proven by round-tripping
+// the published set instead of hand-copying "auto|scalar|avx2|avx512".
+TEST(KernelDispatch, RejectionMessageListsRegistryAcceptedSet) {
+  const std::string& accepted = accepted_backends();
+  try {
+    backend_from_string("not-a-backend");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("not-a-backend"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(expected " + accepted + ")"), std::string::npos) << msg;
+  }
+  const std::vector<std::string> names = split_accepted(accepted);
+  EXPECT_GE(names.size(), 2u) << accepted;
+  for (const std::string& name : names) {
+    const Backend b = backend_from_string(name);  // must not throw
+    // Listed name <-> enumerator is a bijection (no alias rows, no '?').
+    EXPECT_EQ(to_string(b), name);
+  }
+}
+
+// Same contract for GPUFREQ_PRECISION: the message carries the registry-
+// generated set, and the set round-trips through the parser/printer pair.
+TEST(KernelDispatch, PrecisionRejectionMessageListsRegistryAcceptedSet) {
+  const std::string& accepted = accepted_precisions();
+  try {
+    precision_from_string("fp64");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fp64"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(expected " + accepted + ")"), std::string::npos) << msg;
+  }
+  const std::vector<std::string> names = split_accepted(accepted);
+  EXPECT_GE(names.size(), 2u) << accepted;
+  for (const std::string& name : names) {
+    const Precision p = precision_from_string(name);  // must not throw
+    EXPECT_EQ(to_string(p), name);
+  }
+  EXPECT_THROW(precision_from_string(""), InvalidArgument);
+  EXPECT_THROW(precision_from_string("INT8"), InvalidArgument);
 }
 
 TEST(KernelDispatch, ForcedScalarIsHonored) {

@@ -115,6 +115,49 @@ TEST(ServeQueue, FifoSurvivesRingGrowthAndWraparound) {
   EXPECT_EQ(expected, next);
 }
 
+TEST(ServeQueue, PoppedThenReusedSlotNeverAliasesALiveTicket) {
+  PriorityRequestQueue queue;
+  // Fill one band to its initial ring capacity, then pop everything, so a
+  // second generation of pushes reuses every physical ring cell.
+  constexpr int kRingCapacity = 16;
+  std::vector<std::shared_ptr<detail::SweepSlot>> first;
+  for (int i = 0; i < kRingCapacity; ++i) {
+    first.push_back(make_slot(WorkloadCategory::kBatch, 0));
+    queue.push(first.back());
+  }
+  for (int i = 0; i < kRingCapacity; ++i) {
+    const auto popped = queue.pop();
+    ASSERT_EQ(popped, first[static_cast<std::size_t>(i)]);
+    // pop() must release the ring's reference: only the test's vector and
+    // `popped` may hold the slot now. A stale cell reference here is
+    // exactly what would let a later push alias a live ticket.
+    EXPECT_EQ(popped.use_count(), 2) << i;
+  }
+  EXPECT_TRUE(queue.empty());
+
+  // Second generation through the reused cells: each pop must return its
+  // own slot, never a first-generation one (which a submitter may still
+  // hold as a ticket).
+  std::vector<std::shared_ptr<detail::SweepSlot>> second;
+  for (int i = 0; i < kRingCapacity; ++i) {
+    second.push_back(make_slot(WorkloadCategory::kBatch, 0));
+    queue.push(second.back());
+  }
+  for (int i = 0; i < kRingCapacity; ++i) {
+    const auto popped = queue.pop();
+    EXPECT_EQ(popped, second[static_cast<std::size_t>(i)]);
+    for (const auto& old : first) EXPECT_NE(popped, old);
+  }
+  // The queue holds no residual pins on the first generation...
+  for (const auto& old : first)
+    EXPECT_EQ(old.use_count(), 1) << "queue still pins a popped slot";
+  // ...and writes through a reused cell's slot (what the drain thread does
+  // when publishing an outcome) are invisible through every old ticket.
+  second[0]->outcome.min_energy_frequency_mhz = 1234.5;
+  for (const auto& old : first)
+    EXPECT_EQ(old->outcome.min_energy_frequency_mhz, 0.0);
+}
+
 TEST(ServeQueue, BandSizesAndValidation) {
   PriorityRequestQueue queue;
   queue.push(make_slot(WorkloadCategory::kSystem, 1));

@@ -1,0 +1,22 @@
+// Known-bad fixture for gpufreq_hotpath.py: an annotated kernel that heap-
+// allocates its scratch buffer every call. The analyzer must reject it
+// (exit 1) with an [alloc] violation naming operator new.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+float alloc_kernel(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::alloc_kernel");
+  float* scratch = new float[n];  // the bug: per-call allocation
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch[i] = x[i] * 2.0f;
+    acc += scratch[i];
+  }
+  delete[] scratch;
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Known-good fixture for gpufreq_hotpath.py: a hot root doing pure scalar
+// math plus a call into a non-inlined local helper. The analyzer must prove
+// this object clean (exit 0) with exactly one matched root.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+__attribute__((noinline)) float scaled_sum(const float* x, std::size_t n, float s) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * s;
+  return acc;
+}
+
+float hot_kernel(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::hot_kernel");
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc + scaled_sum(x, n, 0.5f);
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Known-bad fixture for gpufreq_hotpath.py: an annotated drain loop that
+// takes a mutex without a sanctioning allowlist entry. The analyzer must
+// reject it (exit 1) with a [lock] violation (pthread_mutex_lock); with a
+// justified `hotpath-allow: ... lock :: ...` sidecar entry it must pass —
+// the selfcheck exercises both directions (the escape hatch).
+#include <cstddef>
+#include <mutex>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+std::mutex g_queue_mutex;
+double g_queue[64];
+std::size_t g_queue_size = 0;
+
+double locking_drain() {
+  GPUFREQ_HOT("fixture::locking_drain");
+  double drained = 0.0;
+  std::lock_guard<std::mutex> lock(g_queue_mutex);  // the (or a sanctioned) lock
+  for (std::size_t i = 0; i < g_queue_size; ++i) drained += g_queue[i];
+  g_queue_size = 0;
+  return drained;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Known-bad fixture for gpufreq_hotpath.py: the GPUFREQ_HOT annotation
+// names a function that does not exist in the object (e.g. the annotated
+// function was renamed but the manifest string was not). Unmatched roots
+// are a configuration error: exit 2, not a silent pass.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+float actually_named_this(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::phantom_root");  // stale name: matches no symbol
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Known-bad fixture for gpufreq_hotpath.py: the compute loop is pure but
+// the epilogue throws directly from the hot function instead of routing
+// through a cold [[noreturn]] funnel. The analyzer must reject it (exit 1)
+// with a [throw] violation (__cxa_throw / __cxa_allocate_exception).
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+float throwing_epilogue(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::throwing_epilogue");
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  // The bug: the failure path lives in the hot function itself.
+  if (std::isnan(acc)) throw std::runtime_error("throwing_epilogue: NaN sum");
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Known-bad fixture for gpufreq_hotpath.py: the allocation hides THREE
+// calls below the annotated root, behind non-inlined helpers. The analyzer
+// must walk root -> level_one -> level_two -> level_three and report the
+// [alloc] violation with a chain naming the intermediate functions.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+__attribute__((noinline)) double* level_three(std::size_t n) {
+  return new double[n];  // the buried bug
+}
+
+__attribute__((noinline)) double level_two(const double* x, std::size_t n) {
+  double* copy = level_three(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    copy[i] = x[i];
+    acc += copy[i];
+  }
+  delete[] copy;
+  return acc;
+}
+
+__attribute__((noinline)) double level_one(const double* x, std::size_t n) {
+  return level_two(x, n) * 0.5;
+}
+
+double transitive_root(const double* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::transitive_root");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc + level_one(x, n);
+}
+
+}  // namespace fixture

@@ -1,0 +1,754 @@
+#!/usr/bin/env python3
+"""gpufreq hot-path purity analyzer: prove, at build time, that no code
+path out of an annotated hot-path root reaches a forbidden sink.
+
+The repo's marquee performance property — the fused inference chain and
+the SweepService drain are allocation-free, lock-free, and throw-free in
+steady state — is checked dynamically by the counting-operator-new tests,
+but those only cover the paths a test happens to execute. This tool checks
+EVERY path: it disassembles the built static libraries (and, when given,
+linked test binaries), reconstructs the symbol-level call graph from the
+relocations / call annotations, and walks it from every function annotated
+with GPUFREQ_HOT (gpufreq/util/hot_path.hpp). A reachable call into a
+forbidden sink fails the build with the full root -> ... -> sink chain.
+
+Sink classes:
+
+  alloc     operator new / new[] / delete / delete[], malloc, calloc,
+            realloc, free, aligned_alloc, posix_memalign, strdup
+  throw     __cxa_throw, __cxa_allocate_exception and friends,
+            std::__throw_* helpers, abort, __assert_fail, std::terminate
+  lock      pthread_mutex_lock, pthread_cond_(timed)wait, rwlock/semaphore
+            acquisition, __cxa_guard_acquire (magic-static init)
+  io        write/read, fwrite/fread, puts/printf family, open/close,
+            anything through std::basic_ostream / std::basic_ios
+  indirect  `call *reg/mem` — a function-pointer call the static graph
+            cannot see through (`jmp *` is NOT flagged: that is how
+            switch jump tables compile)
+  extern    a call to an undefined symbol that is neither a known sink nor
+            on the built-in benign list (memcpy/memset, libm, unwind
+            plumbing, ...): unknown code the proof cannot vouch for
+
+Escape hatches live in a sidecar allowlist (default
+tools/analyze/hotpath_allow.txt) and are justify-or-fail — an entry
+without a `:: reason` fails the run (exit 2):
+
+  hotpath-allow: <caller-substring> <sink-class> :: <why this is sound>
+      Permit `sink-class` sinks when the *immediate caller*'s demangled
+      name contains the substring. For sanctioned sinks, e.g. the drain's
+      queue-handshake mutex.
+
+  hotpath-boundary: <callee-substring> :: <why this is sound>
+      Do not descend into callees whose demangled name contains the
+      substring. For vetted cold/amortized machinery: [[noreturn]] failure
+      funnels, std::vector growth slow paths, one-time initialization.
+
+Roots are matched by SUBSTRING against demangled symbol names, so one
+annotation also covers compiler-generated clones ([clone .cold],
+.constprop, .isra) and lambdas defined inside the function (their mangled
+names embed the enclosing function). An annotation that matches no defined
+symbol is an error (exit 2): renames cannot silently drop a root.
+
+Usage:
+  tools/analyze/gpufreq_hotpath.py                       # all libgpufreq_*.a under --build-dir
+  tools/analyze/gpufreq_hotpath.py --build-dir build
+  tools/analyze/gpufreq_hotpath.py path/to/foo.o ...     # explicit objects/archives/binaries
+  tools/analyze/gpufreq_hotpath.py --json report.json    # '-' for stdout
+  tools/analyze/gpufreq_hotpath.py --write-roots build/hotpath_roots.txt
+
+Exit status: 0 = proven clean, 1 = violations, 2 = usage/config error
+(missing binutils, unmatched root annotation, unjustified allow entry).
+
+Stdlib-only; needs binutils (objdump, readelf, c++filt) on PATH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import collections
+import glob
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+HOT_SECTION = "gpufreq_hotpath"
+DEFAULT_ALLOWLIST = os.path.join(REPO_ROOT, "tools", "analyze", "hotpath_allow.txt")
+
+SINK_CLASSES = ("alloc", "throw", "lock", "io", "indirect", "extern")
+
+# --- sink classification ----------------------------------------------------
+
+ALLOC_EXACT = {
+    "malloc", "calloc", "realloc", "reallocarray", "free", "cfree",
+    "aligned_alloc", "posix_memalign", "memalign", "valloc", "pvalloc",
+    "strdup", "strndup",
+}
+# operator new/new[] mangle to _Znw*/_Zna*, delete to _Zdl*/_Zda*.
+ALLOC_MANGLED_PREFIXES = ("_Znw", "_Zna", "_Zdl", "_Zda")
+
+THROW_EXACT = {
+    "__cxa_throw", "__cxa_rethrow", "__cxa_allocate_exception",
+    "__cxa_free_exception", "__cxa_bad_cast", "__cxa_bad_typeid",
+    "__cxa_throw_bad_array_new_length", "abort", "__assert_fail",
+    "_ZSt9terminatev",
+}
+
+LOCK_EXACT = {
+    "pthread_mutex_lock", "pthread_mutex_timedlock",
+    "pthread_cond_wait", "pthread_cond_timedwait",
+    "pthread_rwlock_rdlock", "pthread_rwlock_wrlock",
+    "pthread_rwlock_timedrdlock", "pthread_rwlock_timedwrlock",
+    "pthread_spin_lock", "sem_wait", "sem_timedwait",
+    "__cxa_guard_acquire", "pthread_once",
+    # libstdc++'s concurrency wrappers (std::mutex::lock & co) inline a
+    # `if (rc != 0) std::__throw_system_error(rc)` failure branch into the
+    # locking caller. That branch exists only because the lock does, so it
+    # rides under the same class (and the same allow entry) as the lock
+    # itself rather than masquerading as an independent throw site.
+    "_ZSt20__throw_system_errori",
+}
+
+IO_EXACT = {
+    "write", "pwrite", "read", "pread", "fwrite", "fread", "fputs", "fputc",
+    "fgets", "puts", "putchar", "putc", "printf", "fprintf", "vfprintf",
+    "dprintf", "fflush", "fopen", "fclose", "fdopen", "open", "close",
+    "openat", "fsync", "perror", "getline",
+}
+IO_DEMANGLED_MARKERS = (
+    "std::basic_ostream", "std::basic_istream", "std::basic_ios",
+    "std::ios_base", "std::basic_filebuf", "std::basic_streambuf",
+    "std::endl",
+)
+
+# Undefined callees the proof vouches for: leaf routines that by contract
+# neither allocate, lock, throw, nor do IO.
+BENIGN_EXACT = {
+    # mem/str primitives
+    "memcpy", "memset", "memmove", "memcmp", "bcmp", "bzero",
+    "strlen", "strcmp", "strncmp", "strchr", "strrchr", "strstr",
+    # pthread release/notify side (acquisition is the sink, not release:
+    # a release cannot block, and flagging it would double-report every
+    # sanctioned critical section)
+    "pthread_mutex_unlock", "pthread_rwlock_unlock", "pthread_spin_unlock",
+    "pthread_cond_signal", "pthread_cond_broadcast", "sem_post",
+    "pthread_self", "sched_yield",
+    # clocks (vDSO reads; the serve drain timestamps its batches)
+    "clock_gettime", "gettimeofday", "time",
+    # unwind plumbing: only executes while an exception is already in
+    # flight, and raising one is flagged separately via the throw class
+    "_Unwind_Resume", "__gxx_personality_v0", "__cxa_begin_catch",
+    "__cxa_end_catch", "__cxa_guard_release", "__cxa_guard_abort",
+    # stack-protector failure path (noreturn, diagnostic-only)
+    "__stack_chk_fail",
+    "__errno_location",
+}
+# libm and compiler runtime helpers (soft-float, int128 division,
+# vectorized math, *_chk fortify wrappers). Matched after sink sets, so
+# __cxa_*/__assert_fail above win.
+BENIGN_PREFIXES = (
+    "exp", "log", "pow", "tanh", "sinh", "cosh", "sin", "cos", "tan",
+    "atan", "asin", "acos", "sqrt", "cbrt", "fmod", "remainder", "hypot",
+    "erf", "tgamma", "lgamma", "nearbyint", "rint", "lrint", "llrint",
+    "round", "lround", "trunc", "floor", "ceil", "fma", "fmin", "fmax",
+    "fabs", "fdim", "ldexp", "frexp", "scalbn", "copysign", "nextafter",
+    "finite", "isnan", "__mem", "__str", "__udiv", "__div", "__mod",
+    "__umod", "__mul", "__popcount", "__clz", "__ctz", "__fixsfti",
+    "__fixdfti", "__float", "__truncdf", "__extendsf", "_ZGVb", "_ZGVc",
+    "_ZGVd", "_ZGVe",
+)
+BENIGN_DEMANGLED = (
+    "std::chrono::_V2::steady_clock::now()",
+    "std::chrono::_V2::system_clock::now()",
+    # Wake side of the sanctioned condvar handshake, same standing as
+    # pthread_cond_signal/broadcast above: cannot block the caller.
+    "std::condition_variable::notify_one()",
+    "std::condition_variable::notify_all()",
+)
+
+
+def classify_sink(mangled: str, demangled: str) -> str | None:
+    """Sink class for a callee, or None if it is not a forbidden sink."""
+    name = mangled.split("@", 1)[0]  # exec PLT entries: malloc@plt
+    if name in ALLOC_EXACT or name.startswith(ALLOC_MANGLED_PREFIXES):
+        return "alloc"
+    # Lock first: __throw_system_error would otherwise match the generic
+    # std::__throw_ prefix even though it is lock-failure plumbing.
+    if name in LOCK_EXACT:
+        return "lock"
+    if name in THROW_EXACT or demangled.startswith("std::__throw_"):
+        return "throw"
+    if name in IO_EXACT or any(m in demangled for m in IO_DEMANGLED_MARKERS):
+        return "io"
+    return None
+
+
+def is_benign_extern(mangled: str, demangled: str) -> bool:
+    name = mangled.split("@", 1)[0]
+    if name in BENIGN_EXACT or name.startswith(BENIGN_PREFIXES):
+        return True
+    return demangled in BENIGN_DEMANGLED
+
+
+# --- small helpers ----------------------------------------------------------
+
+def fail_usage(msg: str) -> "NoReturn":  # noqa: F821 - py3.9 compat spelling
+    print(f"gpufreq_hotpath: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def run_tool(cmd: list[str]) -> str:
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    except FileNotFoundError:
+        fail_usage(f"required tool not found: {cmd[0]} (binutils must be on PATH)")
+    if proc.returncode != 0:
+        fail_usage(f"{' '.join(cmd[:2])} failed: {proc.stderr.strip()[:500]}")
+    return proc.stdout
+
+
+def demangle_all(names: list[str]) -> dict[str, str]:
+    """Bulk-demangle via one c++filt invocation (one name per line)."""
+    todo = sorted({n.split("@", 1)[0] for n in names})
+    if not todo:
+        return {}
+    cxxfilt = shutil.which("c++filt")
+    if cxxfilt is None:
+        # Degrade to identity: matching falls back to mangled substrings.
+        return {n: n for n in todo}
+    proc = subprocess.run([cxxfilt], input="\n".join(todo) + "\n",
+                          capture_output=True, text=True, check=False)
+    out = proc.stdout.splitlines()
+    if proc.returncode != 0 or len(out) != len(todo):
+        return {n: n for n in todo}
+    return dict(zip(todo, out))
+
+
+# --- input parsing ----------------------------------------------------------
+
+class Func:
+    """One defined function: a node in the call graph."""
+
+    __slots__ = ("key", "name", "member", "local", "calls", "indirect_call")
+
+    def __init__(self, key: str, name: str, member: str, local: bool):
+        self.key = key          # unique node id: "member:name" for locals
+        self.name = name        # symbol name (mangled)
+        self.member = member    # "libfoo.a(bar.cpp.o)" or the file path
+        self.local = local
+        self.calls: list[str] = []       # callee symbol names (raw)
+        self.indirect_call = False       # contains `call *reg/mem`
+
+
+SYMLINE_RE = re.compile(
+    r"^([0-9a-f]+)\s(.{7})\s+(\S+)\s+([0-9a-f]+)\s+(?:\.hidden\s+|\.protected\s+)?(\S+)$")
+MEMBER_RE = re.compile(r"^(\S.*):\s+file format\s+\S+")
+SECTION_RE = re.compile(r"^Disassembly of section (\S+):$")
+FUNCSTART_RE = re.compile(r"^([0-9a-f]+) <(.+)>:$")
+INSN_RE = re.compile(r"^\s+([0-9a-f]+):\t(?:[0-9a-f]{2} )+\s*\t(\S+)(?:\s+(.*))?$")
+RELOC_RE = re.compile(r"^\s+([0-9a-f]+): (R_\S+)\t(\S+?)((?:[+-]0x[0-9a-f]+)?)$")
+ANNOT_RE = re.compile(r"<([^<>]+?)(?:\+0x[0-9a-f]+)?>\s*$")
+
+
+def read_roots(path: str) -> list[str]:
+    """GPUFREQ_HOT strings from the dedicated ELF section (all members)."""
+    proc = subprocess.run(["readelf", "-p", HOT_SECTION, path],
+                          capture_output=True, text=True, check=False)
+    roots = []
+    for line in proc.stdout.splitlines():
+        m = re.match(r"^\s+\[\s*[0-9a-f]+\]\s+(.*)$", line)
+        if m:
+            roots.append(m.group(1).strip())
+    return roots
+
+
+def parse_symbols(path: str):
+    """objdump -t: per-member symbol tables.
+
+    Returns (defined, per_section) where
+      defined[member][symbol] = (section, value, size, is_local)
+      per_section[member][section] = sorted [(value, size, symbol), ...]
+    """
+    out = run_tool(["objdump", "-t", path])
+    defined: dict[str, dict[str, tuple]] = collections.defaultdict(dict)
+    per_section: dict[str, dict[str, list]] = collections.defaultdict(
+        lambda: collections.defaultdict(list))
+    member = os.path.basename(path)
+    for line in out.splitlines():
+        mm = MEMBER_RE.match(line)
+        if mm:
+            name = mm.group(1)
+            member = name if name.endswith((".a", ".o")) or "(" in name \
+                else os.path.basename(path)
+            if path.endswith(".a") and not name.startswith(os.path.basename(path)):
+                member = f"{os.path.basename(path)}({name})"
+            continue
+        sm = SYMLINE_RE.match(line)
+        if not sm:
+            continue
+        value, flags, section, size, name = sm.groups()
+        if section in ("*UND*", "*ABS*", "*COM*"):
+            continue
+        if "d" in flags and name.startswith("."):
+            continue  # section symbols
+        is_func = "F" in flags
+        entry = (section, int(value, 16), int(size, 16), flags.startswith("l"))
+        # Keep function symbols and any named code symbol (e.g. .cold parts
+        # are FUNC; keep objects out of the graph but in the section map).
+        defined[member][name] = entry
+        if is_func or section.startswith(".text"):
+            per_section[member][section].append((int(value, 16), int(size, 16), name))
+    for sections in per_section.values():
+        for lst in sections.values():
+            lst.sort()
+    return defined, per_section
+
+
+def resolve_in_section(per_section_member: dict, section: str, off: int) -> str | None:
+    """Containing symbol for section+off (cold parts, local labels)."""
+    lst = per_section_member.get(section)
+    if not lst:
+        return None
+    idx = bisect.bisect_right(lst, (off, float("inf"), "")) - 1
+    if idx < 0:
+        return None
+    value, size, name = lst[idx]
+    if size and off >= value + size and idx + 1 < len(lst):
+        return None
+    return name
+
+
+def parse_disassembly(path: str, is_archive: bool, defined, per_section):
+    """objdump -d(-r): call edges per defined function.
+
+    For relocatable inputs the callee comes from the relocation attached to
+    the call/jmp; for linked binaries from the <symbol+off> annotation.
+    Any direct `jmp`/`j<cc>` that lands in another symbol counts as an
+    edge (tail calls and outlined `.text.unlikely` cold fragments); `jmp *`
+    (switch tables) does not.
+    """
+    args = ["objdump", "-dr", path] if is_archive else ["objdump", "-d", path]
+    out = run_tool(args)
+    funcs: dict[str, Func] = {}
+    member = os.path.basename(path)
+    section = ".text"
+    cur: Func | None = None
+    pending: tuple[str, str] | None = None  # (mnemonic, annotated callee or "")
+
+    def flush(reloc_target: str | None):
+        nonlocal pending
+        if cur is None or pending is None:
+            pending = None
+            return
+        mnemonic, annotated = pending
+        pending = None
+        callee = reloc_target if reloc_target is not None else annotated
+        if not callee or callee == cur.name:
+            return
+        # jmp to a different *symbol* = tail call; jmp to an offset inside
+        # the current function resolves to cur.name above and is dropped.
+        cur.calls.append(callee)
+
+    for line in out.splitlines():
+        mm = MEMBER_RE.match(line)
+        if mm:
+            flush(None)
+            name = mm.group(1)
+            member = f"{os.path.basename(path)}({name})" if is_archive \
+                else os.path.basename(path)
+            cur = None
+            continue
+        sm = SECTION_RE.match(line)
+        if sm:
+            flush(None)
+            section = sm.group(1)
+            continue
+        fm = FUNCSTART_RE.match(line)
+        if fm:
+            flush(None)
+            sym = fm.group(2)
+            dm = defined.get(member, {})
+            local = dm.get(sym, (None, 0, 0, True))[3]
+            key = f"{member}:{sym}" if local else sym
+            if key in funcs:
+                cur = funcs[key]
+            else:
+                cur = Func(key, sym, member, local)
+                funcs[key] = cur
+            continue
+        rm = RELOC_RE.match(line)
+        if rm and pending is not None:
+            _, _rtype, target, addend = rm.groups()
+            if target.startswith("."):
+                # Section-relative (cold parts): resolve to the containing
+                # symbol. Operand addend is target - 4 for pc32.
+                off = int(addend, 16) if addend else 0
+                resolved = resolve_in_section(per_section.get(member, {}),
+                                              target, off + 4)
+                flush(resolved if resolved else "")
+            else:
+                flush(target)
+            continue
+        im = INSN_RE.match(line)
+        if im:
+            flush(None)  # previous call had no reloc: use its annotation
+            _, mnemonic, operands = im.groups()
+            operands = operands or ""
+            if mnemonic in ("call", "callq"):
+                if operands.lstrip().startswith("*"):
+                    if cur is not None:
+                        cur.indirect_call = True
+                else:
+                    am = ANNOT_RE.search(operands)
+                    pending = ("call", am.group(1) if am else "")
+            elif mnemonic.startswith("j") and not operands.lstrip().startswith("*"):
+                # jmp AND conditional jumps: gcc outlines unlikely branches
+                # into `.text.unlikely` fragments reached by a bare `je`
+                # (e.g. kernels::active() -> active.cold ->
+                # select_and_publish_default), so a j* that lands in a
+                # different symbol is an edge. Same-function targets are
+                # dropped at flush; in relocatables the annotation is the
+                # pre-relocation placeholder, so pending must be set even
+                # when it names the current function (the reloc line that
+                # follows supplies the real target).
+                am = ANNOT_RE.search(operands)
+                pending = ("jmp", am.group(1) if am else "")
+            continue
+    flush(None)
+    return funcs
+
+
+# --- allowlist --------------------------------------------------------------
+
+class AllowEntry:
+    __slots__ = ("kind", "pattern", "sink_class", "reason", "line", "used")
+
+    def __init__(self, kind, pattern, sink_class, reason, line):
+        self.kind = kind            # "allow" | "boundary"
+        self.pattern = pattern      # demangled-substring
+        self.sink_class = sink_class  # allow only
+        self.reason = reason
+        self.line = line
+        self.used = 0
+
+
+def parse_allowlist(path: str) -> list[AllowEntry]:
+    """Sidecar allowlist; every entry is justify-or-fail (exit 2)."""
+    entries: list[AllowEntry] = []
+    if not path or not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            where = f"{path}:{lineno}"
+            # The separator is ' :: ' WITH spaces: patterns are C++
+            # qualified names and contain bare '::' themselves.
+            if line.startswith("hotpath-allow:"):
+                body = line[len("hotpath-allow:"):].strip()
+                head, sep, reason = body.partition(" :: ")
+                parts = head.split()
+                if len(parts) != 2 or parts[1] not in SINK_CLASSES:
+                    fail_usage(f"{where}: expected 'hotpath-allow: <caller-substring> "
+                               f"<{'|'.join(SINK_CLASSES)}> :: <justification>'")
+                if not sep or not reason.strip():
+                    fail_usage(f"{where}: allow entry without a justification "
+                               "(append ':: <why this sink is sound here>')")
+                entries.append(AllowEntry("allow", parts[0], parts[1],
+                                          reason.strip(), where))
+            elif line.startswith("hotpath-boundary:"):
+                body = line[len("hotpath-boundary:"):].strip()
+                head, sep, reason = body.partition(" :: ")
+                pattern = head.strip()
+                if not pattern:
+                    fail_usage(f"{where}: expected 'hotpath-boundary: "
+                               "<callee-substring> :: <justification>'")
+                if not sep or not reason.strip():
+                    fail_usage(f"{where}: boundary entry without a justification "
+                               "(append ':: <why stopping here is sound>')")
+                entries.append(AllowEntry("boundary", pattern, None,
+                                          reason.strip(), where))
+            else:
+                fail_usage(f"{where}: unknown directive (expected 'hotpath-allow:' "
+                           "or 'hotpath-boundary:'): {line[:60]}")
+    return entries
+
+
+# --- analysis ---------------------------------------------------------------
+
+class Analysis:
+    def __init__(self, funcs, demangled, roots, allow):
+        self.funcs: dict[str, Func] = funcs
+        self.demangled: dict[str, str] = demangled
+        self.roots = roots
+        self.allow = [e for e in allow if e.kind == "allow"]
+        self.boundaries = [e for e in allow if e.kind == "boundary"]
+        # symbol name -> node key (globals); locals resolved per member
+        self.global_index: dict[str, str] = {}
+        self.local_index: dict[tuple[str, str], str] = {}
+        for key, fn in funcs.items():
+            if fn.local:
+                self.local_index[(fn.member, fn.name)] = key
+            else:
+                self.global_index.setdefault(fn.name, key)
+
+    def dn(self, name: str) -> str:
+        return self.demangled.get(name.split("@", 1)[0], name)
+
+    def resolve(self, member: str, callee: str) -> str | None:
+        """Node key for a callee symbol, preferring same-member locals."""
+        key = self.local_index.get((member, callee))
+        if key is not None:
+            return key
+        base = callee.split("@", 1)[0]
+        return self.global_index.get(base)
+
+    def boundary_for(self, demangled_callee: str) -> AllowEntry | None:
+        for e in self.boundaries:
+            if e.pattern in demangled_callee:
+                return e
+        return None
+
+    def allow_for(self, demangled_caller: str, sink_class: str) -> AllowEntry | None:
+        for e in self.allow:
+            if e.sink_class == sink_class and e.pattern in demangled_caller:
+                return e
+        return None
+
+    def root_nodes(self) -> tuple[dict[str, list[str]], list[str]]:
+        """Map root string -> matching node keys; plus unmatched roots."""
+        matches: dict[str, list[str]] = {r: [] for r in self.roots}
+        for key, fn in self.funcs.items():
+            d = self.dn(fn.name)
+            for r in self.roots:
+                if r in d:
+                    matches[r].append(key)
+        unmatched = [r for r, keys in matches.items() if not keys]
+        return matches, unmatched
+
+    def run(self):
+        """BFS from every root; returns (violations, reached_count)."""
+        matches, unmatched = self.root_nodes()
+        violations = []
+        seen_viol = set()
+        visited: dict[str, tuple[str | None, str]] = {}  # key -> (parent, root)
+        queue = collections.deque()
+        for root, keys in matches.items():
+            for k in keys:
+                if k not in visited:
+                    visited[k] = (None, root)
+                    queue.append(k)
+
+        def chain(key: str) -> list[str]:
+            out = []
+            k: str | None = key
+            while k is not None:
+                fn = self.funcs[k]
+                out.append(self.dn(fn.name))
+                k = visited[k][0]
+            return list(reversed(out))
+
+        def record(key: str, sink: str, sink_class: str, detail: str):
+            dedup = (self.funcs[key].name, sink.split("@", 1)[0], sink_class)
+            if dedup in seen_viol:
+                return
+            seen_viol.add(dedup)
+            fn = self.funcs[key]
+            violations.append({
+                "class": sink_class,
+                "root": visited[key][1],
+                "caller": self.dn(fn.name),
+                "caller_member": fn.member,
+                "sink": self.dn(sink) if sink else sink,
+                "chain": chain(key) + ([self.dn(sink)] if sink else []),
+                "detail": detail,
+            })
+
+        while queue:
+            key = queue.popleft()
+            fn = self.funcs[key]
+            caller_d = self.dn(fn.name)
+            if fn.indirect_call:
+                entry = self.allow_for(caller_d, "indirect")
+                if entry is not None:
+                    entry.used += 1
+                else:
+                    record(key, "", "indirect",
+                           "contains an indirect call (`call *reg`) the static "
+                           "call graph cannot see through")
+            for callee in fn.calls:
+                callee_d = self.dn(callee)
+                sink_class = classify_sink(callee, callee_d)
+                if sink_class is not None:
+                    entry = self.allow_for(caller_d, sink_class)
+                    if entry is not None:
+                        entry.used += 1
+                        continue
+                    record(key, callee, sink_class,
+                           f"calls forbidden {sink_class} sink '{callee_d}'")
+                    continue
+                boundary = self.boundary_for(callee_d)
+                if boundary is not None:
+                    boundary.used += 1
+                    continue
+                target = self.resolve(fn.member, callee)
+                if target is not None:
+                    if target not in visited:
+                        visited[target] = (key, visited[key][1])
+                        queue.append(target)
+                    continue
+                if is_benign_extern(callee, callee_d):
+                    continue
+                entry = self.allow_for(caller_d, "extern")
+                if entry is not None:
+                    entry.used += 1
+                    continue
+                record(key, callee, "extern",
+                       f"calls undefined symbol '{callee_d}' that the proof "
+                       "cannot vouch for (not on the benign-extern list)")
+        return violations, unmatched, len(visited)
+
+
+# --- driver -----------------------------------------------------------------
+
+def discover_inputs(build_dir: str) -> list[str]:
+    pats = [os.path.join(build_dir, "src", "*", "libgpufreq_*.a"),
+            os.path.join(build_dir, "lib", "libgpufreq_*.a")]
+    found: list[str] = []
+    for p in pats:
+        found.extend(sorted(glob.glob(p)))
+    return found
+
+
+def input_kind(path: str) -> str:
+    with open(path, "rb") as f:
+        magic = f.read(8)
+    if magic.startswith(b"!<arch>"):
+        return "archive"
+    if magic.startswith(b"\x7fELF"):
+        with open(path, "rb") as f:
+            hdr = f.read(18)
+        e_type = int.from_bytes(hdr[16:18], "little")
+        return "object" if e_type == 1 else "binary"  # ET_REL vs EXEC/DYN
+    fail_usage(f"{path}: not an ELF object, archive, or binary")
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="gpufreq_hotpath.py",
+        description="prove GPUFREQ_HOT roots reach no forbidden sink")
+    ap.add_argument("inputs", nargs="*",
+                    help="archives/objects/binaries (default: libgpufreq_*.a "
+                         "under --build-dir)")
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--allowlist", default=DEFAULT_ALLOWLIST,
+                    help=f"sidecar allowlist (default {DEFAULT_ALLOWLIST}; "
+                         "/dev/null to disable)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write a JSON report ('-' for stdout)")
+    ap.add_argument("--write-roots", metavar="PATH",
+                    help="write the extracted root manifest (hotpath_roots.txt)")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress per-violation stderr output")
+    args = ap.parse_args(argv)
+
+    inputs = args.inputs or discover_inputs(args.build_dir)
+    if not inputs:
+        fail_usage(f"no inputs: no libgpufreq_*.a under {args.build_dir} "
+                   "(build first, or pass files explicitly)")
+    for p in inputs:
+        if not os.path.exists(p):
+            fail_usage(f"input not found: {p}")
+
+    allow = parse_allowlist(args.allowlist)
+
+    roots: list[str] = []
+    funcs: dict[str, Func] = {}
+    for path in inputs:
+        kind = input_kind(path)
+        for r in read_roots(path):
+            if r not in roots:
+                roots.append(r)
+        defined, per_section = parse_symbols(path)
+        parsed = parse_disassembly(path, kind != "binary", defined, per_section)
+        for key, fn in parsed.items():
+            if key in funcs:
+                funcs[key].calls.extend(fn.calls)
+                funcs[key].indirect_call |= fn.indirect_call
+            else:
+                funcs[key] = fn
+
+    if not roots:
+        fail_usage(f"no GPUFREQ_HOT roots found in section '{HOT_SECTION}' of: "
+                   + ", ".join(os.path.basename(p) for p in inputs))
+
+    if args.write_roots:
+        with open(args.write_roots, "w", encoding="utf-8") as f:
+            f.write("# GPUFREQ_HOT root manifest — generated by "
+                    "tools/analyze/gpufreq_hotpath.py; do not edit.\n")
+            for r in sorted(roots):
+                f.write(r + "\n")
+
+    names = []
+    for fn in funcs.values():
+        names.append(fn.name)
+        names.extend(fn.calls)
+    demangled = demangle_all(names)
+
+    analysis = Analysis(funcs, demangled, roots, allow)
+    violations, unmatched, reached = analysis.run()
+
+    if unmatched:
+        for r in unmatched:
+            print(f"gpufreq_hotpath: root annotation matches no defined symbol: "
+                  f"'{r}' (rename drifted? GPUFREQ_HOT string must be a substring "
+                  "of the demangled name)", file=sys.stderr)
+        raise SystemExit(2)
+
+    unused = [e for e in allow if e.used == 0]
+
+    if args.json:
+        report = {
+            "ok": not violations,
+            "inputs": inputs,
+            "roots": sorted(roots),
+            "reached_functions": reached,
+            "violations": violations,
+            "allowlist": [{
+                "kind": e.kind, "pattern": e.pattern, "class": e.sink_class,
+                "reason": e.reason, "where": e.line, "used": e.used,
+            } for e in allow],
+        }
+        text = json.dumps(report, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(text)
+
+    if not args.quiet:
+        for v in violations:
+            print(f"gpufreq_hotpath: [{v['class']}] root '{v['root']}': "
+                  f"{v['detail']}", file=sys.stderr)
+            for i, hop in enumerate(v["chain"]):
+                arrow = "    " if i == 0 else " -> "
+                print(f"  {arrow}{hop}", file=sys.stderr)
+            print(f"   in {v['caller_member']}", file=sys.stderr)
+        for e in unused:
+            print(f"gpufreq_hotpath: note: unused allowlist entry at {e.line}: "
+                  f"{e.kind} '{e.pattern}' (stale? consider removing)",
+                  file=sys.stderr)
+        summary = (f"gpufreq_hotpath: {len(roots)} root annotation(s), "
+                   f"{reached} function(s) proven, {len(violations)} violation(s)")
+        print(summary, file=sys.stderr)
+
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

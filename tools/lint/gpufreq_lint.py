@@ -40,6 +40,7 @@ offending line or the line directly above it):
 Usage:
   tools/lint/gpufreq_lint.py                  # lint the default tree
   tools/lint/gpufreq_lint.py file.cpp ...     # lint specific files
+  tools/lint/gpufreq_lint.py --json report.json   # machine-readable report
   tools/lint/gpufreq_lint.py --list-rules
 Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
 """
@@ -47,6 +48,7 @@ Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -327,6 +329,10 @@ def main(argv: list[str]) -> int:
                     help="apply library-only rules (io-in-library) to the given "
                          "files regardless of their path (used by the self-check)")
     ap.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="write a machine-readable report to PATH ('-' for stdout); "
+                         "same schema family as gpufreq_arch.py/gpufreq_hotpath.py "
+                         "so CI can bundle the reports into one artifact")
     args = ap.parse_args(argv)
 
     if args.list_rules:
@@ -348,6 +354,19 @@ def main(argv: list[str]) -> int:
 
     for f in findings:
         print(f)
+    if args.json is not None:
+        report = {
+            "ok": not findings,
+            "files_scanned": len(files),
+            "findings": [{"path": f.path, "line": f.line, "rule": f.rule,
+                          "detail": f.detail} for f in findings],
+        }
+        payload = json.dumps(report, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload)
     if not args.quiet:
         print(f"gpufreq_lint: {len(files)} file(s), {len(findings)} finding(s)",
               file=sys.stderr)

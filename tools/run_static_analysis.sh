@@ -8,25 +8,35 @@
 #      header self-containment,
 #   3. shellcheck over the repo's shell scripts (skipped with a warning
 #      when shellcheck is not installed),
-#   4. clang-tidy over the library sources (skipped with a warning when
-#      clang-tidy is not installed — the container toolchain is gcc-only),
+#   4. clang-tidy over the library sources. Locally a missing clang-tidy
+#      is a warning (the container toolchain is gcc-only); under CI=1 it
+#      is a hard failure — the workflow pins an install, so absence there
+#      means the gate silently lost a stage,
 #   5. a warnings-as-errors Release build (GPUFREQ_WERROR=ON, which
 #      includes -Wconversion -Wdouble-promotion -Wextra-semi, and
 #      -Wthread-safety on clang),
-#   6. the full ctest suite under AddressSanitizer+UBSan
+#   6. the hot-path purity proof (tools/analyze/gpufreq_hotpath.py):
+#      disassembles the stage-5 Release archives and proves no GPUFREQ_HOT
+#      root reaches an alloc/throw/lock/IO sink (DESIGN.md §8), plus the
+#      known-bad fixture self-check,
+#   7. the full ctest suite under AddressSanitizer+UBSan
 #      (GPUFREQ_SANITIZE="address;undefined") with debug invariant checks
 #      (GPUFREQ_DCHECK / GPUFREQ_CHECK_FINITE) compiled in,
-#   7. the concurrency-sensitive test subset (thread pool, trainer,
+#   8. the concurrency-sensitive test subset (thread pool, trainer,
 #      integration/predict sweep, and the serve layer: snapshot hot-swap
 #      and the batched sweep service) under ThreadSanitizer
 #      (GPUFREQ_SANITIZE=thread) with DCHECKs on.
+#
+# Stages 1, 2 and 6 drop machine-readable reports (lint_report.json,
+# arch_report.json, hotpath_report.json) into $SA_BUILD_ROOT; CI uploads
+# the trio as one analysis-reports artifact.
 #
 # Any stage failing fails the gate. Build trees live under build-sa/ so the
 # default build/ directory is never polluted.
 #
 # Usage:
 #   tools/run_static_analysis.sh                       # full gate
-#   SA_SKIP_SANITIZE=1 tools/run_static_analysis.sh    # skip stages 6-7
+#   SA_SKIP_SANITIZE=1 tools/run_static_analysis.sh    # skip stages 7-8
 #   SA_BUILD_ROOT=/tmp/sa tools/run_static_analysis.sh
 #   GPUFREQ_NUM_THREADS=4 tools/run_static_analysis.sh # build/ctest -j 4
 set -euo pipefail
@@ -44,10 +54,12 @@ FAILED=0
 note() { printf '\n== %s ==\n' "$*"; }
 
 # ---------------------------------------------------------------- 1. lint
-note "stage 1/7: gpufreq_lint (determinism & hygiene rules)"
-python3 "$ROOT/tools/lint/gpufreq_lint.py" || FAILED=1
+note "stage 1/8: gpufreq_lint (determinism & hygiene rules)"
+mkdir -p "$BUILD_ROOT"
+python3 "$ROOT/tools/lint/gpufreq_lint.py" --json "$BUILD_ROOT/lint_report.json" \
+  || FAILED=1
 
-note "stage 1/7: lint self-check (fixtures must trip every rule)"
+note "stage 1/8: lint self-check (fixtures must trip every rule)"
 if python3 "$ROOT/tools/lint/gpufreq_lint.py" --quiet \
     "$ROOT/tools/lint/fixtures/bad_example.cpp" \
     "$ROOT/tools/lint/fixtures/bad_header.hpp" \
@@ -64,12 +76,11 @@ if [[ "$FAILED" -ne 0 ]]; then
 fi
 
 # ------------------------------------------------- 2. architecture checks
-note "stage 2/7: gpufreq_arch (layering, cycles, header self-containment)"
-mkdir -p "$BUILD_ROOT"
+note "stage 2/8: gpufreq_arch (layering, cycles, header self-containment)"
 python3 "$ROOT/tools/analyze/gpufreq_arch.py" --json "$BUILD_ROOT/arch_report.json" \
   || FAILED=1
 
-note "stage 2/7: arch self-check (fixture trees must be rejected)"
+note "stage 2/8: arch self-check (fixture trees must be rejected)"
 python3 "$ROOT/tests/test_arch_selfcheck.py" > /dev/null || FAILED=1
 echo "arch report: $BUILD_ROOT/arch_report.json"
 
@@ -79,7 +90,7 @@ if [[ "$FAILED" -ne 0 ]]; then
 fi
 
 # -------------------------------------------------------- 3. shellcheck
-note "stage 3/7: shellcheck"
+note "stage 3/8: shellcheck"
 if command -v shellcheck > /dev/null 2>&1; then
   mapfile -t SCRIPTS < <(find "$ROOT/tools" -name '*.sh' | sort)
   shellcheck "${SCRIPTS[@]}" || FAILED=1
@@ -93,7 +104,7 @@ if [[ "$FAILED" -ne 0 ]]; then
 fi
 
 # ---------------------------------------------------------- 4. clang-tidy
-note "stage 4/7: clang-tidy"
+note "stage 4/8: clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   TIDY_BUILD="$BUILD_ROOT/tidy"
   cmake -B "$TIDY_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
@@ -101,6 +112,13 @@ if command -v clang-tidy > /dev/null 2>&1; then
     -DGPUFREQ_BUILD_BENCH=OFF -DGPUFREQ_BUILD_EXAMPLES=OFF > /dev/null
   mapfile -t TIDY_SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
   clang-tidy -p "$TIDY_BUILD" --quiet "${TIDY_SOURCES[@]}" || FAILED=1
+elif [[ "${CI:-0}" == "1" || "${CI:-false}" == "true" ]]; then
+  # In CI the workflow installs clang-tidy on every matrix leg; if it is
+  # missing the gate would silently drop a stage, so fail loudly instead
+  # of warning (locally the container toolchain is gcc-only, so a skip
+  # with a warning is the right degradation there).
+  echo "error: CI=1 but clang-tidy is not on PATH — the tidy stage is mandatory in CI" >&2
+  FAILED=1
 else
   echo "warning: clang-tidy not found on PATH; skipping (config: .clang-tidy)" >&2
 fi
@@ -111,17 +129,36 @@ if [[ "$FAILED" -ne 0 ]]; then
 fi
 
 # -------------------------------------------------------- 5. Werror build
-note "stage 5/7: warnings-as-errors Release build"
+note "stage 5/8: warnings-as-errors Release build"
 WERROR_BUILD="$BUILD_ROOT/werror"
 cmake -B "$WERROR_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DGPUFREQ_WERROR=ON > /dev/null
 cmake --build "$WERROR_BUILD" -j "$JOBS"
 
-# ------------------------------------------- 6. ctest under ASan + UBSan
+# ------------------------------------------------ 6. hot-path purity proof
+# Reuses the stage-5 archives: GPUFREQ_WERROR only adds -Werror on top of
+# the same Release codegen, so the disassembly the analyzer walks is the
+# shipped configuration.
+note "stage 6/8: gpufreq_hotpath (GPUFREQ_HOT zero-alloc/lock/throw proof)"
+python3 "$ROOT/tools/analyze/gpufreq_hotpath.py" \
+  --build-dir "$WERROR_BUILD" \
+  --allowlist "$ROOT/tools/analyze/hotpath_allow.txt" \
+  --json "$BUILD_ROOT/hotpath_report.json" || FAILED=1
+
+note "stage 6/8: hotpath self-check (known-bad fixtures must be rejected)"
+python3 "$ROOT/tests/test_hotpath_selfcheck.py" > /dev/null || FAILED=1
+echo "hotpath report: $BUILD_ROOT/hotpath_report.json"
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "static analysis gate: FAILED at hot-path purity stage" >&2
+  exit 1
+fi
+
+# ------------------------------------------- 7. ctest under ASan + UBSan
 if [[ "${SA_SKIP_SANITIZE:-0}" == "1" ]]; then
-  note "stage 6/7: sanitized test suite (skipped: SA_SKIP_SANITIZE=1)"
+  note "stage 7/8: sanitized test suite (skipped: SA_SKIP_SANITIZE=1)"
 else
-  note "stage 6/7: ctest under GPUFREQ_SANITIZE=address;undefined"
+  note "stage 7/8: ctest under GPUFREQ_SANITIZE=address;undefined"
   SAN_BUILD="$BUILD_ROOT/asan-ubsan"
   cmake -B "$SAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     "-DGPUFREQ_SANITIZE=address;undefined" \
@@ -131,11 +168,11 @@ else
   (cd "$SAN_BUILD" && ctest --output-on-failure -j "$JOBS")
 fi
 
-# ------------------------------- 7. TSan lane: concurrency-sensitive tests
+# ------------------------------- 8. TSan lane: concurrency-sensitive tests
 if [[ "${SA_SKIP_SANITIZE:-0}" == "1" ]]; then
-  note "stage 7/7: TSan lane (skipped: SA_SKIP_SANITIZE=1)"
+  note "stage 8/8: TSan lane (skipped: SA_SKIP_SANITIZE=1)"
 else
-  note "stage 7/7: thread pool / trainer / predict sweep / serve under GPUFREQ_SANITIZE=thread"
+  note "stage 8/8: thread pool / trainer / predict sweep / serve under GPUFREQ_SANITIZE=thread"
   TSAN_BUILD="$BUILD_ROOT/tsan"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DGPUFREQ_SANITIZE=thread \
