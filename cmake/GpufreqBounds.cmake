@@ -1,0 +1,81 @@
+# gpufreq_register_bounds_gate()
+#
+# Wires the resource-bound prover (tools/analyze/gpufreq_bounds.py) into
+# the build. The analyzer reuses the hot-path call graph (disassembled
+# from the libgpufreq_*.a archives), joins it with the per-function
+# `-fstack-usage` data emitted when GPUFREQ_STACK_USAGE is ON, and fails
+# if any GPUFREQ_HOT root exceeds its worst-case stack budget, can reach
+# recursion or an alloca/VLA frame, or if any writable global in the
+# archives lacks a synchronization story in tools/analyze/bounds_allow.txt
+# (see DESIGN.md §8).
+#
+# Registers:
+#   * `bounds_check` — custom target that rebuilds the proof on demand
+#     (`cmake --build build --target bounds_check`). Depends on the
+#     archives so the `.su` files and objects are always fresh.
+#   * `bounds_real_tree` — ctest entry running the same proof, registered
+#     under the same conditions as hotpath_real_tree: optimized
+#     (Release/RelWithDebInfo), unsanitized builds. Sanitizer
+#     instrumentation inflates every frame with redzone spills, and -O0
+#     keeps frames the optimizer provably shrinks, so the bound is only
+#     meaningful on the shipped configuration. Additionally requires
+#     GPUFREQ_STACK_USAGE=ON, since the proof is vacuous without frame
+#     sizes.
+#
+# Degrades to a warning when python3 or binutils is missing, mirroring
+# the hotpath gate.
+
+function(gpufreq_register_bounds_gate)
+  find_package(Python3 COMPONENTS Interpreter)
+  find_program(GPUFREQ_BOUNDS_OBJDUMP objdump)
+  find_program(GPUFREQ_BOUNDS_READELF readelf)
+  find_program(GPUFREQ_BOUNDS_CXXFILT c++filt)
+  if(NOT Python3_FOUND OR NOT GPUFREQ_BOUNDS_OBJDUMP
+     OR NOT GPUFREQ_BOUNDS_READELF OR NOT GPUFREQ_BOUNDS_CXXFILT)
+    message(WARNING "resource-bound gate not registered "
+      "(needs python3 + binutils objdump/readelf/c++filt)")
+    return()
+  endif()
+  if(NOT GPUFREQ_STACK_USAGE)
+    message(STATUS "resource-bound gate not registered: "
+      "GPUFREQ_STACK_USAGE is OFF, no -fstack-usage data to consume")
+    return()
+  endif()
+
+  set(analyzer "${CMAKE_SOURCE_DIR}/tools/analyze/gpufreq_bounds.py")
+  set(allowlist "${CMAKE_SOURCE_DIR}/tools/analyze/bounds_allow.txt")
+  set(bounds_cmd
+    "${Python3_EXECUTABLE}" "${analyzer}"
+    --build-dir "${CMAKE_BINARY_DIR}"
+    --allowlist "${allowlist}")
+
+  set(archive_targets
+    gpufreq_util gpufreq_workloads gpufreq_sim gpufreq_nn gpufreq_ml
+    gpufreq_dcgm gpufreq_features gpufreq_core gpufreq_serve)
+
+  add_custom_target(bounds_check
+    COMMAND ${bounds_cmd}
+    WORKING_DIRECTORY "${CMAKE_SOURCE_DIR}"
+    COMMENT "bounds: proving GPUFREQ_HOT stack budgets, recursion-freedom, and the writable-global audit"
+    VERBATIM)
+  add_dependencies(bounds_check ${archive_targets})
+
+  if(NOT GPUFREQ_BUILD_TESTS)
+    return()
+  endif()
+  if(NOT GPUFREQ_SANITIZE STREQUAL "")
+    message(STATUS "bounds_real_tree not registered: sanitizer build "
+      "(GPUFREQ_SANITIZE=${GPUFREQ_SANITIZE}) inflates stack frames")
+    return()
+  endif()
+  if(NOT CMAKE_BUILD_TYPE MATCHES "^(Release|RelWithDebInfo)$")
+    message(STATUS "bounds_real_tree not registered: build type "
+      "'${CMAKE_BUILD_TYPE}' is not an optimized configuration")
+    return()
+  endif()
+
+  add_test(NAME bounds_real_tree
+    COMMAND ${bounds_cmd}
+    WORKING_DIRECTORY "${CMAKE_SOURCE_DIR}")
+  set_tests_properties(bounds_real_tree PROPERTIES TIMEOUT 120)
+endfunction()

@@ -5,6 +5,7 @@
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/hot_path.hpp"
 #include "gpufreq/util/logging.hpp"
+#include "gpufreq/util/sort.hpp"
 #include "gpufreq/util/thread_pool.hpp"
 #include "gpufreq/util/workspace.hpp"
 
@@ -128,7 +129,9 @@ void OnlinePredictor::predict_sweep(const sim::CounterSet& max_freq_counters,
 
   detail::workspace_assign(ws.frequencies, frequencies.data(),
                            frequencies.data() + frequencies.size());
-  std::sort(ws.frequencies.begin(), ws.frequencies.end());
+  // Heapsort, not std::sort: introsort recursion is rejected by the
+  // stack-bound gate (gpufreq/util/sort.hpp).
+  detail::bounded_sort(ws.frequencies.begin(), ws.frequencies.end());
   const std::size_t n = ws.frequencies.size();
 
   // Replicate the (frequency-invariant) features across the DVFS space with
@@ -190,7 +193,7 @@ void OnlinePredictor::predict_sweep_batch(std::span<const BatchSweepItem> items,
   for (std::size_t i = 0; i < items.size(); ++i) {
     double* seg = ws.frequencies.data() + ws.offsets[i];
     std::copy(items[i].frequencies.begin(), items[i].frequencies.end(), seg);
-    std::sort(seg, seg + items[i].frequencies.size());
+    detail::bounded_sort(seg, seg + items[i].frequencies.size());
   }
 
   // One shared feature matrix for the whole batch. Rows are disjoint and

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Self-check for tools/analyze/gpufreq_bounds.py, registered with ctest as
+`bounds_selfcheck` (mirrors tests/test_hotpath_selfcheck.py). Compiles the
+known-bad fixtures under tools/analyze/fixtures/bounds/ with the session's
+C++ compiler at -O2 -fstack-usage and verifies:
+
+  1. the clean fixture is proven in-bounds (exit 0, depth far under budget),
+  2. each known-bad fixture is rejected (exit 1) by exactly the violation
+     class it seeds: mutual recursion ([recursion], the cycle naming both
+     helpers), an alloca frame ([dynamic-frame]), an 80 KiB local buffer
+     ([stack-budget], the chain naming the offender), and a naked writable
+     global ([global]),
+  3. missing .su data is a configuration error (exit 2), not a vacuous pass,
+  4. the sidecar hatches: a justified bounds-budget override turns the big
+     frame green, a justified bounds-global entry turns the naked global
+     green; an entry without a justification, an entry matching nothing
+     (stale), and a guarded-by naming a nonexistent mutex are each exit 2,
+  5. the JSON report is well-formed and carries per-root depth/budget/chain,
+     the violation list, and the global classification.
+
+Skips with a note (exit 0) when no C++ compiler or binutils are available;
+the CI matrix always has both. Stdlib-only.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BOUNDS = os.path.join(ROOT, "tools", "analyze", "gpufreq_bounds.py")
+FIXTURES = os.path.join(ROOT, "tools", "analyze", "fixtures", "bounds")
+UTIL_INCLUDE = os.path.join(ROOT, "src", "util", "include")
+
+failures = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}")
+    if not ok:
+        if detail:
+            print(detail)
+        failures.append(name)
+
+
+def find_cxx() -> str | None:
+    for cand in (os.environ.get("CXX", ""), "c++", "g++", "clang++"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def compile_fixture(cxx: str, name: str, outdir: str) -> tuple[str, str]:
+    src = os.path.join(FIXTURES, name + ".cpp")
+    obj = os.path.join(outdir, name + ".o")
+    cmd = [cxx, "-std=c++20", "-O2", "-fstack-usage", "-c", "-I", UTIL_INCLUDE,
+           src, "-o", obj]
+    r = subprocess.run(cmd, capture_output=True, text=True)
+    if r.returncode != 0:
+        raise RuntimeError(f"fixture {name} failed to compile:\n{r.stderr}")
+    su = os.path.join(outdir, name + ".su")
+    if not os.path.exists(su):
+        raise RuntimeError(f"fixture {name}: compiler emitted no {su}")
+    return obj, su
+
+
+def run_bounds(obj: str, su: str, *args: str,
+               allowlist: str = "/dev/null") -> subprocess.CompletedProcess:
+    # --build-dir points at an empty scratch so the repo's real build tree
+    # can never leak .su files or archives into the fixture run.
+    return subprocess.run(
+        [sys.executable, BOUNDS, obj, "--su", su,
+         "--build-dir", os.path.join(os.path.dirname(obj), "no-such-build"),
+         "--allowlist", allowlist, *args],
+        capture_output=True, text=True, cwd=ROOT)
+
+
+def main() -> int:
+    cxx = find_cxx()
+    if cxx is None:
+        print("[skip] bounds self-check: no C++ compiler on PATH")
+        return 0
+    for tool in ("objdump", "readelf", "c++filt"):
+        if not shutil.which(tool):
+            print(f"[skip] bounds self-check: {tool} not on PATH")
+            return 0
+
+    with tempfile.TemporaryDirectory(prefix="gpufreq_bounds_test_") as tmp:
+        objs = {name: compile_fixture(cxx, name, tmp)
+                for name in ("clean", "deep_recursion", "alloca_frame",
+                             "big_frame", "naked_global")}
+
+        # 1. Clean fixture: proven in-bounds.
+        obj, su = objs["clean"]
+        r = run_bounds(obj, su)
+        check("clean fixture is proven in-bounds", r.returncode == 0,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("clean fixture matches its root", "1 root(s)" in r.stderr, r.stderr)
+
+        # 2a. Mutual recursion: unbounded stack.
+        obj, su = objs["deep_recursion"]
+        r = run_bounds(obj, su)
+        check("recursion fixture exits 1", r.returncode == 1,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("recursion cycle names both helpers",
+              "[recursion]" in r.stderr and "descend_even" in r.stderr
+              and "descend_odd" in r.stderr, r.stderr)
+
+        # 2b. alloca frame: untracked dynamic stack.
+        obj, su = objs["alloca_frame"]
+        r = run_bounds(obj, su)
+        check("alloca fixture exits 1", r.returncode == 1,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("alloca fixture flags [dynamic-frame] on the scratch helper",
+              "[dynamic-frame]" in r.stderr and "runtime_scratch" in r.stderr,
+              r.stderr)
+
+        # 2c. 80 KiB frame: over the 64 KiB default budget.
+        obj, su = objs["big_frame"]
+        r = run_bounds(obj, su)
+        check("big-frame fixture exits 1", r.returncode == 1,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("big-frame chain names the offender",
+              "[stack-budget]" in r.stderr and "staging_reduce" in r.stderr,
+              r.stderr)
+
+        # 2d. Naked writable global.
+        obj, su = objs["naked_global"]
+        r = run_bounds(obj, su)
+        check("naked-global fixture exits 1", r.returncode == 1,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("naked-global fixture flags [global] naming the symbol",
+              "[global]" in r.stderr and "g_call_count" in r.stderr, r.stderr)
+
+        # 3. No .su data at all: the proof is vacuous -> configuration error.
+        obj, _ = objs["clean"]
+        r = subprocess.run(
+            [sys.executable, BOUNDS, obj,
+             "--build-dir", os.path.join(tmp, "no-such-build"),
+             "--allowlist", "/dev/null"],
+            capture_output=True, text=True, cwd=ROOT)
+        check("missing .su data is a usage error (exit 2)", r.returncode == 2,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("missing-.su message points at GPUFREQ_STACK_USAGE",
+              "GPUFREQ_STACK_USAGE" in r.stderr, r.stderr)
+
+        # 4a. Justified budget override turns the big frame green.
+        allow_budget = os.path.join(tmp, "allow_budget.txt")
+        with open(allow_budget, "w", encoding="utf-8") as f:
+            f.write("bounds-budget: fixture::big_frame_kernel 131072 :: "
+                    "selfcheck fixture exercising the per-root budget hatch\n")
+        obj, su = objs["big_frame"]
+        r = run_bounds(obj, su, allowlist=allow_budget)
+        check("justified budget override turns the big frame green",
+              r.returncode == 0, f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+
+        # 4b. Justified global entry turns the naked global green.
+        allow_global = os.path.join(tmp, "allow_global.txt")
+        with open(allow_global, "w", encoding="utf-8") as f:
+            f.write("bounds-global: fixture::g_call_count atomic :: "
+                    "selfcheck fixture exercising the vouched-global hatch\n")
+        obj, su = objs["naked_global"]
+        r = run_bounds(obj, su, allowlist=allow_global)
+        check("justified global entry turns the naked global green",
+              r.returncode == 0, f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+
+        # 4c. Entry without a justification: exit 2.
+        allow_bad = os.path.join(tmp, "allow_bad.txt")
+        with open(allow_bad, "w", encoding="utf-8") as f:
+            f.write("bounds-global: fixture::g_call_count atomic\n")
+        r = run_bounds(obj, su, allowlist=allow_bad)
+        check("global entry without justification is rejected (exit 2)",
+              r.returncode == 2, f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+
+        # 4d. Stale entry matching nothing: exit 2, and the message names it.
+        allow_stale = os.path.join(tmp, "allow_stale.txt")
+        with open(allow_stale, "w", encoding="utf-8") as f:
+            f.write("bounds-global: fixture::long_gone_global atomic :: "
+                    "this symbol no longer exists\n")
+        obj, su = objs["clean"]
+        r = run_bounds(obj, su, allowlist=allow_stale)
+        check("stale global entry is rejected (exit 2)", r.returncode == 2,
+              f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+        check("stale-entry message names the pattern",
+              "fixture::long_gone_global" in r.stderr, r.stderr)
+
+        # 4e. guarded-by naming a mutex that does not exist: exit 2.
+        allow_ghost = os.path.join(tmp, "allow_ghost.txt")
+        with open(allow_ghost, "w", encoding="utf-8") as f:
+            f.write("bounds-global: fixture::g_call_count "
+                    "guarded-by=fixture::no_such_mutex :: bogus guard\n")
+        obj, su = objs["naked_global"]
+        r = run_bounds(obj, su, allowlist=allow_ghost)
+        check("guarded-by with a phantom mutex is rejected (exit 2)",
+              r.returncode == 2, f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+
+        # 5. JSON report.
+        report_path = os.path.join(tmp, "report.json")
+        obj, su = objs["big_frame"]
+        run_bounds(obj, su, "--json", report_path, "--quiet")
+        try:
+            with open(report_path, encoding="utf-8") as f:
+                report = json.load(f)
+            check("json report parses", True)
+            viol = report.get("violations", [])
+            check("json report carries the stack-budget violation",
+                  report.get("ok") is False and len(viol) >= 1
+                  and any(v.get("class") == "stack-budget"
+                          and v.get("root") == "fixture::big_frame_kernel"
+                          and v.get("chain") for v in viol),
+                  json.dumps(viol, indent=2))
+            roots = report.get("roots", {})
+            entry = roots.get("fixture::big_frame_kernel", {})
+            check("json report carries per-root depth, budget, and chain",
+                  isinstance(entry.get("depth"), int)
+                  and entry.get("depth") > entry.get("budget", 0)
+                  and any("staging_reduce" in hop.get("function", "")
+                          for hop in entry.get("chain", [])),
+                  json.dumps(entry, indent=2))
+
+            obj, su = objs["naked_global"]
+            run_bounds(obj, su, "--json", report_path, "--quiet")
+            with open(report_path, encoding="utf-8") as f:
+                report = json.load(f)
+            check("json report classifies the audited global",
+                  any(g.get("symbol") == "fixture::g_call_count"
+                      and g.get("class") is None
+                      for g in report.get("globals", [])),
+                  json.dumps(report.get("globals"), indent=2))
+        except (OSError, json.JSONDecodeError) as e:
+            check("json report parses", False, str(e))
+
+    if failures:
+        print(f"\nbounds self-check: {len(failures)} failure(s)")
+        return 1
+    print("\nbounds self-check: all properties hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+// Direct tests for the gpufreq/util/workspace.hpp growth helpers. These
+// move vector mutations behind a non-inlined boundary for GPUFREQ_HOT
+// callers, so their contract matters twice: they must behave exactly like
+// the std::vector calls they wrap, and they must reuse capacity in steady
+// state (the zero-alloc story of the hot path depends on it).
+
+#include "gpufreq/util/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace gd = gpufreq::detail;
+
+TEST(Workspace, ResizeGrowsAndValueInitializes) {
+  std::vector<double> v;
+  gd::workspace_resize(v, 5);
+  ASSERT_EQ(v.size(), 5u);
+  for (double x : v) EXPECT_EQ(x, 0.0);
+}
+
+TEST(Workspace, ResizePreservesExistingValues) {
+  std::vector<int> v = {1, 2, 3};
+  gd::workspace_resize(v, 6);
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ(v[3], 0);
+
+  gd::workspace_resize(v, 2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+}
+
+TEST(Workspace, ResizeWithinCapacityDoesNotReallocate) {
+  std::vector<float> v;
+  v.reserve(64);
+  const float* data = v.data();
+  const std::size_t cap = v.capacity();
+  gd::workspace_resize(v, 64);
+  gd::workspace_resize(v, 8);
+  gd::workspace_resize(v, 64);
+  EXPECT_EQ(v.data(), data);
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(Workspace, AssignCopiesRange) {
+  const double src[] = {3.5, -1.0, 0.25, 7.0};
+  std::vector<double> v = {9.0, 9.0};
+  gd::workspace_assign(v, src, src + 4);
+  ASSERT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], src[i]);
+}
+
+TEST(Workspace, AssignEmptyRangeClears) {
+  std::vector<int> v = {1, 2, 3};
+  const int* p = nullptr;
+  gd::workspace_assign(v, p, p);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Workspace, AssignWithinCapacityDoesNotReallocate) {
+  std::vector<double> v;
+  v.reserve(32);
+  const double* data = v.data();
+  std::vector<double> src(32);
+  std::iota(src.begin(), src.end(), 1.0);
+  gd::workspace_assign(v, src.data(), src.data() + src.size());
+  ASSERT_EQ(v.size(), 32u);
+  EXPECT_EQ(v.data(), data);
+  EXPECT_EQ(v.front(), 1.0);
+  EXPECT_EQ(v.back(), 32.0);
+}
+
+TEST(Workspace, PushAppendsAndGrows) {
+  std::vector<int> v;
+  for (int i = 0; i < 100; ++i) gd::workspace_push(v, i);
+  ASSERT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v[57], 57);
+  EXPECT_EQ(v.back(), 99);
+}
+
+TEST(Workspace, PushWithinCapacityDoesNotReallocate) {
+  std::vector<int> v;
+  v.reserve(16);
+  const int* data = v.data();
+  for (int i = 0; i < 16; ++i) gd::workspace_push(v, i);
+  EXPECT_EQ(v.data(), data);
+  ASSERT_EQ(v.size(), 16u);
+  EXPECT_EQ(v.back(), 15);
+}
+
+TEST(Workspace, PushForwardsRvalues) {
+  std::vector<std::string> v;
+  v.reserve(2);
+  std::string s(64, 'x');  // past SSO so the move is observable
+  const char* payload = s.data();
+  gd::workspace_push(v, std::move(s));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].size(), 64u);
+  EXPECT_EQ(v[0].data(), payload);  // moved, not copied
+
+  gd::workspace_push(v, std::string(64, 'y'));
+  EXPECT_EQ(v[1][0], 'y');
+}
+
+TEST(Workspace, HighWaterMarkReusePattern) {
+  // The steady-state pattern every hot workspace relies on: size to the
+  // high-water mark once, then churn smaller loads with zero reallocation.
+  std::vector<double> v;
+  gd::workspace_resize(v, 61);  // paper-sized DVFS grid
+  const double* data = v.data();
+  for (int round = 0; round < 10; ++round) {
+    std::vector<double> src(static_cast<std::size_t>(11 + round));
+    std::iota(src.begin(), src.end(), 0.5);
+    gd::workspace_assign(v, src.data(), src.data() + src.size());
+    ASSERT_EQ(v.size(), src.size());
+    EXPECT_EQ(v.data(), data);
+    EXPECT_EQ(v.front(), 0.5);
+  }
+}

@@ -1,0 +1,391 @@
+#!/usr/bin/env python3
+"""Shared binary call-graph library for the gpufreq static analyzers.
+
+Extracted from tools/analyze/gpufreq_hotpath.py (PR 8) so the hot-path
+purity prover and the resource-bound prover (tools/analyze/gpufreq_bounds.py)
+walk the SAME graph: one parser for `objdump -t` symbol tables, `objdump
+-d(-r)` disassembly with relocation-resolved call edges, `readelf -p` root
+manifests, and bulk `c++filt` demangling. What it provides:
+
+  * Func           — one defined function: a node with its direct call
+                     edges (callee symbol names) and an indirect-call flag
+  * CallGraph      — loads any mix of .o / .a / linked ELF inputs, merges
+                     members, builds local/global resolution indexes, bulk
+                     demangles, matches GPUFREQ_HOT root annotations
+  * read_roots()   — GPUFREQ_HOT strings from the dedicated ELF section
+  * object symbol tables (CallGraph.objects) — named OBJECT symbols with
+                     their section/size/binding, for writable-global audits
+
+Edge extraction rules (shared by both provers):
+
+  * `call`/`callq` with a relocation → the relocation target; without one
+    → the `<symbol+off>` annotation (linked binaries)
+  * `call *reg/mem` sets Func.indirect_call; `jmp *` does NOT (that is how
+    switch jump tables compile)
+  * any direct `jmp`/`j<cc>` landing in a DIFFERENT symbol is an edge:
+    tail calls, and gcc's outlined `.text.unlikely`/`.cold` fragments
+    reached by a bare conditional jump
+  * section-relative relocations (cold parts, local labels) resolve to the
+    containing symbol by a bisect over the per-section symbol spans
+
+Errors raise CallGraphError; CLI drivers catch it and exit 2 with their
+own prog prefix. Stdlib-only; needs binutils (objdump, readelf, c++filt)
+on PATH.
+"""
+
+from __future__ import annotations
+
+import bisect
+import collections
+import glob
+import os
+import re
+import shutil
+import subprocess
+
+HOT_SECTION = "gpufreq_hotpath"
+
+
+class CallGraphError(Exception):
+    """Usage/configuration error (missing tools, unreadable input)."""
+
+
+def run_tool(cmd: list[str]) -> str:
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    except FileNotFoundError:
+        raise CallGraphError(
+            f"required tool not found: {cmd[0]} (binutils must be on PATH)")
+    if proc.returncode != 0:
+        raise CallGraphError(
+            f"{' '.join(cmd[:2])} failed: {proc.stderr.strip()[:500]}")
+    return proc.stdout
+
+
+def demangle_all(names: list[str]) -> dict[str, str]:
+    """Bulk-demangle via one c++filt invocation (one name per line)."""
+    todo = sorted({n.split("@", 1)[0] for n in names})
+    if not todo:
+        return {}
+    cxxfilt = shutil.which("c++filt")
+    if cxxfilt is None:
+        # Degrade to identity: matching falls back to mangled substrings.
+        return {n: n for n in todo}
+    proc = subprocess.run([cxxfilt], input="\n".join(todo) + "\n",
+                          capture_output=True, text=True, check=False)
+    out = proc.stdout.splitlines()
+    if proc.returncode != 0 or len(out) != len(todo):
+        return {n: n for n in todo}
+    return dict(zip(todo, out))
+
+
+class Func:
+    """One defined function: a node in the call graph."""
+
+    __slots__ = ("key", "name", "member", "local", "calls", "indirect_call")
+
+    def __init__(self, key: str, name: str, member: str, local: bool):
+        self.key = key          # unique node id: "member:name" for locals
+        self.name = name        # symbol name (mangled)
+        self.member = member    # "libfoo.a(bar.cpp.o)" or the file path
+        self.local = local
+        self.calls: list[str] = []       # callee symbol names (raw)
+        self.indirect_call = False       # contains `call *reg/mem`
+
+
+class ObjectSym:
+    """One named OBJECT (data) symbol, for writable-global audits."""
+
+    __slots__ = ("name", "member", "section", "size", "local", "weak")
+
+    def __init__(self, name, member, section, size, local, weak):
+        self.name = name
+        self.member = member
+        self.section = section
+        self.size = size
+        self.local = local
+        self.weak = weak
+
+
+SYMLINE_RE = re.compile(
+    r"^([0-9a-f]+)\s(.{7})\s+(\S+)\s+([0-9a-f]+)\s+(?:\.hidden\s+|\.protected\s+)?(\S+)$")
+MEMBER_RE = re.compile(r"^(\S.*):\s+file format\s+\S+")
+SECTION_RE = re.compile(r"^Disassembly of section (\S+):$")
+FUNCSTART_RE = re.compile(r"^([0-9a-f]+) <(.+)>:$")
+INSN_RE = re.compile(r"^\s+([0-9a-f]+):\t(?:[0-9a-f]{2} )+\s*\t(\S+)(?:\s+(.*))?$")
+RELOC_RE = re.compile(r"^\s+([0-9a-f]+): (R_\S+)\t(\S+?)((?:[+-]0x[0-9a-f]+)?)$")
+ANNOT_RE = re.compile(r"<([^<>]+?)(?:\+0x[0-9a-f]+)?>\s*$")
+
+
+def read_roots(path: str, section: str = HOT_SECTION) -> list[str]:
+    """GPUFREQ_HOT strings from the dedicated ELF section (all members)."""
+    proc = subprocess.run(["readelf", "-p", section, path],
+                          capture_output=True, text=True, check=False)
+    roots = []
+    for line in proc.stdout.splitlines():
+        m = re.match(r"^\s+\[\s*[0-9a-f]+\]\s+(.*)$", line)
+        if m:
+            roots.append(m.group(1).strip())
+    return roots
+
+
+def parse_symbols(path: str):
+    """objdump -t: per-member symbol tables.
+
+    Returns (defined, per_section, objects) where
+      defined[member][symbol] = (section, value, size, is_local)
+      per_section[member][section] = sorted [(value, size, symbol), ...]
+      objects = [ObjectSym, ...] for named data symbols
+    """
+    out = run_tool(["objdump", "-t", path])
+    defined: dict[str, dict[str, tuple]] = collections.defaultdict(dict)
+    per_section: dict[str, dict[str, list]] = collections.defaultdict(
+        lambda: collections.defaultdict(list))
+    objects: list[ObjectSym] = []
+    member = os.path.basename(path)
+    for line in out.splitlines():
+        mm = MEMBER_RE.match(line)
+        if mm:
+            name = mm.group(1)
+            member = name if name.endswith((".a", ".o")) or "(" in name \
+                else os.path.basename(path)
+            if path.endswith(".a") and not name.startswith(os.path.basename(path)):
+                member = f"{os.path.basename(path)}({name})"
+            continue
+        sm = SYMLINE_RE.match(line)
+        if not sm:
+            continue
+        value, flags, section, size, name = sm.groups()
+        if section in ("*UND*", "*ABS*", "*COM*"):
+            continue
+        if "d" in flags and name.startswith("."):
+            continue  # section symbols
+        is_func = "F" in flags
+        entry = (section, int(value, 16), int(size, 16), flags.startswith("l"))
+        # Keep function symbols and any named code symbol (e.g. .cold parts
+        # are FUNC; keep objects out of the graph but in the section map).
+        defined[member][name] = entry
+        if is_func or section.startswith(".text"):
+            per_section[member][section].append((int(value, 16), int(size, 16), name))
+        if "O" in flags:
+            objects.append(ObjectSym(name, member, section, int(size, 16),
+                                     flags.startswith("l"), "w" in flags))
+    for sections in per_section.values():
+        for lst in sections.values():
+            lst.sort()
+    return defined, per_section, objects
+
+
+def resolve_in_section(per_section_member: dict, section: str, off: int) -> str | None:
+    """Containing symbol for section+off (cold parts, local labels)."""
+    lst = per_section_member.get(section)
+    if not lst:
+        return None
+    idx = bisect.bisect_right(lst, (off, float("inf"), "")) - 1
+    if idx < 0:
+        return None
+    value, size, name = lst[idx]
+    if size and off >= value + size and idx + 1 < len(lst):
+        return None
+    return name
+
+
+def parse_disassembly(path: str, is_archive: bool, defined, per_section):
+    """objdump -d(-r): call edges per defined function.
+
+    For relocatable inputs the callee comes from the relocation attached to
+    the call/jmp; for linked binaries from the <symbol+off> annotation.
+    Any direct `jmp`/`j<cc>` that lands in another symbol counts as an
+    edge (tail calls and outlined `.text.unlikely` cold fragments); `jmp *`
+    (switch tables) does not.
+    """
+    args = ["objdump", "-dr", path] if is_archive else ["objdump", "-d", path]
+    out = run_tool(args)
+    funcs: dict[str, Func] = {}
+    member = os.path.basename(path)
+    section = ".text"
+    cur: Func | None = None
+    pending: tuple[str, str] | None = None  # (mnemonic, annotated callee or "")
+
+    def flush(reloc_target: str | None):
+        nonlocal pending
+        if cur is None or pending is None:
+            pending = None
+            return
+        mnemonic, annotated = pending
+        pending = None
+        callee = reloc_target if reloc_target is not None else annotated
+        if not callee:
+            return
+        if callee == cur.name and mnemonic != "call":
+            # jmp to an offset inside the current function: a loop or branch,
+            # not an edge. A `call` to the own symbol IS kept — that is
+            # direct self-recursion, which the bounds analyzer must see.
+            return
+        # jmp to a different *symbol* = tail call or cold-fragment transfer.
+        cur.calls.append(callee)
+
+    for line in out.splitlines():
+        mm = MEMBER_RE.match(line)
+        if mm:
+            flush(None)
+            name = mm.group(1)
+            member = f"{os.path.basename(path)}({name})" if is_archive \
+                else os.path.basename(path)
+            cur = None
+            continue
+        sm = SECTION_RE.match(line)
+        if sm:
+            flush(None)
+            section = sm.group(1)
+            continue
+        fm = FUNCSTART_RE.match(line)
+        if fm:
+            flush(None)
+            sym = fm.group(2)
+            dm = defined.get(member, {})
+            local = dm.get(sym, (None, 0, 0, True))[3]
+            key = f"{member}:{sym}" if local else sym
+            if key in funcs:
+                cur = funcs[key]
+            else:
+                cur = Func(key, sym, member, local)
+                funcs[key] = cur
+            continue
+        rm = RELOC_RE.match(line)
+        if rm and pending is not None:
+            _, _rtype, target, addend = rm.groups()
+            if target.startswith("."):
+                # Section-relative (cold parts): resolve to the containing
+                # symbol. Operand addend is target - 4 for pc32.
+                off = int(addend, 16) if addend else 0
+                resolved = resolve_in_section(per_section.get(member, {}),
+                                              target, off + 4)
+                flush(resolved if resolved else "")
+            else:
+                flush(target)
+            continue
+        im = INSN_RE.match(line)
+        if im:
+            flush(None)  # previous call had no reloc: use its annotation
+            _, mnemonic, operands = im.groups()
+            operands = operands or ""
+            if mnemonic in ("call", "callq"):
+                if operands.lstrip().startswith("*"):
+                    if cur is not None:
+                        cur.indirect_call = True
+                else:
+                    am = ANNOT_RE.search(operands)
+                    pending = ("call", am.group(1) if am else "")
+            elif mnemonic.startswith("j") and not operands.lstrip().startswith("*"):
+                # jmp AND conditional jumps: gcc outlines unlikely branches
+                # into `.text.unlikely` fragments reached by a bare `je`
+                # (e.g. kernels::active() -> active.cold ->
+                # select_and_publish_default), so a j* that lands in a
+                # different symbol is an edge. Same-function targets are
+                # dropped at flush; in relocatables the annotation is the
+                # pre-relocation placeholder, so pending must be set even
+                # when it names the current function (the reloc line that
+                # follows supplies the real target).
+                am = ANNOT_RE.search(operands)
+                pending = ("jmp", am.group(1) if am else "")
+            continue
+    flush(None)
+    return funcs
+
+
+def input_kind(path: str) -> str:
+    with open(path, "rb") as f:
+        magic = f.read(8)
+    if magic.startswith(b"!<arch>"):
+        return "archive"
+    if magic.startswith(b"\x7fELF"):
+        with open(path, "rb") as f:
+            hdr = f.read(18)
+        e_type = int.from_bytes(hdr[16:18], "little")
+        return "object" if e_type == 1 else "binary"  # ET_REL vs EXEC/DYN
+    raise CallGraphError(f"{path}: not an ELF object, archive, or binary")
+
+
+def discover_inputs(build_dir: str) -> list[str]:
+    pats = [os.path.join(build_dir, "src", "*", "libgpufreq_*.a"),
+            os.path.join(build_dir, "lib", "libgpufreq_*.a")]
+    found: list[str] = []
+    for p in pats:
+        found.extend(sorted(glob.glob(p)))
+    return found
+
+
+class CallGraph:
+    """Merged call graph over a set of archives/objects/binaries."""
+
+    def __init__(self):
+        self.funcs: dict[str, Func] = {}
+        self.roots: list[str] = []            # GPUFREQ_HOT strings
+        self.objects: list[ObjectSym] = []    # named data symbols
+        self.inputs: list[str] = []
+        self.demangled: dict[str, str] = {}
+        # symbol name -> node key (globals); locals resolved per member
+        self.global_index: dict[str, str] = {}
+        self.local_index: dict[tuple[str, str], str] = {}
+
+    def load(self, path: str) -> None:
+        if not os.path.exists(path):
+            raise CallGraphError(f"input not found: {path}")
+        kind = input_kind(path)
+        self.inputs.append(path)
+        for r in read_roots(path):
+            if r not in self.roots:
+                self.roots.append(r)
+        defined, per_section, objects = parse_symbols(path)
+        self.objects.extend(objects)
+        parsed = parse_disassembly(path, kind != "binary", defined, per_section)
+        for key, fn in parsed.items():
+            if key in self.funcs:
+                self.funcs[key].calls.extend(fn.calls)
+                self.funcs[key].indirect_call |= fn.indirect_call
+            else:
+                self.funcs[key] = fn
+
+    def finalize(self) -> None:
+        """Build resolution indexes and the demangle cache. Call once,
+        after every load()."""
+        names = []
+        for fn in self.funcs.values():
+            names.append(fn.name)
+            names.extend(fn.calls)
+        names.extend(o.name for o in self.objects)
+        self.demangled = demangle_all(names)
+        for key, fn in self.funcs.items():
+            if fn.local:
+                self.local_index[(fn.member, fn.name)] = key
+            else:
+                self.global_index.setdefault(fn.name, key)
+
+    def dn(self, name: str) -> str:
+        return self.demangled.get(name.split("@", 1)[0], name)
+
+    def resolve(self, member: str, callee: str) -> str | None:
+        """Node key for a callee symbol, preferring same-member locals."""
+        key = self.local_index.get((member, callee))
+        if key is not None:
+            return key
+        base = callee.split("@", 1)[0]
+        return self.global_index.get(base)
+
+    def match_roots(self, roots: list[str] | None = None):
+        """Map root string -> matching node keys; plus unmatched roots.
+
+        Roots are matched by SUBSTRING against demangled names, so one
+        annotation also covers compiler-generated clones ([clone .cold],
+        .constprop, .isra) and lambdas defined inside the function.
+        """
+        wanted = self.roots if roots is None else roots
+        matches: dict[str, list[str]] = {r: [] for r in wanted}
+        for key, fn in self.funcs.items():
+            d = self.dn(fn.name)
+            for r in wanted:
+                if r in d:
+                    matches[r].append(key)
+        unmatched = [r for r, keys in matches.items() if not keys]
+        return matches, unmatched

@@ -1,0 +1,24 @@
+// Known-bad fixture for gpufreq_bounds.py: a helper reachable from a hot
+// root whose frame uses alloca, so the compiler marks it `dynamic` in the
+// .su data and its stack usage is untracked. The analyzer must flag
+// [dynamic-frame] and exit 1.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+__attribute__((noinline)) float runtime_scratch(const float* x, std::size_t n) {
+  float* buf = static_cast<float*>(__builtin_alloca(n * sizeof(float)));
+  for (std::size_t i = 0; i < n; ++i) buf[i] = x[i] * 2.0f;
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += buf[i];
+  return acc;
+}
+
+float alloca_kernel(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::alloca_kernel");
+  return runtime_scratch(x, n);
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Known-bad fixture for gpufreq_bounds.py: a helper reachable from a hot
+// root with an 80 KiB stack buffer — over the default 64 KiB per-root
+// budget on its own. The buffer is passed through an empty asm so the
+// optimizer cannot elide it. The analyzer must flag [stack-budget] with
+// the offending chain and exit 1.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+__attribute__((noinline)) float staging_reduce(const float* x, std::size_t n) {
+  float staging[20 * 1024];  // 80 KiB
+  __asm__ volatile("" : : "r"(staging) : "memory");
+  std::size_t m = n < (20 * 1024) ? n : (20 * 1024);
+  for (std::size_t i = 0; i < m; ++i) staging[i] = x[i];
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < m; ++i) acc += staging[i];
+  return acc;
+}
+
+float big_frame_kernel(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::big_frame_kernel");
+  return staging_reduce(x, n);
+}
+
+}  // namespace fixture

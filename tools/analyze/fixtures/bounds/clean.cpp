@@ -1,0 +1,27 @@
+// Known-good fixture for gpufreq_bounds.py: a hot root with a shallow,
+// acyclic call chain of small fixed-size frames and no writable globals.
+// The analyzer must prove this object in-bounds (exit 0) with one matched
+// root and a worst-case depth far under the default 64 KiB budget.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+__attribute__((noinline)) float window_mean(const float* x, std::size_t n) {
+  float buf[16] = {};
+  std::size_t m = n < 16 ? n : 16;
+  for (std::size_t i = 0; i < m; ++i) buf[i] = x[i];
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < m; ++i) acc += buf[i];
+  return m ? acc / static_cast<float>(m) : 0.0f;
+}
+
+float bounded_kernel(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::bounded_kernel");
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc + window_mean(x, n);
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Known-bad fixture for gpufreq_bounds.py: mutual recursion reachable from
+// a hot root. The cycle makes worst-case stack depth unbounded, so the
+// analyzer must flag [recursion] and exit 1. The helpers are noinline,
+// non-tail (the result feeds an add after the call), and pass the address
+// of a local into the callee so the compiler cannot collapse the cycle
+// into a loop at -O2.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+float descend_odd(float* scratch, std::size_t depth);
+
+__attribute__((noinline)) float descend_even(float* scratch, std::size_t depth) {
+  float local[4] = {scratch[0], 1.0f, 2.0f, 3.0f};
+  if (depth == 0) return local[0];
+  return local[1] + descend_odd(local, depth - 1);
+}
+
+__attribute__((noinline)) float descend_odd(float* scratch, std::size_t depth) {
+  float local[4] = {scratch[0], 5.0f, 6.0f, 7.0f};
+  if (depth == 0) return local[0];
+  return local[2] + descend_even(local, depth - 1);
+}
+
+float recursive_kernel(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::recursive_kernel");
+  float seed[4] = {n ? x[0] : 0.0f, 0.0f, 0.0f, 0.0f};
+  return descend_even(seed, n);
+}
+
+}  // namespace fixture

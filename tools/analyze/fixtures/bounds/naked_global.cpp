@@ -1,0 +1,22 @@
+// Known-bad fixture for gpufreq_bounds.py: a plain writable global with no
+// synchronization story — not const, not std::atomic, not thread_local,
+// and not vouched for in the sidecar. The analyzer must flag [global] and
+// exit 1 regardless of whether any hot root touches it: shared mutable
+// state is a liability for every thread in the process.
+#include <cstddef>
+
+#include "gpufreq/util/hot_path.hpp"
+
+namespace fixture {
+
+std::size_t g_call_count = 0;  // the offender: racy bump below
+
+float counting_kernel(const float* x, std::size_t n) {
+  GPUFREQ_HOT("fixture::counting_kernel");
+  ++g_call_count;
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+}  // namespace fixture

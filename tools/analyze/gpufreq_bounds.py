@@ -1,0 +1,888 @@
+#!/usr/bin/env python3
+"""gpufreq resource-bound prover: worst-case stack, recursion-freedom, and
+mutable-global audit over the hot-path call graph.
+
+The hot-path purity analyzer (gpufreq_hotpath.py) proves no GPUFREQ_HOT
+root reaches an alloc/lock/throw/IO sink — but a pure path can still sink
+a many-threaded service: a recursive helper gives it unbounded depth, one
+80 KiB frame blows a small worker stack under thousands of concurrent
+drains, and an unsynchronized writable global is a data race waiting for
+a second tenant. This tool closes those three holes over the SAME call
+graph (tools/analyze/callgraph.py):
+
+  1. STACK  — consumes the compiler's per-function `-fstack-usage` `.su`
+     files (CMake: -DGPUFREQ_STACK_USAGE=ON, cmake/GpufreqBounds.cmake)
+     and computes the worst-case stack depth of every GPUFREQ_HOT root as
+     the longest root->leaf path through the graph. A root exceeding its
+     budget (default 64 KiB, `bounds-budget:` to override per root) fails
+     with the deepest chain, frame by frame. Calls the graph cannot see
+     through (undefined externs, indirect calls) are charged a fixed
+     allowance (--extern-frame / --indirect-frame) so the bound stays
+     honest about what it assumes.
+  2. RECURSION — any cycle reachable from a hot root is an error (the
+     full cycle is printed); so is any reachable frame the compiler marks
+     `dynamic` without `bounded` (alloca / VLA), since its size is
+     untracked by `.su`. A `dynamic,bounded` frame is dynamic stack
+     REALIGNMENT (over-aligned AVX spills under -march=native) — accepted
+     with a fixed alignment slack added to its frame.
+  3. GLOBALS — audits every named OBJECT symbol in the built archives'
+     writable sections (.data*, .bss*; .tbss/.tdata are thread_local and
+     pass; .data.rel.ro* is read-only after relocation and passes). Each
+     remaining writable global must be vouched for in the sidecar with
+     its synchronization story: `atomic`, `init-once` (guard-protected
+     magic static, immutable after first use), or `guarded-by=<mutex>`
+     where the named mutex must itself exist in the archives.
+
+Sidecar allowlist (default tools/analyze/bounds_allow.txt), justify-or-
+fail like hotpath_allow.txt — a missing `:: reason` or an entry matching
+nothing in the binaries is exit 2, not a silent pass:
+
+  bounds-global: <symbol-substring> atomic :: <why>
+  bounds-global: <symbol-substring> init-once :: <why>
+  bounds-global: <symbol-substring> guarded-by=<mutex-substring> :: <why>
+  bounds-budget: <root-substring> <bytes> :: <why this root needs more>
+  bounds-frame:  <function-substring> <bytes> :: <frame for a function
+                 the .su match missed — compiler-dependent, unmatched
+                 entries are only a note>
+
+Usage:
+  tools/analyze/gpufreq_bounds.py                        # libgpufreq_*.a + *.su under --build-dir
+  tools/analyze/gpufreq_bounds.py --build-dir build-sa/werror
+  tools/analyze/gpufreq_bounds.py obj.o --su dir_or_file # explicit inputs
+  tools/analyze/gpufreq_bounds.py --json report.json     # '-' for stdout
+
+Exit status: 0 = proven in bounds, 1 = violations (budget, recursion,
+dynamic frame, unvouched global), 2 = usage/config error (no .su data,
+unjustified or stale sidecar entry, missing binutils).
+
+Stdlib-only; needs binutils (objdump, readelf, c++filt) on PATH and a
+build configured with GPUFREQ_STACK_USAGE=ON (the default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import glob
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import callgraph  # noqa: E402
+from callgraph import CallGraph, CallGraphError, HOT_SECTION  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_ALLOWLIST = os.path.join(REPO_ROOT, "tools", "analyze", "bounds_allow.txt")
+
+DEFAULT_BUDGET = 64 * 1024       # per-root worst-case stack budget
+DEFAULT_EXTERN_FRAME = 8 * 1024  # allowance for a call into undefined code
+DEFAULT_DEFAULT_FRAME = 2 * 1024  # defined function with no .su match
+
+GLOBAL_CLASSES = ("atomic", "init-once", "guarded-by")
+
+UNBOUNDED = float("inf")
+
+
+def fail_usage(msg: str) -> "NoReturn":  # noqa: F821 - py3.9 compat spelling
+    print(f"gpufreq_bounds: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+# --- canonical function names ----------------------------------------------
+# `.su` entries carry GCC/Clang's pretty-printed signature (`float
+# ns::f(const float*, std::size_t) [with T = ...]`); the call graph carries
+# c++filt's demangling (`ns::f<...>(float const*, unsigned long)`). The two
+# spell parameter types differently (typedefs vs canonical types), so both
+# are collapsed to a parameter-free qualified name: template args removed,
+# parameter lists removed, lambdas folded to one marker, return type and
+# cv/ref qualifiers dropped. Overloads collapse onto one key on purpose —
+# the frame table keeps the MAX across colliding entries, which is the
+# conservative direction for a worst-case bound.
+
+_ABI_RE = re.compile(r"\[abi:[^\]]*\]")
+_CLONE_RE = re.compile(r"\s*\[clone[^\]]*\]")
+_WITH_RE = re.compile(r"\s*\[with .*\]$")
+
+
+def _replace_balanced(s: str, start: str, open_ch: str, close_ch: str,
+                      repl: str) -> str:
+    out = []
+    i, n = 0, len(s)
+    while i < n:
+        if s.startswith(start, i):
+            depth, j = 0, i
+            while j < n:
+                if s[j] == open_ch:
+                    depth += 1
+                elif s[j] == close_ch:
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if j < n:
+                out.append(repl)
+                i = j + 1
+                continue
+        out.append(s[i])
+        i += 1
+    return "".join(out)
+
+
+def _strip_template_args(s: str) -> str:
+    out = []
+    i, n = 0, len(s)
+    while i < n:
+        if s[i] == "<":
+            prev = "".join(out)
+            # operator< / operator<< / operator<= are not template openers
+            if not (prev.endswith("operator") or prev.endswith("operator<")):
+                depth, j = 0, i
+                while j < n:
+                    if s[j] == "<":
+                        depth += 1
+                    elif s[j] == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                if j < n:
+                    i = j + 1
+                    continue
+        out.append(s[i])
+        i += 1
+    return "".join(out)
+
+
+def _strip_paren_groups(s: str) -> str:
+    out = []
+    i, n = 0, len(s)
+    while i < n:
+        if s[i] == "(":
+            depth, j = 0, i
+            while j < n:
+                if s[j] == "(":
+                    depth += 1
+                elif s[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if j < n:
+                i = j + 1
+                continue
+        out.append(s[i])
+        i += 1
+    return "".join(out)
+
+
+def canonical(name: str) -> str:
+    """Parameter-free canonical key for a function's pretty or demangled name."""
+    s = name.strip()
+    s = _ABI_RE.sub("", s)
+    s = _WITH_RE.sub("", s)
+    s = _CLONE_RE.sub("", s)
+    s = s.replace("(anonymous namespace)", "@anon@").replace("{anonymous}", "@anon@")
+    s = _replace_balanced(s, "{lambda", "{", "}", "@lambda@")
+    s = _replace_balanced(s, "<lambda", "<", ">", "@lambda@")
+    # trailing cv/ref qualifiers, then the final parameter list
+    for _ in range(6):
+        s2 = s.rstrip()
+        for suf in (" const", " volatile", " noexcept", "&"):
+            if s2.endswith(suf) and not s2.endswith("operator" + suf.strip()):
+                s2 = s2[: -len(suf)]
+        if s2 == s:
+            break
+        s = s2
+    s = s.rstrip()
+    if s.endswith(")"):
+        depth = 0
+        for i in range(len(s) - 1, -1, -1):
+            if s[i] == ")":
+                depth += 1
+            elif s[i] == "(":
+                depth -= 1
+                if depth == 0:
+                    s = s[:i]
+                    break
+    s = _strip_template_args(s)
+    s = _strip_paren_groups(s)   # enclosing-scope parameter lists
+    s = s.replace(" const::", "::").replace(" volatile::", "::")
+    toks = s.split()
+    if toks:
+        opidx = next((k for k, t in enumerate(toks) if "operator" in t), None)
+        s = "".join(toks[opidx:]) if opidx is not None else toks[-1]
+    # a lambda's call operator and the lambda itself collapse to one key
+    if s.endswith("::operator"):
+        s = s[: -len("::operator")]
+    return s
+
+
+# --- .su parsing ------------------------------------------------------------
+
+# GCC: <file>:<line>:<col>:<pretty signature>\t<bytes>\t<quals>
+# Clang: <file>:<line>:<symbol name>\t<bytes>\t<quals> (no column, and the
+# name is the raw — possibly mangled — symbol rather than a signature).
+SU_RE = re.compile(r"^(.*?):(\d+):(?:(\d+):)?(.+?)\t(\d+)\t(\S+)$")
+
+
+class FrameTable:
+    """Canonical-name -> (max bytes, union of .su qualifiers)."""
+
+    def __init__(self):
+        self.frames: dict[str, dict] = {}
+        self.files = 0
+        self.entries = 0
+        self._raw: list[tuple[str, int, str, str]] = []  # (sig, bytes, quals, where)
+
+    def add_file(self, path: str) -> None:
+        self.files += 1
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for raw in f:
+                m = SU_RE.match(raw.rstrip("\n"))
+                if not m:
+                    continue
+                src, line, _col, sig, size, quals = m.groups()
+                self.entries += 1
+                self._raw.append((sig, int(size), quals, f"{src}:{line}"))
+
+    def finalize(self) -> None:
+        """Demangle mangled signatures (clang .su) and key everything by
+        canonical name. Colliding overloads keep the MAX frame —
+        conservative for a worst-case bound."""
+        mangled = sorted({sig for sig, _, _, _ in self._raw
+                          if sig.startswith("_Z")})
+        demangled = callgraph.demangle_all(mangled) if mangled else {}
+        for sig, size, quals, where in self._raw:
+            key = canonical(demangled.get(sig, sig))
+            ent = self.frames.setdefault(
+                key, {"bytes": 0, "quals": set(), "name": sig, "where": where})
+            ent["bytes"] = max(ent["bytes"], size)
+            ent["quals"].update(quals.split(","))
+        self._raw = []
+
+    def lookup(self, canonical_name: str):
+        return self.frames.get(canonical_name)
+
+
+def discover_su(build_dir: str) -> list[str]:
+    """All .su files emitted for the library TUs under the build tree."""
+    return sorted(glob.glob(os.path.join(build_dir, "src", "**", "*.su"),
+                            recursive=True))
+
+
+# --- sidecar allowlist ------------------------------------------------------
+
+class BoundsEntry:
+    __slots__ = ("kind", "pattern", "gclass", "mutex", "value", "reason",
+                 "line", "used")
+
+    def __init__(self, kind, pattern, gclass, mutex, value, reason, line):
+        self.kind = kind        # "global" | "budget" | "frame"
+        self.pattern = pattern  # demangled-substring
+        self.gclass = gclass    # global entries: atomic | init-once | guarded-by
+        self.mutex = mutex      # guarded-by only: mutex symbol substring
+        self.value = value      # budget/frame entries: bytes
+        self.reason = reason
+        self.line = line
+        self.used = 0
+
+
+def parse_allowlist(path: str) -> list[BoundsEntry]:
+    entries: list[BoundsEntry] = []
+    if not path or not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            where = f"{path}:{lineno}"
+            # ' :: ' WITH spaces: patterns are C++ names containing '::'.
+            if line.startswith("bounds-global:"):
+                body = line[len("bounds-global:"):].strip()
+                head, sep, reason = body.partition(" :: ")
+                # the class is the LAST token: patterns are demangled C++
+                # names and may contain spaces ('(anonymous namespace)::x')
+                parts = head.rsplit(None, 1)
+                gclass = parts[1] if len(parts) == 2 else ""
+                mutex = None
+                if gclass.startswith("guarded-by="):
+                    mutex = gclass[len("guarded-by="):]
+                    gclass = "guarded-by"
+                if len(parts) != 2 or gclass not in GLOBAL_CLASSES \
+                        or (gclass == "guarded-by" and not mutex):
+                    fail_usage(f"{where}: expected 'bounds-global: <symbol-substring> "
+                               "<atomic|init-once|guarded-by=MUTEX> :: <justification>'")
+                if not sep or not reason.strip():
+                    fail_usage(f"{where}: global entry without a justification "
+                               "(append ':: <synchronization story>')")
+                entries.append(BoundsEntry("global", parts[0], gclass, mutex,
+                                           None, reason.strip(), where))
+            elif line.startswith("bounds-budget:") or line.startswith("bounds-frame:"):
+                kind = "budget" if line.startswith("bounds-budget:") else "frame"
+                body = line[len("bounds-budget:"):].strip() if kind == "budget" \
+                    else line[len("bounds-frame:"):].strip()
+                head, sep, reason = body.partition(" :: ")
+                parts = head.rsplit(None, 1)
+                if len(parts) != 2 or not parts[1].isdigit():
+                    fail_usage(f"{where}: expected 'bounds-{kind}: <substring> "
+                               "<bytes> :: <justification>'")
+                if not sep or not reason.strip():
+                    fail_usage(f"{where}: {kind} entry without a justification")
+                entries.append(BoundsEntry(kind, parts[0], None, None,
+                                           int(parts[1]), reason.strip(), where))
+            else:
+                fail_usage(f"{where}: unknown directive (expected 'bounds-global:', "
+                           f"'bounds-budget:', or 'bounds-frame:'): {line[:60]}")
+    return entries
+
+
+# --- global audit -----------------------------------------------------------
+
+# Sections whose named objects are mutable shared state. `.data.rel.ro*`
+# is remapped read-only after relocation; TLS sections are per-thread.
+def section_class(section: str) -> str | None:
+    """'writable' | 'tls' | None (not audited)."""
+    if section.startswith((".tbss", ".tdata")):
+        return "tls"
+    if section.startswith(".data.rel.ro"):
+        return None
+    if section.startswith((".data", ".bss")):
+        return "writable"
+    return None
+
+
+# Toolchain machinery that is writable by section but not program state:
+# DWARF EH reference words, guard variables (mutated only through the
+# __cxa_guard ABI, which the hot-path analyzer already treats as a lock),
+# and RTTI emitted outside .data.rel.ro by some toolchains.
+def is_toolchain_object(name: str, demangled: str) -> bool:
+    if name.startswith(("DW.ref.", "__dso_handle", ".LC")):
+        return True
+    return demangled.startswith(("guard variable for", "vtable for ", "VTT for ",
+                                 "typeinfo for ", "typeinfo name for ",
+                                 "construction vtable for "))
+
+
+def audit_globals(graph: CallGraph, entries: list[BoundsEntry]):
+    """Classify every audited data symbol; returns (rows, violations, errs)."""
+    global_entries = [e for e in entries if e.kind == "global"]
+    rows = {}
+    for sym in graph.objects:
+        cls = section_class(sym.section)
+        if cls is None:
+            continue
+        d = graph.dn(sym.name)
+        if d in rows:
+            continue  # same (weak/local) symbol seen in another member
+        row = {"symbol": d, "section": sym.section, "size": sym.size,
+               "member": sym.member, "class": None, "reason": None}
+        if cls == "tls":
+            row["class"] = "thread-local"
+        elif is_toolchain_object(sym.name, d):
+            row["class"] = "toolchain"
+        else:
+            for e in global_entries:
+                if e.pattern in d:
+                    e.used += 1
+                    row["class"] = e.gclass
+                    row["reason"] = e.reason
+                    if e.gclass == "guarded-by":
+                        row["mutex"] = e.mutex
+                    break
+        rows[d] = row
+
+    violations = []
+    for row in rows.values():
+        if row["class"] is None:
+            violations.append({
+                "class": "global",
+                "symbol": row["symbol"],
+                "section": row["section"],
+                "size": row["size"],
+                "member": row["member"],
+                "detail": f"writable global '{row['symbol']}' "
+                          f"({row['section']}, {row['size']} bytes) has no "
+                          "synchronization story: make it const, std::atomic, "
+                          "or thread_local, or vouch for it in the sidecar "
+                          "(atomic | init-once | guarded-by=<mutex>)",
+            })
+
+    config_errors = []
+    all_demangled = [graph.dn(o.name) for o in graph.objects]
+    for e in global_entries:
+        hits = [d for d in rows if e.pattern in d]
+        if not hits:
+            config_errors.append(
+                f"{e.line}: stale bounds-global entry: pattern '{e.pattern}' "
+                "matches no audited data symbol (removed or renamed?)")
+            continue
+        if e.gclass == "guarded-by":
+            if not any(e.mutex in d for d in all_demangled):
+                config_errors.append(
+                    f"{e.line}: bounds-global names guarding mutex "
+                    f"'{e.mutex}' but no such symbol exists in the inputs")
+    return list(rows.values()), violations, config_errors
+
+
+# --- stack & recursion analysis ---------------------------------------------
+
+_COLD_SUFFIX_RE = re.compile(r"\.cold(\.\d+)?$")
+
+# Extra bytes charged on top of a frame the compiler marks `bounded`:
+# dynamic stack REALIGNMENT (e.g. 32-byte-aligned AVX spills under
+# -march=native) shows up as `dynamic,bounded` in .su data — the dynamic
+# part is a one-time adjustment of at most alignment-1 bytes. Only an
+# UNBOUNDED dynamic frame (alloca / VLA: `dynamic` without `bounded`) is
+# a violation.
+REALIGN_SLACK = 64
+
+
+class StackAnalysis:
+    def __init__(self, graph: CallGraph, frames: FrameTable,
+                 entries: list[BoundsEntry], extern_frame: int,
+                 indirect_frame: int, default_frame: int):
+        self.graph = graph
+        self.frames = frames
+        self.frame_entries = [e for e in entries if e.kind == "frame"]
+        self.extern_frame = extern_frame
+        self.indirect_frame = indirect_frame
+        self.default_frame = default_frame
+        self.unmatched: set[str] = set()   # demangled names without .su data
+        self.dynamic: dict[str, dict] = {}  # node key -> frame info
+        self._frame_cache: dict[str, int] = {}
+
+    def frame_bytes(self, key: str) -> int:
+        if key in self._frame_cache:
+            return self._frame_cache[key]
+        fn = self.graph.funcs[key]
+        d = self.graph.dn(fn.name)
+        ent = self.frames.lookup(canonical(d))
+        if ent is not None:
+            quals = ent["quals"]
+            if "dynamic" in quals and "bounded" not in quals:
+                self.dynamic[key] = {"name": d, "quals": sorted(quals - {"static"}),
+                                     "bytes": ent["bytes"],
+                                     "where": ent["where"]}
+            size = ent["bytes"]
+            if quals - {"static"}:
+                size += REALIGN_SLACK
+        else:
+            size = None
+            for e in self.frame_entries:
+                if e.pattern in d:
+                    e.used += 1
+                    size = e.value
+                    break
+            if size is None:
+                self.unmatched.add(d)
+                size = self.default_frame
+        self._frame_cache[key] = size
+        return size
+
+    def edges(self, key: str) -> list[str]:
+        """Resolved intra-graph callees of `key`, minus the jump BACK from a
+        gcc `.cold` fragment into its parent: the fragment runs on the
+        parent's frame, so that transfer is intra-function control flow, and
+        keeping it would manufacture a parent->cold->parent cycle. The
+        parent->cold direction is kept (reachability into the fragment and
+        its callees). A resolved edge to the function's own key survives —
+        that is direct self-recursion."""
+        fn = self.graph.funcs[key]
+        out = []
+        for callee in fn.calls:
+            t = self.graph.resolve(fn.member, callee)
+            if t is None:
+                continue
+            if t != key \
+                    and _COLD_SUFFIX_RE.sub("", fn.name) == self.graph.funcs[t].name:
+                continue  # cold fragment resuming its parent
+            out.append(t)
+        return out
+
+    def has_opaque_call(self, key: str) -> bool:
+        fn = self.graph.funcs[key]
+        return any(self.graph.resolve(fn.member, c) is None for c in fn.calls)
+
+    def reachable(self):
+        """BFS from all roots: visited {key: (parent, root)} for chains."""
+        matches, unmatched = self.graph.match_roots()
+        visited: dict[str, tuple[str | None, str]] = {}
+        queue = collections.deque()
+        for root, keys in matches.items():
+            for k in keys:
+                if k not in visited:
+                    visited[k] = (None, root)
+                    queue.append(k)
+        while queue:
+            key = queue.popleft()
+            for target in self.edges(key):
+                if target not in visited:
+                    visited[target] = (key, visited[key][1])
+                    queue.append(target)
+        return matches, unmatched, visited
+
+    def chain(self, visited, key: str) -> list[str]:
+        out, k = [], key
+        while k is not None:
+            out.append(self.graph.dn(self.graph.funcs[k].name))
+            k = visited[k][0]
+        return list(reversed(out))
+
+    def find_cycles(self, visited) -> list[list[str]]:
+        """Iterative DFS over the reachable subgraph; one witness KEY chain
+        per distinct cycle (deduped by node set). Nodes on any cycle land in
+        self.cyclic."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {k: WHITE for k in visited}
+        cycles: list[list[str]] = []
+        seen_cycles: set[frozenset] = set()
+        self.cyclic: set[str] = set()
+
+        def edges(key):
+            return [t for t in self.edges(key) if t in visited]
+
+        for start in visited:
+            if color[start] != WHITE:
+                continue
+            stack = [(start, iter(edges(start)))]
+            path = [start]
+            color[start] = GREY
+            while stack:
+                key, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if color[nxt] == GREY:
+                        i = path.index(nxt)
+                        cyc = path[i:] + [nxt]
+                        self.cyclic.update(cyc)
+                        ident = frozenset(cyc)
+                        if ident not in seen_cycles:
+                            seen_cycles.add(ident)
+                            cycles.append(cyc)
+                    elif color[nxt] == WHITE:
+                        color[nxt] = GREY
+                        stack.append((nxt, iter(edges(nxt))))
+                        path.append(nxt)
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    path.pop()
+                    color[key] = BLACK
+        return cycles
+
+    def depths(self, visited):
+        """Memoized longest root->leaf stack depth per reachable node.
+        Returns (depth, best_child, leaf_extra) maps; cyclic nodes are
+        UNBOUNDED."""
+        depth: dict[str, float] = {}
+        best: dict[str, str | None] = {}
+        extra: dict[str, int] = {}
+
+        order = []  # post-order via iterative DFS (graph is acyclic outside self.cyclic)
+        state = {}
+        for start in visited:
+            if start in state:
+                continue
+            stack = [start]
+            while stack:
+                key = stack[-1]
+                if state.get(key) == 2:
+                    stack.pop()
+                    continue
+                if state.get(key) == 1:
+                    state[key] = 2
+                    order.append(key)
+                    stack.pop()
+                    continue
+                state[key] = 1
+                for t in self.edges(key):
+                    if t in visited and t not in state and t not in self.cyclic:
+                        stack.append(t)
+
+        for key in order:
+            if key in self.cyclic:
+                depth[key] = UNBOUNDED
+                best[key] = None
+                extra[key] = 0
+                continue
+            fn = self.graph.funcs[key]
+            own = self.frame_bytes(key)
+            deepest: float = 0
+            leaf = 0
+            child: str | None = None
+            if fn.indirect_call:
+                leaf = max(leaf, self.indirect_frame)
+            if self.has_opaque_call(key):
+                leaf = max(leaf, self.extern_frame)
+            for t in self.edges(key):
+                if t not in visited:
+                    continue
+                d = depth.get(t, UNBOUNDED if t in self.cyclic else 0)
+                if d > deepest:
+                    deepest = d
+                    child = t
+            if deepest >= leaf:
+                depth[key] = own + deepest
+                best[key] = child
+                extra[key] = 0
+            else:
+                depth[key] = own + leaf
+                best[key] = None
+                extra[key] = leaf
+        return depth, best, extra
+
+    def deepest_chain(self, key, depth, best, extra):
+        """[(name, frame bytes), ...] along the argmax path, plus the
+        assumed allowance at the end when the path ends in an opaque call."""
+        out = []
+        k = key
+        while k is not None:
+            out.append((self.graph.dn(self.graph.funcs[k].name),
+                        self.frame_bytes(k)))
+            nxt = best.get(k)
+            if nxt is None:
+                leaf = extra.get(k, 0)
+                if leaf:
+                    out.append(("<opaque call allowance>", leaf))
+                break
+            k = nxt
+        return out
+
+
+# --- driver -----------------------------------------------------------------
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="gpufreq_bounds.py",
+        description="prove GPUFREQ_HOT roots stack-bounded and recursion-free, "
+                    "and audit writable globals")
+    ap.add_argument("inputs", nargs="*",
+                    help="archives/objects/binaries (default: libgpufreq_*.a "
+                         "under --build-dir)")
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--su", action="append", metavar="PATH", default=[],
+                    help=".su file or directory to scan (default: src/**/*.su "
+                         "under --build-dir); repeatable")
+    ap.add_argument("--allowlist", default=DEFAULT_ALLOWLIST,
+                    help=f"sidecar allowlist (default {DEFAULT_ALLOWLIST}; "
+                         "/dev/null to disable)")
+    ap.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                    help=f"per-root stack budget in bytes (default {DEFAULT_BUDGET})")
+    ap.add_argument("--extern-frame", type=int, default=DEFAULT_EXTERN_FRAME,
+                    help="stack allowance for calls into undefined code "
+                         f"(default {DEFAULT_EXTERN_FRAME})")
+    ap.add_argument("--indirect-frame", type=int, default=DEFAULT_EXTERN_FRAME,
+                    help="stack allowance for indirect calls "
+                         f"(default {DEFAULT_EXTERN_FRAME})")
+    ap.add_argument("--default-frame", type=int, default=DEFAULT_DEFAULT_FRAME,
+                    help="assumed frame for a defined function with no .su "
+                         f"match (default {DEFAULT_DEFAULT_FRAME})")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write a JSON report ('-' for stdout)")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress per-violation stderr output")
+    args = ap.parse_args(argv)
+
+    inputs = args.inputs or callgraph.discover_inputs(args.build_dir)
+    if not inputs:
+        fail_usage(f"no inputs: no libgpufreq_*.a under {args.build_dir} "
+                   "(build first, or pass files explicitly)")
+
+    su_files: list[str] = []
+    for p in args.su:
+        if os.path.isdir(p):
+            su_files.extend(sorted(glob.glob(os.path.join(p, "**", "*.su"),
+                                             recursive=True)))
+        elif os.path.exists(p):
+            su_files.append(p)
+        else:
+            fail_usage(f"--su path not found: {p}")
+    if not args.su:
+        su_files = discover_su(args.build_dir)
+    if not su_files:
+        fail_usage("no .su stack-usage files found — configure the build with "
+                   "-DGPUFREQ_STACK_USAGE=ON (the default) so every library TU "
+                   "emits -fstack-usage data, or point --su at them")
+
+    entries = parse_allowlist(args.allowlist)
+
+    frames = FrameTable()
+    for f in su_files:
+        frames.add_file(f)
+    frames.finalize()
+    if frames.entries == 0:
+        fail_usage(f"{len(su_files)} .su file(s) found but none contained a "
+                   "parseable stack-usage entry — toolchain emitting an "
+                   "unknown format? Rebuild with -DGPUFREQ_STACK_USAGE=ON and "
+                   "file the first lines of one .su file")
+
+    graph = CallGraph()
+    try:
+        for path in inputs:
+            graph.load(path)
+    except CallGraphError as e:
+        fail_usage(str(e))
+    graph.finalize()
+
+    if not graph.roots:
+        fail_usage(f"no GPUFREQ_HOT roots found in section '{HOT_SECTION}' of: "
+                   + ", ".join(os.path.basename(p) for p in inputs))
+
+    analysis = StackAnalysis(graph, frames, entries, args.extern_frame,
+                             args.indirect_frame, args.default_frame)
+    matches, unmatched_roots, visited = analysis.reachable()
+    if unmatched_roots:
+        for r in unmatched_roots:
+            print(f"gpufreq_bounds: root annotation matches no defined symbol: "
+                  f"'{r}' (rename drifted?)", file=sys.stderr)
+        raise SystemExit(2)
+
+    violations: list[dict] = []
+
+    # 1. recursion-freedom
+    for cyc in analysis.find_cycles(visited):
+        # path from the root down to the cycle entry, then the cycle itself
+        entry_path = analysis.chain(visited, cyc[0])
+        violations.append({
+            "class": "recursion",
+            "root": visited[cyc[0]][1],
+            "chain": entry_path + [graph.dn(graph.funcs[k].name) for k in cyc[1:]],
+            "detail": "cycle reachable from a hot root: worst-case stack depth "
+                      "is unbounded",
+        })
+
+    depth, best, extra = analysis.depths(visited)
+
+    # 2. dynamic (alloca / VLA) frames
+    for key, info in sorted(analysis.dynamic.items()):
+        if key not in visited:
+            continue
+        violations.append({
+            "class": "dynamic-frame",
+            "root": visited[key][1],
+            "chain": analysis.chain(visited, key),
+            "detail": f"frame of '{info['name']}' is "
+                      f"{'/'.join(info['quals'])} ({info['where']}): alloca or "
+                      "VLA makes its stack usage untracked by .su",
+        })
+
+    # 3. per-root worst-case depth vs budget
+    budget_entries = [e for e in entries if e.kind == "budget"]
+    stale_budget = [e for e in budget_entries
+                    if not any(e.pattern in r for r in graph.roots)]
+    root_report = {}
+    for root, keys in sorted(matches.items()):
+        budget = args.budget
+        for e in budget_entries:
+            if e.pattern in root:
+                e.used += 1
+                budget = e.value
+                break
+        worst: float = 0
+        worst_key = None
+        for k in keys:
+            if depth.get(k, 0) > worst:
+                worst = depth[k]
+                worst_key = k
+        chain = analysis.deepest_chain(worst_key, depth, best, extra) \
+            if worst_key is not None else []
+        root_report[root] = {
+            "depth": None if worst == UNBOUNDED else int(worst),
+            "budget": budget,
+            "chain": [{"function": n, "frame": b} for n, b in chain],
+        }
+        if worst == UNBOUNDED:
+            continue  # recursion violation already reported above
+        if worst > budget:
+            violations.append({
+                "class": "stack-budget",
+                "root": root,
+                "chain": [n for n, _ in chain],
+                "detail": f"worst-case stack depth {int(worst)} bytes exceeds "
+                          f"the {budget}-byte budget; deepest chain: "
+                          + " -> ".join(f"{n} [{b}B]" for n, b in chain),
+            })
+
+    # 4. writable-global audit
+    global_rows, global_violations, config_errors = audit_globals(graph, entries)
+    violations.extend(global_violations)
+
+    for e in stale_budget:
+        config_errors.append(
+            f"{e.line}: stale bounds-budget entry: pattern '{e.pattern}' "
+            "matches no GPUFREQ_HOT root")
+    for e in entries:
+        if e.kind == "global" or e.used:
+            continue
+        if e.kind == "budget":
+            continue  # stale budget entries handled above
+        print(f"gpufreq_bounds: note: unused {e.kind} entry at {e.line}: "
+              f"'{e.pattern}' (stale? consider removing)", file=sys.stderr)
+
+    if config_errors:
+        for msg in config_errors:
+            print(f"gpufreq_bounds: {msg}", file=sys.stderr)
+        raise SystemExit(2)
+
+    unmatched_reachable = sorted(analysis.unmatched)
+
+    if args.json:
+        classified = collections.Counter(
+            row["class"] for row in global_rows if row["class"] is not None)
+        report = {
+            "ok": not violations,
+            "inputs": inputs,
+            "su_files": len(su_files),
+            "su_entries": frames.entries,
+            "budget": args.budget,
+            "extern_frame": args.extern_frame,
+            "indirect_frame": args.indirect_frame,
+            "roots": root_report,
+            "violations": violations,
+            "globals": sorted(global_rows, key=lambda r: r["symbol"]),
+            "global_classes": dict(classified),
+            "unmatched_frames": unmatched_reachable,
+            "allowlist": [{
+                "kind": e.kind, "pattern": e.pattern, "class": e.gclass,
+                "mutex": e.mutex, "bytes": e.value, "reason": e.reason,
+                "where": e.line, "used": e.used,
+            } for e in entries],
+        }
+        text = json.dumps(report, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(text)
+
+    if not args.quiet:
+        for v in violations:
+            print(f"gpufreq_bounds: [{v['class']}]"
+                  + (f" root '{v['root']}'" if v.get("root") else "")
+                  + f": {v['detail']}", file=sys.stderr)
+            for i, hop in enumerate(v.get("chain", [])):
+                arrow = "    " if i == 0 else " -> "
+                print(f"  {arrow}{hop}", file=sys.stderr)
+        if unmatched_reachable:
+            print(f"gpufreq_bounds: note: {len(unmatched_reachable)} reachable "
+                  f"function(s) without .su data, assumed {args.default_frame} "
+                  "bytes each (worst offenders listed in the JSON report)",
+                  file=sys.stderr)
+        finite = [r["depth"] for r in root_report.values()
+                  if r["depth"] is not None]
+        deepest = max(finite) if finite else 0
+        print(f"gpufreq_bounds: {len(graph.roots)} root(s), "
+              f"{len(visited)} function(s) walked, worst stack depth "
+              f"{deepest} / {args.budget} bytes, "
+              f"{len(global_rows)} writable global(s) audited, "
+              f"{len(violations)} violation(s)", file=sys.stderr)
+
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,9 +8,11 @@ steady state — is checked dynamically by the counting-operator-new tests,
 but those only cover the paths a test happens to execute. This tool checks
 EVERY path: it disassembles the built static libraries (and, when given,
 linked test binaries), reconstructs the symbol-level call graph from the
-relocations / call annotations, and walks it from every function annotated
-with GPUFREQ_HOT (gpufreq/util/hot_path.hpp). A reachable call into a
-forbidden sink fails the build with the full root -> ... -> sink chain.
+relocations / call annotations (tools/analyze/callgraph.py, shared with
+the resource-bound prover gpufreq_bounds.py), and walks it from every
+function annotated with GPUFREQ_HOT (gpufreq/util/hot_path.hpp). A
+reachable call into a forbidden sink fails the build with the full
+root -> ... -> sink chain.
 
 Sink classes:
 
@@ -65,18 +67,16 @@ Stdlib-only; needs binutils (objdump, readelf, c++filt) on PATH.
 from __future__ import annotations
 
 import argparse
-import bisect
 import collections
-import glob
 import json
 import os
-import re
-import shutil
-import subprocess
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import callgraph  # noqa: E402
+from callgraph import CallGraph, CallGraphError, HOT_SECTION  # noqa: E402,F401
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-HOT_SECTION = "gpufreq_hotpath"
 DEFAULT_ALLOWLIST = os.path.join(REPO_ROOT, "tools", "analyze", "hotpath_allow.txt")
 
 SINK_CLASSES = ("alloc", "throw", "lock", "io", "indirect", "extern")
@@ -201,227 +201,6 @@ def fail_usage(msg: str) -> "NoReturn":  # noqa: F821 - py3.9 compat spelling
     raise SystemExit(2)
 
 
-def run_tool(cmd: list[str]) -> str:
-    try:
-        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
-    except FileNotFoundError:
-        fail_usage(f"required tool not found: {cmd[0]} (binutils must be on PATH)")
-    if proc.returncode != 0:
-        fail_usage(f"{' '.join(cmd[:2])} failed: {proc.stderr.strip()[:500]}")
-    return proc.stdout
-
-
-def demangle_all(names: list[str]) -> dict[str, str]:
-    """Bulk-demangle via one c++filt invocation (one name per line)."""
-    todo = sorted({n.split("@", 1)[0] for n in names})
-    if not todo:
-        return {}
-    cxxfilt = shutil.which("c++filt")
-    if cxxfilt is None:
-        # Degrade to identity: matching falls back to mangled substrings.
-        return {n: n for n in todo}
-    proc = subprocess.run([cxxfilt], input="\n".join(todo) + "\n",
-                          capture_output=True, text=True, check=False)
-    out = proc.stdout.splitlines()
-    if proc.returncode != 0 or len(out) != len(todo):
-        return {n: n for n in todo}
-    return dict(zip(todo, out))
-
-
-# --- input parsing ----------------------------------------------------------
-
-class Func:
-    """One defined function: a node in the call graph."""
-
-    __slots__ = ("key", "name", "member", "local", "calls", "indirect_call")
-
-    def __init__(self, key: str, name: str, member: str, local: bool):
-        self.key = key          # unique node id: "member:name" for locals
-        self.name = name        # symbol name (mangled)
-        self.member = member    # "libfoo.a(bar.cpp.o)" or the file path
-        self.local = local
-        self.calls: list[str] = []       # callee symbol names (raw)
-        self.indirect_call = False       # contains `call *reg/mem`
-
-
-SYMLINE_RE = re.compile(
-    r"^([0-9a-f]+)\s(.{7})\s+(\S+)\s+([0-9a-f]+)\s+(?:\.hidden\s+|\.protected\s+)?(\S+)$")
-MEMBER_RE = re.compile(r"^(\S.*):\s+file format\s+\S+")
-SECTION_RE = re.compile(r"^Disassembly of section (\S+):$")
-FUNCSTART_RE = re.compile(r"^([0-9a-f]+) <(.+)>:$")
-INSN_RE = re.compile(r"^\s+([0-9a-f]+):\t(?:[0-9a-f]{2} )+\s*\t(\S+)(?:\s+(.*))?$")
-RELOC_RE = re.compile(r"^\s+([0-9a-f]+): (R_\S+)\t(\S+?)((?:[+-]0x[0-9a-f]+)?)$")
-ANNOT_RE = re.compile(r"<([^<>]+?)(?:\+0x[0-9a-f]+)?>\s*$")
-
-
-def read_roots(path: str) -> list[str]:
-    """GPUFREQ_HOT strings from the dedicated ELF section (all members)."""
-    proc = subprocess.run(["readelf", "-p", HOT_SECTION, path],
-                          capture_output=True, text=True, check=False)
-    roots = []
-    for line in proc.stdout.splitlines():
-        m = re.match(r"^\s+\[\s*[0-9a-f]+\]\s+(.*)$", line)
-        if m:
-            roots.append(m.group(1).strip())
-    return roots
-
-
-def parse_symbols(path: str):
-    """objdump -t: per-member symbol tables.
-
-    Returns (defined, per_section) where
-      defined[member][symbol] = (section, value, size, is_local)
-      per_section[member][section] = sorted [(value, size, symbol), ...]
-    """
-    out = run_tool(["objdump", "-t", path])
-    defined: dict[str, dict[str, tuple]] = collections.defaultdict(dict)
-    per_section: dict[str, dict[str, list]] = collections.defaultdict(
-        lambda: collections.defaultdict(list))
-    member = os.path.basename(path)
-    for line in out.splitlines():
-        mm = MEMBER_RE.match(line)
-        if mm:
-            name = mm.group(1)
-            member = name if name.endswith((".a", ".o")) or "(" in name \
-                else os.path.basename(path)
-            if path.endswith(".a") and not name.startswith(os.path.basename(path)):
-                member = f"{os.path.basename(path)}({name})"
-            continue
-        sm = SYMLINE_RE.match(line)
-        if not sm:
-            continue
-        value, flags, section, size, name = sm.groups()
-        if section in ("*UND*", "*ABS*", "*COM*"):
-            continue
-        if "d" in flags and name.startswith("."):
-            continue  # section symbols
-        is_func = "F" in flags
-        entry = (section, int(value, 16), int(size, 16), flags.startswith("l"))
-        # Keep function symbols and any named code symbol (e.g. .cold parts
-        # are FUNC; keep objects out of the graph but in the section map).
-        defined[member][name] = entry
-        if is_func or section.startswith(".text"):
-            per_section[member][section].append((int(value, 16), int(size, 16), name))
-    for sections in per_section.values():
-        for lst in sections.values():
-            lst.sort()
-    return defined, per_section
-
-
-def resolve_in_section(per_section_member: dict, section: str, off: int) -> str | None:
-    """Containing symbol for section+off (cold parts, local labels)."""
-    lst = per_section_member.get(section)
-    if not lst:
-        return None
-    idx = bisect.bisect_right(lst, (off, float("inf"), "")) - 1
-    if idx < 0:
-        return None
-    value, size, name = lst[idx]
-    if size and off >= value + size and idx + 1 < len(lst):
-        return None
-    return name
-
-
-def parse_disassembly(path: str, is_archive: bool, defined, per_section):
-    """objdump -d(-r): call edges per defined function.
-
-    For relocatable inputs the callee comes from the relocation attached to
-    the call/jmp; for linked binaries from the <symbol+off> annotation.
-    Any direct `jmp`/`j<cc>` that lands in another symbol counts as an
-    edge (tail calls and outlined `.text.unlikely` cold fragments); `jmp *`
-    (switch tables) does not.
-    """
-    args = ["objdump", "-dr", path] if is_archive else ["objdump", "-d", path]
-    out = run_tool(args)
-    funcs: dict[str, Func] = {}
-    member = os.path.basename(path)
-    section = ".text"
-    cur: Func | None = None
-    pending: tuple[str, str] | None = None  # (mnemonic, annotated callee or "")
-
-    def flush(reloc_target: str | None):
-        nonlocal pending
-        if cur is None or pending is None:
-            pending = None
-            return
-        mnemonic, annotated = pending
-        pending = None
-        callee = reloc_target if reloc_target is not None else annotated
-        if not callee or callee == cur.name:
-            return
-        # jmp to a different *symbol* = tail call; jmp to an offset inside
-        # the current function resolves to cur.name above and is dropped.
-        cur.calls.append(callee)
-
-    for line in out.splitlines():
-        mm = MEMBER_RE.match(line)
-        if mm:
-            flush(None)
-            name = mm.group(1)
-            member = f"{os.path.basename(path)}({name})" if is_archive \
-                else os.path.basename(path)
-            cur = None
-            continue
-        sm = SECTION_RE.match(line)
-        if sm:
-            flush(None)
-            section = sm.group(1)
-            continue
-        fm = FUNCSTART_RE.match(line)
-        if fm:
-            flush(None)
-            sym = fm.group(2)
-            dm = defined.get(member, {})
-            local = dm.get(sym, (None, 0, 0, True))[3]
-            key = f"{member}:{sym}" if local else sym
-            if key in funcs:
-                cur = funcs[key]
-            else:
-                cur = Func(key, sym, member, local)
-                funcs[key] = cur
-            continue
-        rm = RELOC_RE.match(line)
-        if rm and pending is not None:
-            _, _rtype, target, addend = rm.groups()
-            if target.startswith("."):
-                # Section-relative (cold parts): resolve to the containing
-                # symbol. Operand addend is target - 4 for pc32.
-                off = int(addend, 16) if addend else 0
-                resolved = resolve_in_section(per_section.get(member, {}),
-                                              target, off + 4)
-                flush(resolved if resolved else "")
-            else:
-                flush(target)
-            continue
-        im = INSN_RE.match(line)
-        if im:
-            flush(None)  # previous call had no reloc: use its annotation
-            _, mnemonic, operands = im.groups()
-            operands = operands or ""
-            if mnemonic in ("call", "callq"):
-                if operands.lstrip().startswith("*"):
-                    if cur is not None:
-                        cur.indirect_call = True
-                else:
-                    am = ANNOT_RE.search(operands)
-                    pending = ("call", am.group(1) if am else "")
-            elif mnemonic.startswith("j") and not operands.lstrip().startswith("*"):
-                # jmp AND conditional jumps: gcc outlines unlikely branches
-                # into `.text.unlikely` fragments reached by a bare `je`
-                # (e.g. kernels::active() -> active.cold ->
-                # select_and_publish_default), so a j* that lands in a
-                # different symbol is an edge. Same-function targets are
-                # dropped at flush; in relocatables the annotation is the
-                # pre-relocation placeholder, so pending must be set even
-                # when it names the current function (the reloc line that
-                # follows supplies the real target).
-                am = ANNOT_RE.search(operands)
-                pending = ("jmp", am.group(1) if am else "")
-            continue
-    flush(None)
-    return funcs
-
-
 # --- allowlist --------------------------------------------------------------
 
 class AllowEntry:
@@ -482,31 +261,14 @@ def parse_allowlist(path: str) -> list[AllowEntry]:
 # --- analysis ---------------------------------------------------------------
 
 class Analysis:
-    def __init__(self, funcs, demangled, roots, allow):
-        self.funcs: dict[str, Func] = funcs
-        self.demangled: dict[str, str] = demangled
-        self.roots = roots
+    def __init__(self, graph: CallGraph, allow: list[AllowEntry]):
+        self.graph = graph
+        self.funcs = graph.funcs
         self.allow = [e for e in allow if e.kind == "allow"]
         self.boundaries = [e for e in allow if e.kind == "boundary"]
-        # symbol name -> node key (globals); locals resolved per member
-        self.global_index: dict[str, str] = {}
-        self.local_index: dict[tuple[str, str], str] = {}
-        for key, fn in funcs.items():
-            if fn.local:
-                self.local_index[(fn.member, fn.name)] = key
-            else:
-                self.global_index.setdefault(fn.name, key)
 
     def dn(self, name: str) -> str:
-        return self.demangled.get(name.split("@", 1)[0], name)
-
-    def resolve(self, member: str, callee: str) -> str | None:
-        """Node key for a callee symbol, preferring same-member locals."""
-        key = self.local_index.get((member, callee))
-        if key is not None:
-            return key
-        base = callee.split("@", 1)[0]
-        return self.global_index.get(base)
+        return self.graph.dn(name)
 
     def boundary_for(self, demangled_callee: str) -> AllowEntry | None:
         for e in self.boundaries:
@@ -520,20 +282,9 @@ class Analysis:
                 return e
         return None
 
-    def root_nodes(self) -> tuple[dict[str, list[str]], list[str]]:
-        """Map root string -> matching node keys; plus unmatched roots."""
-        matches: dict[str, list[str]] = {r: [] for r in self.roots}
-        for key, fn in self.funcs.items():
-            d = self.dn(fn.name)
-            for r in self.roots:
-                if r in d:
-                    matches[r].append(key)
-        unmatched = [r for r, keys in matches.items() if not keys]
-        return matches, unmatched
-
     def run(self):
-        """BFS from every root; returns (violations, reached_count)."""
-        matches, unmatched = self.root_nodes()
+        """BFS from every root; returns (violations, unmatched, reached)."""
+        matches, unmatched = self.graph.match_roots()
         violations = []
         seen_viol = set()
         visited: dict[str, tuple[str | None, str]] = {}  # key -> (parent, root)
@@ -596,7 +347,7 @@ class Analysis:
                 if boundary is not None:
                     boundary.used += 1
                     continue
-                target = self.resolve(fn.member, callee)
+                target = self.graph.resolve(fn.member, callee)
                 if target is not None:
                     if target not in visited:
                         visited[target] = (key, visited[key][1])
@@ -615,28 +366,6 @@ class Analysis:
 
 
 # --- driver -----------------------------------------------------------------
-
-def discover_inputs(build_dir: str) -> list[str]:
-    pats = [os.path.join(build_dir, "src", "*", "libgpufreq_*.a"),
-            os.path.join(build_dir, "lib", "libgpufreq_*.a")]
-    found: list[str] = []
-    for p in pats:
-        found.extend(sorted(glob.glob(p)))
-    return found
-
-
-def input_kind(path: str) -> str:
-    with open(path, "rb") as f:
-        magic = f.read(8)
-    if magic.startswith(b"!<arch>"):
-        return "archive"
-    if magic.startswith(b"\x7fELF"):
-        with open(path, "rb") as f:
-            hdr = f.read(18)
-        e_type = int.from_bytes(hdr[16:18], "little")
-        return "object" if e_type == 1 else "binary"  # ET_REL vs EXEC/DYN
-    fail_usage(f"{path}: not an ELF object, archive, or binary")
-
 
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(
@@ -657,33 +386,22 @@ def main(argv: list[str]) -> int:
                     help="suppress per-violation stderr output")
     args = ap.parse_args(argv)
 
-    inputs = args.inputs or discover_inputs(args.build_dir)
+    inputs = args.inputs or callgraph.discover_inputs(args.build_dir)
     if not inputs:
         fail_usage(f"no inputs: no libgpufreq_*.a under {args.build_dir} "
                    "(build first, or pass files explicitly)")
-    for p in inputs:
-        if not os.path.exists(p):
-            fail_usage(f"input not found: {p}")
 
     allow = parse_allowlist(args.allowlist)
 
-    roots: list[str] = []
-    funcs: dict[str, Func] = {}
-    for path in inputs:
-        kind = input_kind(path)
-        for r in read_roots(path):
-            if r not in roots:
-                roots.append(r)
-        defined, per_section = parse_symbols(path)
-        parsed = parse_disassembly(path, kind != "binary", defined, per_section)
-        for key, fn in parsed.items():
-            if key in funcs:
-                funcs[key].calls.extend(fn.calls)
-                funcs[key].indirect_call |= fn.indirect_call
-            else:
-                funcs[key] = fn
+    graph = CallGraph()
+    try:
+        for path in inputs:
+            graph.load(path)
+    except CallGraphError as e:
+        fail_usage(str(e))
+    graph.finalize()
 
-    if not roots:
+    if not graph.roots:
         fail_usage(f"no GPUFREQ_HOT roots found in section '{HOT_SECTION}' of: "
                    + ", ".join(os.path.basename(p) for p in inputs))
 
@@ -691,16 +409,10 @@ def main(argv: list[str]) -> int:
         with open(args.write_roots, "w", encoding="utf-8") as f:
             f.write("# GPUFREQ_HOT root manifest — generated by "
                     "tools/analyze/gpufreq_hotpath.py; do not edit.\n")
-            for r in sorted(roots):
+            for r in sorted(graph.roots):
                 f.write(r + "\n")
 
-    names = []
-    for fn in funcs.values():
-        names.append(fn.name)
-        names.extend(fn.calls)
-    demangled = demangle_all(names)
-
-    analysis = Analysis(funcs, demangled, roots, allow)
+    analysis = Analysis(graph, allow)
     violations, unmatched, reached = analysis.run()
 
     if unmatched:
@@ -716,7 +428,7 @@ def main(argv: list[str]) -> int:
         report = {
             "ok": not violations,
             "inputs": inputs,
-            "roots": sorted(roots),
+            "roots": sorted(graph.roots),
             "reached_functions": reached,
             "violations": violations,
             "allowlist": [{
@@ -743,7 +455,7 @@ def main(argv: list[str]) -> int:
             print(f"gpufreq_hotpath: note: unused allowlist entry at {e.line}: "
                   f"{e.kind} '{e.pattern}' (stale? consider removing)",
                   file=sys.stderr)
-        summary = (f"gpufreq_hotpath: {len(roots)} root annotation(s), "
+        summary = (f"gpufreq_hotpath: {len(graph.roots)} root annotation(s), "
                    f"{reached} function(s) proven, {len(violations)} violation(s)")
         print(summary, file=sys.stderr)
 

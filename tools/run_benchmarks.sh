@@ -13,8 +13,15 @@
 # Usage:
 #   tools/run_benchmarks.sh                 # full suite
 #   BENCH_FILTER='Gemm' tools/run_benchmarks.sh
+#   BENCH_MIN_TIME=0.01 tools/run_benchmarks.sh   # smoke: ~10ms/benchmark
 #   BUILD_DIR=/tmp/b tools/run_benchmarks.sh
 #   GPUFREQ_NUM_THREADS=4 tools/run_benchmarks.sh   # also caps build -j
+#
+# BENCH_MIN_TIME maps to --benchmark_min_time (seconds per benchmark;
+# google-benchmark's default is 0.5). CI's bench-smoke leg sets a small
+# value so the full suite runs in seconds — the numbers are noisy but the
+# report schema, merge, and publish paths are exercised end to end and the
+# perf trajectory stays visible per-PR.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -43,10 +50,15 @@ idx=0
 parts=()
 for bin in "${BENCH_BINS[@]}"; do
   part="$TMP_PREFIX.$idx.json"
+  MIN_TIME_ARGS=()
+  if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
+    MIN_TIME_ARGS=("--benchmark_min_time=${BENCH_MIN_TIME}")
+  fi
   if ! "$bin" \
       --benchmark_out="$part" \
       --benchmark_out_format=json \
-      --benchmark_filter="${BENCH_FILTER:-.*}"; then
+      --benchmark_filter="${BENCH_FILTER:-.*}" \
+      "${MIN_TIME_ARGS[@]}"; then
     echo "error: $(basename "$bin") failed; not publishing $REPORT" >&2
     exit 1
   fi

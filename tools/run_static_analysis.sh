@@ -1,42 +1,51 @@
 #!/usr/bin/env bash
 # One-command static-analysis gate for the gpufreq repo. Runs, in order:
 #
-#   1. the custom determinism/hygiene linter (tools/lint/gpufreq_lint.py)
-#      plus its fixture self-check,
-#   2. the architecture analyzer (tools/analyze/gpufreq_arch.py): include
-#      layering vs the declared module DAG, include-cycle detection, and
-#      header self-containment,
-#   3. shellcheck over the repo's shell scripts (skipped with a warning
-#      when shellcheck is not installed),
-#   4. clang-tidy over the library sources. Locally a missing clang-tidy
-#      is a warning (the container toolchain is gcc-only); under CI=1 it
-#      is a hard failure — the workflow pins an install, so absence there
-#      means the gate silently lost a stage,
-#   5. a warnings-as-errors Release build (GPUFREQ_WERROR=ON, which
-#      includes -Wconversion -Wdouble-promotion -Wextra-semi, and
-#      -Wthread-safety on clang),
-#   6. the hot-path purity proof (tools/analyze/gpufreq_hotpath.py):
-#      disassembles the stage-5 Release archives and proves no GPUFREQ_HOT
-#      root reaches an alloc/throw/lock/IO sink (DESIGN.md §8), plus the
-#      known-bad fixture self-check,
-#   7. the full ctest suite under AddressSanitizer+UBSan
-#      (GPUFREQ_SANITIZE="address;undefined") with debug invariant checks
-#      (GPUFREQ_DCHECK / GPUFREQ_CHECK_FINITE) compiled in,
-#   8. the concurrency-sensitive test subset (thread pool, trainer,
-#      integration/predict sweep, and the serve layer: snapshot hot-swap
-#      and the batched sweep service) under ThreadSanitizer
-#      (GPUFREQ_SANITIZE=thread) with DCHECKs on.
+#   * the custom determinism/hygiene linter (tools/lint/gpufreq_lint.py)
+#     plus its fixture self-check,
+#   * the architecture analyzer (tools/analyze/gpufreq_arch.py): include
+#     layering vs the declared module DAG, include-cycle detection, and
+#     header self-containment,
+#   * shellcheck over the repo's shell scripts (skipped with a warning
+#     when shellcheck is not installed),
+#   * clang-tidy over the library sources. Locally a missing clang-tidy
+#     is a warning (the container toolchain is gcc-only); under CI=1 it
+#     is a hard failure — the workflow pins an install, so absence there
+#     means the gate silently lost a stage,
+#   * a warnings-as-errors Release build (GPUFREQ_WERROR=ON, which
+#     includes -Wconversion -Wdouble-promotion -Wextra-semi -Wvla, and
+#     -Wthread-safety on clang),
+#   * the hot-path purity proof (tools/analyze/gpufreq_hotpath.py):
+#     disassembles the Werror archives and proves no GPUFREQ_HOT root
+#     reaches an alloc/throw/lock/IO sink (DESIGN.md §8), plus the
+#     known-bad fixture self-check,
+#   * the resource-bound proof (tools/analyze/gpufreq_bounds.py): joins
+#     the same archives with their -fstack-usage data and proves every
+#     GPUFREQ_HOT root within its worst-case stack budget, recursion-free,
+#     and every writable global vouched for (DESIGN.md §8), plus its
+#     fixture self-check,
+#   * the full ctest suite under AddressSanitizer+UBSan
+#     (GPUFREQ_SANITIZE="address;undefined") with debug invariant checks
+#     (GPUFREQ_DCHECK / GPUFREQ_CHECK_FINITE) compiled in,
+#   * the concurrency-sensitive test subset (thread pool, trainer,
+#     integration/predict sweep, and the serve layer: snapshot hot-swap
+#     and the batched sweep service) under ThreadSanitizer
+#     (GPUFREQ_SANITIZE=thread) with DCHECKs on.
 #
-# Stages 1, 2 and 6 drop machine-readable reports (lint_report.json,
-# arch_report.json, hotpath_report.json) into $SA_BUILD_ROOT; CI uploads
-# the trio as one analysis-reports artifact.
+# Stage banners are numbered by the stage() helper at run time — never
+# hard-code "stage N" in a banner, it drifts as stages land.
+#
+# The lint, arch, hotpath, and bounds stages drop machine-readable reports
+# (lint_report.json, arch_report.json, hotpath_report.json,
+# bounds_report.json) into $SA_BUILD_ROOT; CI uploads them as one
+# analysis-reports artifact.
 #
 # Any stage failing fails the gate. Build trees live under build-sa/ so the
 # default build/ directory is never polluted.
 #
 # Usage:
 #   tools/run_static_analysis.sh                       # full gate
-#   SA_SKIP_SANITIZE=1 tools/run_static_analysis.sh    # skip stages 7-8
+#   SA_SKIP_SANITIZE=1 tools/run_static_analysis.sh    # skip sanitizer legs
 #   SA_BUILD_ROOT=/tmp/sa tools/run_static_analysis.sh
 #   GPUFREQ_NUM_THREADS=4 tools/run_static_analysis.sh # build/ctest -j 4
 set -euo pipefail
@@ -51,15 +60,23 @@ case "$JOBS" in
 esac
 FAILED=0
 
-note() { printf '\n== %s ==\n' "$*"; }
+# Self-numbering banners: stage() opens the next numbered stage, substage()
+# continues the current one (fixture self-checks, report paths).
+TOTAL_STAGES=9
+STAGE=0
+stage() {
+  STAGE=$((STAGE + 1))
+  printf '\n== stage %d/%d: %s ==\n' "$STAGE" "$TOTAL_STAGES" "$*"
+}
+substage() { printf '\n== stage %d/%d: %s ==\n' "$STAGE" "$TOTAL_STAGES" "$*"; }
 
-# ---------------------------------------------------------------- 1. lint
-note "stage 1/8: gpufreq_lint (determinism & hygiene rules)"
+# ------------------------------------------------------------------- lint
+stage "gpufreq_lint (determinism & hygiene rules)"
 mkdir -p "$BUILD_ROOT"
 python3 "$ROOT/tools/lint/gpufreq_lint.py" --json "$BUILD_ROOT/lint_report.json" \
   || FAILED=1
 
-note "stage 1/8: lint self-check (fixtures must trip every rule)"
+substage "lint self-check (fixtures must trip every rule)"
 if python3 "$ROOT/tools/lint/gpufreq_lint.py" --quiet \
     "$ROOT/tools/lint/fixtures/bad_example.cpp" \
     "$ROOT/tools/lint/fixtures/bad_header.hpp" \
@@ -75,12 +92,12 @@ if [[ "$FAILED" -ne 0 ]]; then
   exit 1
 fi
 
-# ------------------------------------------------- 2. architecture checks
-note "stage 2/8: gpufreq_arch (layering, cycles, header self-containment)"
+# ---------------------------------------------------- architecture checks
+stage "gpufreq_arch (layering, cycles, header self-containment)"
 python3 "$ROOT/tools/analyze/gpufreq_arch.py" --json "$BUILD_ROOT/arch_report.json" \
   || FAILED=1
 
-note "stage 2/8: arch self-check (fixture trees must be rejected)"
+substage "arch self-check (fixture trees must be rejected)"
 python3 "$ROOT/tests/test_arch_selfcheck.py" > /dev/null || FAILED=1
 echo "arch report: $BUILD_ROOT/arch_report.json"
 
@@ -89,8 +106,8 @@ if [[ "$FAILED" -ne 0 ]]; then
   exit 1
 fi
 
-# -------------------------------------------------------- 3. shellcheck
-note "stage 3/8: shellcheck"
+# ------------------------------------------------------------- shellcheck
+stage "shellcheck"
 if command -v shellcheck > /dev/null 2>&1; then
   mapfile -t SCRIPTS < <(find "$ROOT/tools" -name '*.sh' | sort)
   shellcheck "${SCRIPTS[@]}" || FAILED=1
@@ -103,8 +120,8 @@ if [[ "$FAILED" -ne 0 ]]; then
   exit 1
 fi
 
-# ---------------------------------------------------------- 4. clang-tidy
-note "stage 4/8: clang-tidy"
+# ------------------------------------------------------------- clang-tidy
+stage "clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   TIDY_BUILD="$BUILD_ROOT/tidy"
   cmake -B "$TIDY_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
@@ -128,24 +145,24 @@ if [[ "$FAILED" -ne 0 ]]; then
   exit 1
 fi
 
-# -------------------------------------------------------- 5. Werror build
-note "stage 5/8: warnings-as-errors Release build"
+# ----------------------------------------------------------- Werror build
+stage "warnings-as-errors Release build"
 WERROR_BUILD="$BUILD_ROOT/werror"
 cmake -B "$WERROR_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DGPUFREQ_WERROR=ON > /dev/null
 cmake --build "$WERROR_BUILD" -j "$JOBS"
 
-# ------------------------------------------------ 6. hot-path purity proof
-# Reuses the stage-5 archives: GPUFREQ_WERROR only adds -Werror on top of
+# --------------------------------------------------- hot-path purity proof
+# Reuses the Werror archives: GPUFREQ_WERROR only adds -Werror on top of
 # the same Release codegen, so the disassembly the analyzer walks is the
 # shipped configuration.
-note "stage 6/8: gpufreq_hotpath (GPUFREQ_HOT zero-alloc/lock/throw proof)"
+stage "gpufreq_hotpath (GPUFREQ_HOT zero-alloc/lock/throw proof)"
 python3 "$ROOT/tools/analyze/gpufreq_hotpath.py" \
   --build-dir "$WERROR_BUILD" \
   --allowlist "$ROOT/tools/analyze/hotpath_allow.txt" \
   --json "$BUILD_ROOT/hotpath_report.json" || FAILED=1
 
-note "stage 6/8: hotpath self-check (known-bad fixtures must be rejected)"
+substage "hotpath self-check (known-bad fixtures must be rejected)"
 python3 "$ROOT/tests/test_hotpath_selfcheck.py" > /dev/null || FAILED=1
 echo "hotpath report: $BUILD_ROOT/hotpath_report.json"
 
@@ -154,11 +171,30 @@ if [[ "$FAILED" -ne 0 ]]; then
   exit 1
 fi
 
-# ------------------------------------------- 7. ctest under ASan + UBSan
+# -------------------------------------------------- resource-bound proof
+# Same Werror archives again, joined with the .su stack-usage data their
+# build emitted (GPUFREQ_STACK_USAGE defaults ON): worst-case stack depth
+# per GPUFREQ_HOT root, recursion-freedom, and the writable-global audit.
+stage "gpufreq_bounds (stack budgets, recursion-freedom, global audit)"
+python3 "$ROOT/tools/analyze/gpufreq_bounds.py" \
+  --build-dir "$WERROR_BUILD" \
+  --allowlist "$ROOT/tools/analyze/bounds_allow.txt" \
+  --json "$BUILD_ROOT/bounds_report.json" || FAILED=1
+
+substage "bounds self-check (known-bad fixtures must be rejected)"
+python3 "$ROOT/tests/test_bounds_selfcheck.py" > /dev/null || FAILED=1
+echo "bounds report: $BUILD_ROOT/bounds_report.json"
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "static analysis gate: FAILED at resource-bound stage" >&2
+  exit 1
+fi
+
+# ---------------------------------------------- ctest under ASan + UBSan
 if [[ "${SA_SKIP_SANITIZE:-0}" == "1" ]]; then
-  note "stage 7/8: sanitized test suite (skipped: SA_SKIP_SANITIZE=1)"
+  stage "sanitized test suite (skipped: SA_SKIP_SANITIZE=1)"
 else
-  note "stage 7/8: ctest under GPUFREQ_SANITIZE=address;undefined"
+  stage "ctest under GPUFREQ_SANITIZE=address;undefined"
   SAN_BUILD="$BUILD_ROOT/asan-ubsan"
   cmake -B "$SAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     "-DGPUFREQ_SANITIZE=address;undefined" \
@@ -168,11 +204,11 @@ else
   (cd "$SAN_BUILD" && ctest --output-on-failure -j "$JOBS")
 fi
 
-# ------------------------------- 8. TSan lane: concurrency-sensitive tests
+# ---------------------------------- TSan lane: concurrency-sensitive tests
 if [[ "${SA_SKIP_SANITIZE:-0}" == "1" ]]; then
-  note "stage 8/8: TSan lane (skipped: SA_SKIP_SANITIZE=1)"
+  stage "TSan lane (skipped: SA_SKIP_SANITIZE=1)"
 else
-  note "stage 8/8: thread pool / trainer / predict sweep / serve under GPUFREQ_SANITIZE=thread"
+  stage "thread pool / trainer / predict sweep / serve under GPUFREQ_SANITIZE=thread"
   TSAN_BUILD="$BUILD_ROOT/tsan"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DGPUFREQ_SANITIZE=thread \
@@ -189,4 +225,4 @@ else
     -R '^(ThreadPoolTest|Trainer|Serialize|Scaler|Integration|Serve)')
 fi
 
-note "static analysis gate: PASSED"
+printf '\n== static analysis gate: PASSED ==\n'
