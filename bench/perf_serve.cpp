@@ -8,11 +8,15 @@
 // Benchmark arguments follow the shared axes in backend_axis.hpp: arg0 is
 // the kernel backend (0 = scalar, 1 = avx2, 2 = avx512), arg1 the
 // precision (0 = fp32, 1 = int8); the next argument is the batch size N;
-// BM_ServiceDrainFleet adds one more — the number of distinct
+// BM_ServiceDrainFleet adds two more — the number of distinct
 // applications the N requests are drawn from ("sweeps_per_s" counts ALL
 // requests served, so the batched/sequential ratio at equal N is the
-// service's aggregate speedup). Every row carries `backend` and
-// `precision` counters.
+// service's aggregate speedup), and whether the exact-key sweep-curve
+// cache is enabled (0 = off, the PR 7 no-cache behavior; 1 = on — after
+// the first drain every repeat application is served from the cache
+// without touching the GEMM chain, with a "hit_rate" counter reported).
+// BM_ServeOpenLoop's extra axis is the Zipf skew x100 (0 = uniform).
+// Every row carries `backend` and `precision` counters.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -131,9 +135,11 @@ void BM_ServiceDrainFleet(benchmark::State& state) {
   serve::ModelSnapshotHolder holder(shared_models_ptr());
   const std::size_t n = static_cast<std::size_t>(state.range(2));
   const std::size_t napps = static_cast<std::size_t>(state.range(3));
+  const bool cache_on = state.range(4) != 0;
   serve::ServiceConfig config;
   config.max_batch = n;
   config.precision = sel->precision;
+  if (!cache_on) config.cache.sets = 0;  // PR 7 behavior: recompute every drain
   serve::SweepService service(holder, spec, config);
   const auto catalog = serve::make_catalog(napps, spec, /*seed=*/0xF1EE7);
 
@@ -160,18 +166,30 @@ void BM_ServiceDrainFleet(benchmark::State& state) {
   state.counters["sweeps_per_s"] =
       benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
   const serve::ServiceStats stats = service.stats();
+  state.counters["cache"] = cache_on ? 1.0 : 0.0;
   state.counters["coalesced_frac"] =
       stats.completed > 0
           ? static_cast<double>(stats.coalesced) / static_cast<double>(stats.completed)
           : 0.0;
+  const std::uint64_t probes = stats.cache_hits + stats.cache_misses;
+  state.counters["hit_rate"] =
+      probes > 0 ? static_cast<double>(stats.cache_hits) / static_cast<double>(probes) : 0.0;
   bench::reset_backend();
 }
 BENCHMARK(BM_ServiceDrainFleet)
-    ->Args({1, 0, 16, 4})->Args({1, 0, 61, 27})->Args({1, 0, 100, 27})
-    ->Args({1, 0, 100, 100})  // worst case: every request unique, no coalescing
-    ->Args({0, 0, 16, 4})->Args({0, 1, 16, 4})
-    ->Args({1, 1, 100, 27})->Args({1, 1, 100, 100})
-    ->Args({2, 0, 100, 100})->Args({2, 1, 100, 100})
+    ->Args({1, 0, 16, 4, 0})->Args({1, 0, 61, 27, 0})->Args({1, 0, 100, 27, 0})
+    ->Args({1, 0, 100, 100, 0})  // worst case: every request unique, no coalescing
+    ->Args({0, 0, 16, 4, 0})->Args({0, 1, 16, 4, 0})
+    ->Args({1, 1, 100, 27, 0})->Args({1, 1, 100, 100, 0})
+    ->Args({2, 0, 100, 100, 0})->Args({2, 1, 100, 100, 0})
+    // Exact-key cache rows: the same fleet mixes with memoization on. The
+    // {*, *, 100, 27, 1} rows are the acceptance pair for the >= 5x
+    // cached-vs-uncached sweeps/s claim (repeat rate 1.0 across drains;
+    // any repeat rate >= 0.8 interpolates between the two).
+    ->Args({1, 0, 16, 4, 1})->Args({1, 0, 61, 27, 1})->Args({1, 0, 100, 27, 1})
+    ->Args({1, 0, 100, 100, 1})
+    ->Args({0, 0, 16, 4, 1})->Args({1, 1, 100, 27, 1})
+    ->Args({2, 0, 100, 100, 1})
     ->Unit(benchmark::kMicrosecond);
 
 // Open-loop load against the background worker: requests/sec plus p50/p99
@@ -191,6 +209,7 @@ void BM_ServeOpenLoop(benchmark::State& state) {
   load.rate_hz = static_cast<double>(state.range(2));
   load.duration_s = 0.25;
   load.catalog_size = 27;
+  load.zipf_s = static_cast<double>(state.range(3)) / 100.0;
 
   serve::LoadReport report;
   for (auto _ : state) {
@@ -200,16 +219,26 @@ void BM_ServeOpenLoop(benchmark::State& state) {
   service.stop();
 
   state.counters["rate_hz"] = load.rate_hz;
+  state.counters["zipf_s"] = load.zipf_s;
   state.counters["requests_per_s"] = report.throughput_rps;
+  const std::uint64_t probes = report.service.cache_hits + report.service.cache_misses;
+  state.counters["hit_rate"] =
+      probes > 0
+          ? static_cast<double>(report.service.cache_hits) / static_cast<double>(probes)
+          : 0.0;
   for (const serve::BandLoadStats& band : report.bands) {
     state.counters["p50_ms_" + band.band] = band.p50_latency_ms;
     state.counters["p99_ms_" + band.band] = band.p99_latency_ms;
+    state.counters["p999_ms_" + band.band] = band.p999_latency_ms;
   }
   bench::reset_backend();
 }
 BENCHMARK(BM_ServeOpenLoop)
-    ->Args({1, 0, 2000})->Args({1, 0, 8000})->Args({1, 1, 8000})
-    ->Args({2, 1, 8000})
+    ->Args({1, 0, 2000, 0})->Args({1, 0, 8000, 0})->Args({1, 1, 8000, 0})
+    ->Args({2, 1, 8000, 0})
+    // Zipf(1.1)-skewed arrivals: the repeat-heavy fleet regime the curve
+    // cache targets — hit_rate and the p99.9 tails are the story here.
+    ->Args({1, 0, 8000, 110})->Args({1, 1, 8000, 110})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -48,6 +48,13 @@ struct LoadSpec {
   std::size_t catalog_size = 27; ///< distinct applications arrivals draw from
   double interactive_frac = 0.3; ///< share of interactive arrivals
   double system_frac = 0.1;      ///< share of system arrivals (rest: batch)
+  /// Catalog skew: 0 draws applications uniformly (every entry equally
+  /// likely); s > 0 draws from a Zipf(s) distribution over catalog rank
+  /// (entry 0 most popular, P(rank r) proportional to 1/(r+1)^s). Real
+  /// fleets re-query a small hot set every control interval — s in
+  /// [0.9, 1.2] reproduces that repeat-heavy regime and is what makes the
+  /// sweep-curve cache win measurable end to end.
+  double zipf_s = 0.0;
   std::uint64_t seed = 0x10ADu;  ///< arrival-process seed
 };
 
@@ -57,6 +64,7 @@ struct BandLoadStats {
   std::size_t completed = 0;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  double p999_latency_ms = 0.0;  ///< tail beyond p99 (cache-miss spikes live here)
 };
 
 struct LoadReport {
@@ -71,10 +79,11 @@ struct LoadReport {
 /// Open-loop load generator: submits Poisson arrivals at spec.rate_hz for
 /// spec.duration_s against a *running* service (start() it first),
 /// ignoring completions while submitting — queueing delay is measured, not
-/// masked. Applications are drawn uniformly from a make_catalog() catalog;
-/// categories follow the configured mix with a uniform band within the
-/// category. Blocks until every request completes, then reports per-band
-/// p50/p99 latency and aggregate throughput.
+/// masked. Applications are drawn from a make_catalog() catalog, uniformly
+/// or Zipf-skewed (spec.zipf_s); categories follow the configured mix with
+/// a uniform band within the category. Blocks until every request
+/// completes, then reports per-band p50/p99/p99.9 latency and aggregate
+/// throughput.
 LoadReport run_open_loop(SweepService& service, const LoadSpec& spec);
 
 }  // namespace gpufreq::serve

@@ -44,6 +44,10 @@ struct SweepOutcome {
   /// True when the request shared a computation with a bit-identical
   /// request in the same batch instead of occupying its own GEMM rows.
   bool coalesced = false;
+  /// True when the curves came from the sweep-curve cache (a prior
+  /// drain's computation at the same model epoch) instead of a fresh
+  /// GEMM chain. Exact-key hits are bitwise-identical to recompute.
+  bool cache_hit = false;
 };
 
 namespace detail {

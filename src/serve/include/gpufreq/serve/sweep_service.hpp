@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gpufreq/core/pipeline.hpp"
+#include "gpufreq/core/sweep_cache.hpp"
 #include "gpufreq/serve/request_queue.hpp"
 #include "gpufreq/serve/snapshot.hpp"
 #include "gpufreq/sim/gpu_spec.hpp"
@@ -32,6 +33,18 @@ struct ServiceConfig {
   /// models to carry int8 packs (DnnModel::prepare_inference(kInt8));
   /// models without them silently run fp32 kernels.
   nn::Precision precision = nn::default_precision();
+  /// Sweep-curve cache shape (core::SweepCacheConfig). The default keeps
+  /// a 512-entry exact-key cache: repeat requests across drains skip the
+  /// GEMM chain entirely and are served bitwise-identical curves.
+  /// cache.sets = 0 disables memoization; cache.key_bits > 0 opts into
+  /// the quantized-key mode (see SweepCacheConfig).
+  core::SweepCacheConfig cache;
+  /// Upper bound on the number of workspace shards a drain fans uncached
+  /// unique items across on the deterministic thread pool. Each shard
+  /// runs its slice through its own predict_sweep_batch, so per-item
+  /// results stay bitwise identical to the serial single-workspace drain
+  /// (the batch contract is row-local). 0 selects num_threads().
+  std::size_t drain_shards = 0;
 };
 
 /// Monotonic service counters (snapshot via SweepService::stats()).
@@ -43,6 +56,9 @@ struct ServiceStats {
   std::uint64_t coalesced = 0;      ///< requests served by result copy
   std::size_t max_batch_seen = 0;   ///< largest fused batch so far
   std::uint64_t model_epoch = 0;    ///< snapshot epoch of the latest drain
+  std::uint64_t cache_hits = 0;       ///< unique items served from the curve cache
+  std::uint64_t cache_misses = 0;     ///< unique items that ran the GEMM chain
+  std::uint64_t cache_evictions = 0;  ///< valid cache entries overwritten
 };
 
 /// Multi-tenant frequency-selection service. Concurrent submitters enqueue
@@ -106,12 +122,24 @@ class SweepService {
   // Drain scratch, reused across batches (see class comment).
   Mutex drain_mutex_;
   SnapshotCache snapshot_ GPUFREQ_GUARDED_BY(drain_mutex_);
-  core::BatchSweepWorkspace ws_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  core::SweepCurveCache cache_ GPUFREQ_GUARDED_BY(drain_mutex_);
   std::vector<std::shared_ptr<detail::SweepSlot>> batch_ GPUFREQ_GUARDED_BY(drain_mutex_);
   std::vector<std::uint32_t> rep_ GPUFREQ_GUARDED_BY(drain_mutex_);      ///< request -> item
   std::vector<std::uint32_t> unique_ GPUFREQ_GUARDED_BY(drain_mutex_);   ///< item -> request
   std::vector<std::uint32_t> group_size_ GPUFREQ_GUARDED_BY(drain_mutex_);
-  std::vector<core::BatchSweepItem> items_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  // Cache bookkeeping per unique item (probe carried from lookup to the
+  // post-compute insert; hit flag; miss ordinal into miss_items_).
+  std::vector<core::SweepCurveCache::Probe> probes_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  std::vector<std::uint8_t> hit_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  std::vector<std::uint32_t> miss_of_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  std::vector<core::BatchSweepItem> miss_items_ GPUFREQ_GUARDED_BY(drain_mutex_);
+  // One workspace per drain shard; shard s computes miss items
+  // [s * grain, (s + 1) * grain) of the current drain. Serial drains
+  // (one shard) use shard_ws_[0], so the warmed high-water behavior is
+  // unchanged from the single-workspace layout.
+  std::size_t shard_count_ = 1;
+  std::size_t shard_grain_ GPUFREQ_GUARDED_BY(drain_mutex_) = 0;
+  std::vector<core::BatchSweepWorkspace> shard_ws_ GPUFREQ_GUARDED_BY(drain_mutex_);
 
   std::thread worker_;
 };

@@ -1,5 +1,6 @@
 #include "gpufreq/serve/load_generator.hpp"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cmath>
@@ -79,11 +80,26 @@ LoadReport run_open_loop(SweepService& service, const LoadSpec& spec) {
   GPUFREQ_REQUIRE(spec.interactive_frac >= 0.0 && spec.system_frac >= 0.0 &&
                       spec.interactive_frac + spec.system_frac <= 1.0,
                   "run_open_loop: category fractions must be a sub-distribution");
+  GPUFREQ_REQUIRE(spec.zipf_s >= 0.0, "run_open_loop: zipf_s must be non-negative");
   GPUFREQ_REQUIRE(service.running(),
                   "run_open_loop: start() the service before generating load");
 
   const std::vector<CatalogEntry> catalog =
       make_catalog(spec.catalog_size, service.spec(), Rng::hash_combine(spec.seed, 0xCA7A106));
+
+  // Zipf(s) CDF over catalog rank (computed once; empty when uniform).
+  // Inverse-CDF sampling keeps the whole arrival schedule a pure function
+  // of the seed, exactly like the uniform path.
+  std::vector<double> zipf_cdf;
+  if (spec.zipf_s > 0.0) {
+    zipf_cdf.reserve(catalog.size());
+    double total = 0.0;
+    for (std::size_t r = 0; r < catalog.size(); ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), spec.zipf_s);
+      zipf_cdf.push_back(total);
+    }
+    for (double& c : zipf_cdf) c /= total;
+  }
 
   // The full arrival schedule (times, apps, descriptors) is drawn up
   // front from the seed: the load is reproducible, only the wall-clock
@@ -99,7 +115,11 @@ LoadReport run_open_loop(SweepService& service, const LoadSpec& spec) {
        t += -std::log(1.0 - rng.uniform()) / spec.rate_hz) {
     Arrival a;
     a.at_s = t;
-    a.app = rng.uniform_index(catalog.size());
+    a.app = zipf_cdf.empty()
+                ? rng.uniform_index(catalog.size())
+                : static_cast<std::size_t>(
+                      std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), rng.uniform()) -
+                      zipf_cdf.begin());
     const double u = rng.uniform();
     a.descriptor.category = u < spec.system_frac ? WorkloadCategory::kSystem
                             : u < spec.system_frac + spec.interactive_frac
@@ -142,6 +162,7 @@ LoadReport run_open_loop(SweepService& service, const LoadSpec& spec) {
     if (!latencies_ms[cat].empty()) {
       b.p50_latency_ms = stats::percentile(latencies_ms[cat], 50.0);
       b.p99_latency_ms = stats::percentile(latencies_ms[cat], 99.0);
+      b.p999_latency_ms = stats::percentile(latencies_ms[cat], 99.9);
     }
     report.bands.push_back(std::move(b));
   }

@@ -5,9 +5,11 @@
 #include <memory>
 #include <utility>
 
+#include "gpufreq/nn/kernels/kernel_table.hpp"
 #include "gpufreq/util/error.hpp"
 #include "gpufreq/util/hot_path.hpp"
 #include "gpufreq/util/stats.hpp"
+#include "gpufreq/util/thread_pool.hpp"
 #include "gpufreq/util/workspace.hpp"
 
 namespace gpufreq::serve {
@@ -62,12 +64,19 @@ SweepService::SweepService(const ModelSnapshotHolder& models, sim::GpuSpec spec,
         if (c.frequencies.empty()) c.frequencies = spec_.used_frequencies();
         GPUFREQ_REQUIRE(!c.frequencies.empty(), "SweepService: empty default frequency grid");
         return c;
-      }()) {
+      }()),
+      cache_(config_.cache) {
   batch_.reserve(config_.max_batch);
   rep_.reserve(config_.max_batch);
   unique_.reserve(config_.max_batch);
   group_size_.reserve(config_.max_batch);
-  items_.reserve(config_.max_batch);
+  probes_.reserve(config_.max_batch);
+  hit_.reserve(config_.max_batch);
+  miss_of_.reserve(config_.max_batch);
+  miss_items_.reserve(config_.max_batch);
+  shard_count_ = config_.drain_shards != 0 ? config_.drain_shards : num_threads();
+  shard_count_ = std::clamp<std::size_t>(shard_count_, 1, config_.max_batch);
+  shard_ws_.resize(shard_count_);
 }
 
 SweepService::~SweepService() { stop(); }
@@ -118,16 +127,33 @@ std::size_t SweepService::drain_locked() {
 
   // Epoch-cached snapshot: one atomic load unless a publish() happened.
   const core::OnlinePredictor& predictor = snapshot_.predictor(models_, config_.precision);
+  const std::uint64_t epoch = snapshot_.epoch();
+  // Cache identity context: the active kernel table pins the backend (its
+  // address changes iff set_kernel_backend swaps tables; tables are >= 8
+  // aligned so the low bits are free for the precision tag). Folded into
+  // every key, so a backend or precision change can never serve a curve
+  // computed under a different numeric contract.
+  const std::uint64_t context =
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&nn::kernels::active())) |
+      (static_cast<std::uint64_t>(config_.precision) & 0x3u);
+  const bool use_cache = cache_.enabled();
 
-  // Coalesce bit-identical requests into shared items. O(B * U) exact
-  // compares; B <= max_batch keeps this far below the GEMM cost, and the
-  // scan is deterministic (no hashing).
+  // Coalesce bit-identical requests into shared items, probing the curve
+  // cache once per unique item. O(B * U) exact compares; B <= max_batch
+  // keeps this far below the GEMM cost, and the scan is deterministic (no
+  // hashing on the coalesce side). Hit curves are copied into the
+  // representative's outcome immediately: a LookupResult view is only
+  // valid until the next insert, and the post-compute inserts below may
+  // evict the very entry that just hit.
   rep_.clear();
   unique_.clear();
   group_size_.clear();
-  items_.clear();
+  probes_.clear();
+  hit_.clear();
+  miss_of_.clear();
+  miss_items_.clear();
   for (std::size_t i = 0; i < batch_.size(); ++i) {
-    const detail::SweepSlot& slot = *batch_[i];
+    detail::SweepSlot& slot = *batch_[i];
     std::size_t u = unique_.size();
     if (config_.coalesce_identical) {
       for (std::size_t j = 0; j < unique_.size(); ++j) {
@@ -138,23 +164,65 @@ std::size_t SweepService::drain_locked() {
       }
     }
     gpufreq::detail::workspace_push(rep_, static_cast<std::uint32_t>(u));
-    if (u == unique_.size()) {
-      gpufreq::detail::workspace_push(unique_, static_cast<std::uint32_t>(i));
-      gpufreq::detail::workspace_push(group_size_, std::uint32_t{1});
-      gpufreq::detail::workspace_push(
-          items_, core::BatchSweepItem{.counters = &slot.counters,
-                                       .measured_time_at_max_s = slot.measured_time_at_max_s,
-                                       .frequencies = slot.frequencies});
-    } else {
+    if (u != unique_.size()) {
       ++group_size_[u];
+      continue;
+    }
+    gpufreq::detail::workspace_push(unique_, static_cast<std::uint32_t>(i));
+    gpufreq::detail::workspace_push(group_size_, std::uint32_t{1});
+    gpufreq::detail::workspace_push(probes_, core::SweepCurveCache::Probe{});
+    gpufreq::detail::workspace_push(hit_, std::uint8_t{0});
+    gpufreq::detail::workspace_push(miss_of_, std::uint32_t{0});
+    if (use_cache) {
+      const core::SweepCurveCache::LookupResult r =
+          cache_.lookup(slot.counters, slot.measured_time_at_max_s, slot.frequencies, epoch,
+                        context, probes_.back());
+      if (r.hit) {
+        hit_.back() = 1;
+        SweepOutcome& out = slot.outcome;
+        assign(out.frequencies, r.frequencies);
+        assign(out.power_w, r.power_w);
+        assign(out.time_s, r.time_s);
+        assign(out.energy_j, r.energy_j);
+        continue;
+      }
+    }
+    miss_of_.back() = static_cast<std::uint32_t>(miss_items_.size());
+    gpufreq::detail::workspace_push(
+        miss_items_, core::BatchSweepItem{.counters = &slot.counters,
+                                          .measured_time_at_max_s = slot.measured_time_at_max_s,
+                                          .frequencies = slot.frequencies});
+  }
+
+  // The fused sweep over everything the cache could not answer, sharded
+  // across the deterministic pool: shard s computes miss items
+  // [s*grain, (s+1)*grain) into its own workspace. Every per-item slice
+  // is bitwise identical to an independent predict_sweep (the batch
+  // contract is row-local), so any shard partition — including the serial
+  // one-shard case — produces identical outcomes.
+  const std::size_t n_miss = miss_items_.size();
+  if (n_miss > 0) {
+    const std::size_t shards = std::min(shard_count_, n_miss);
+    shard_grain_ = (n_miss + shards - 1) / shards;
+    const std::size_t grain = shard_grain_;
+    parallel_for(0, n_miss, grain, [&](std::size_t lo, std::size_t hi) {
+      predictor.predict_sweep_batch(
+          std::span<const core::BatchSweepItem>(miss_items_.data() + lo, hi - lo), spec_,
+          shard_ws_[lo / grain]);
+    });
+    if (use_cache) {
+      for (std::size_t u = 0; u < unique_.size(); ++u) {
+        if (hit_[u] != 0) continue;
+        const std::size_t m = miss_of_[u];
+        const core::BatchSweepWorkspace& sws = shard_ws_[m / grain];
+        const std::size_t local = m % grain;
+        cache_.insert(probes_[u], batch_[unique_[u]]->frequencies, sws.item_frequencies(local),
+                      sws.item_power(local), sws.item_time(local), sws.item_energy(local));
+      }
     }
   }
 
-  // The fused sweep: every unique item's rows in ONE GEMM chain per model.
-  predictor.predict_sweep_batch(items_, spec_, ws_);
-
   const auto completed = std::chrono::steady_clock::now();
-  const std::uint64_t epoch = snapshot_.epoch();
   const std::size_t served = batch_.size();
   // Account the batch BEFORE flipping any slot's done bit: a waiter that
   // observes its completion must already see it reflected in stats().
@@ -166,21 +234,40 @@ std::size_t SweepService::drain_locked() {
     stats_.coalesced += served - unique_.size();
     stats_.max_batch_seen = std::max(stats_.max_batch_seen, served);
     stats_.model_epoch = epoch;
+    stats_.cache_hits = cache_.stats().hits;
+    stats_.cache_misses = cache_.stats().misses;
+    stats_.cache_evictions = cache_.stats().evictions;
   }
   for (std::size_t i = 0; i < batch_.size(); ++i) {
     detail::SweepSlot& slot = *batch_[i];
     const std::size_t u = rep_[i];
     SweepOutcome& out = slot.outcome;
-    assign(out.frequencies, ws_.item_frequencies(u));
-    assign(out.power_w, ws_.item_power(u));
-    assign(out.time_s, ws_.item_time(u));
-    assign(out.energy_j, ws_.item_energy(u));
+    if (hit_[u] != 0) {
+      // The representative's outcome was filled at probe time; coalesced
+      // members copy its (bitwise-equal) curves.
+      if (i != unique_[u]) {
+        const SweepOutcome& src = batch_[unique_[u]]->outcome;
+        assign(out.frequencies, std::span<const double>(src.frequencies));
+        assign(out.power_w, std::span<const double>(src.power_w));
+        assign(out.time_s, std::span<const double>(src.time_s));
+        assign(out.energy_j, std::span<const double>(src.energy_j));
+      }
+    } else {
+      const std::size_t m = miss_of_[u];
+      const core::BatchSweepWorkspace& sws = shard_ws_[m / shard_grain_];
+      const std::size_t local = m % shard_grain_;
+      assign(out.frequencies, sws.item_frequencies(local));
+      assign(out.power_w, sws.item_power(local));
+      assign(out.time_s, sws.item_time(local));
+      assign(out.energy_j, sws.item_energy(local));
+    }
     out.min_energy_frequency_mhz = out.frequencies[stats::argmin(out.energy_j)];
     out.queue_latency_s = seconds_between(slot.enqueued_at, picked_up);
     out.total_latency_s = seconds_between(slot.enqueued_at, completed);
     out.batch_size = batch_.size();
     out.model_epoch = epoch;
     out.coalesced = group_size_[u] > 1;
+    out.cache_hit = hit_[u] != 0;
     {
       MutexLock lock(slot.mutex);
       slot.done = true;

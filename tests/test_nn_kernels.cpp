@@ -566,5 +566,140 @@ TEST(KernelInt8, SerialEqualsParallelBandSplit) {
   }
 }
 
+// Restore the previous int8 variant when a test finishes so variant-
+// forcing tests cannot leak into the rest of the binary.
+struct ScopedInt8Variant {
+  explicit ScopedInt8Variant(Int8Variant v) : prev_(active_int8_variant()) {
+    set_int8_variant(v);
+  }
+  ~ScopedInt8Variant() { set_int8_variant(prev_); }
+  Int8Variant prev_;
+};
+
+TEST(KernelInt8Variant, KnobRoundTripAndNames) {
+  EXPECT_STREQ(to_string(Int8Variant::kMadd), "madd");
+  EXPECT_STREQ(to_string(Int8Variant::kMaddubs), "maddubs");
+  EXPECT_EQ(int8_variant_from_string("madd"), Int8Variant::kMadd);
+  EXPECT_EQ(int8_variant_from_string("maddubs"), Int8Variant::kMaddubs);
+  EXPECT_THROW(int8_variant_from_string("vnni"), InvalidArgument);
+
+  const Int8Variant before = active_int8_variant();
+  {
+    ScopedInt8Variant forced(Int8Variant::kMaddubs);
+    EXPECT_EQ(active_int8_variant(), Int8Variant::kMaddubs);
+  }
+  EXPECT_EQ(active_int8_variant(), before);
+}
+
+// Scalar emulation of the vpmaddubsw variant's documented integer math:
+// requantize each int16 carrier to the u7 code u = (q + 16384) >> 8, take
+// exact integer dot products of the codes against the packed panel bytes,
+// undo the code shift with the integer column sum (dot = 256*sum(u*w) -
+// 16256*colsum(w), both epilogue products exact in fp32), then the shared
+// scale/bias/activation epilogue. The AVX2 kernel must land on this
+// bitwise — the variant is a different quantization contract, not a
+// different rounding story.
+std::vector<float> maddubs_reference(const std::int16_t* q, const float* row_scales,
+                                     const QuantizedPackedWeights& w,
+                                     const std::vector<float>& bias, Activation act,
+                                     std::size_t rows) {
+  const std::size_t kpad = w.kpad();
+  const std::size_t n = w.cols();
+  std::vector<float> y(rows * n);
+  for (std::size_t p = 0; p < w.panel_count(); ++p) {
+    const std::size_t j0 = p * kPanelWidth;
+    const std::size_t jn = std::min(kPanelWidth, n - j0);
+    const std::int8_t* B = w.panel(p);
+    const float* ws = w.scales(p);
+    for (std::size_t jc = 0; jc < jn; ++jc) {
+      std::int32_t cs = 0;
+      for (std::size_t kp = 0; kp < kpad / 2; ++kp) {
+        const std::int8_t* blk = B + kp * 2 * kPanelWidth;
+        cs += blk[jc * 2] + blk[jc * 2 + 1];
+      }
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::int16_t* qi = q + i * kpad;
+        std::int32_t acc = 0;
+        for (std::size_t kp = 0; kp < kpad / 2; ++kp) {
+          const std::int8_t* blk = B + kp * 2 * kPanelWidth;
+          const unsigned u0 = static_cast<unsigned>(qi[2 * kp] + 16384) >> 8;
+          const unsigned u1 = static_cast<unsigned>(qi[2 * kp + 1] + 16384) >> 8;
+          acc += static_cast<std::int32_t>(u0) * blk[jc * 2] +
+                 static_cast<std::int32_t>(u1) * blk[jc * 2 + 1];
+        }
+        const float dot =
+            static_cast<float>(acc) * 256.0f - static_cast<float>(cs) * 16256.0f;
+        // volatile: keep -ffp-contract=fast from fusing the scale multiply
+        // and the bias add into one FMA — the kernel rounds between them.
+        volatile float z = dot * (row_scales[i] * ws[jc]);
+        y[i * n + j0 + jc] = z + bias[j0 + jc];
+      }
+    }
+  }
+  detail::scalar_table().activate(act, y.data(), y.data(), rows * n);
+  return y;
+}
+
+TEST(KernelInt8Variant, MaddubsMatchesScalarEmulationBitwise) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  const KernelTable& kt = *detail::avx2_table();
+  ScopedInt8Variant forced(Int8Variant::kMaddubs);
+  // Linear and relu only: their vector and scalar activations are exact,
+  // so any mismatch is the integer pipeline, not activation polynomials.
+  for (Activation act : {Activation::kLinear, Activation::kRelu}) {
+    for (const Shape& s : kShapes) {
+      SCOPED_TRACE(::testing::Message() << "act=" << static_cast<int>(act) << " rows=" << s.rows
+                                        << " k=" << s.k << " n=" << s.n);
+      const Matrix x = random_matrix(s.rows, s.k, 131 + s.rows);
+      const Matrix w = random_matrix(s.k, s.n, 137 + s.n);
+      const std::vector<float> bias = random_vec(s.n, 139 + s.k);
+      QuantizedPackedWeights packed;
+      packed.pack(w);
+      std::vector<std::int16_t> q(s.rows * packed.kpad());
+      std::vector<float> scales(s.rows);
+      kt.quantize_rows_i8(x.flat().data(), w.rows(), q.data(), packed.kpad(), scales.data(), 0,
+                          s.rows);
+      std::vector<float> y(s.rows * s.n);
+      kt.dense_bias_act_i8(q.data(), scales.data(), packed, bias.data(), act, y.data(), 0,
+                           s.rows);
+      const std::vector<float> ref =
+          maddubs_reference(q.data(), scales.data(), packed, bias, act, s.rows);
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        ASSERT_EQ(y[i], ref[i]) << "at index " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelInt8Variant, MaddubsTracksMaddWithinCodeQuantization) {
+  // kMaddubs carries ~7 activation bits instead of kMadd's 14: outputs are
+  // a documented approximation of the default variant, not a drop-in
+  // bitwise replacement (vpmaddubsw would saturate on 8-bit codes). This
+  // guards the gross error scale; tools/check_quantization --maddubs owns
+  // the model-level EDP gate.
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  const KernelTable& kt = *detail::avx2_table();
+  for (const Shape& s : kShapes) {
+    SCOPED_TRACE(::testing::Message() << "rows=" << s.rows << " k=" << s.k << " n=" << s.n);
+    const Matrix x = random_matrix(s.rows, s.k, 149 + s.rows);
+    const Matrix w = random_matrix(s.k, s.n, 151 + s.n);
+    const std::vector<float> bias = random_vec(s.n, 157 + s.k);
+    std::vector<float> y_madd, y_maddubs;
+    {
+      ScopedInt8Variant forced(Int8Variant::kMadd);
+      y_madd = fused_i8(kt, x, w, bias, Activation::kSelu);
+    }
+    {
+      ScopedInt8Variant forced(Int8Variant::kMaddubs);
+      y_maddubs = fused_i8(kt, x, w, bias, Activation::kSelu);
+    }
+    ASSERT_EQ(y_madd.size(), y_maddubs.size());
+    const double tol = 0.3 * std::sqrt(static_cast<double>(s.k)) + 0.05;
+    for (std::size_t i = 0; i < y_madd.size(); ++i) {
+      EXPECT_NEAR(y_madd[i], y_maddubs[i], tol) << "at index " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gpufreq::nn::kernels

@@ -140,6 +140,76 @@ TEST(ServeAlloc, SteadyStateServiceDrainIsAllocationFree) {
       << "steady-state SweepService::drain_once must not touch the heap";
 }
 
+TEST(ServeAlloc, CachedDrainHitsAndInsertsAreAllocationFree) {
+  // The sweep-curve cache is sized at construction: a steady-state drain
+  // must stay heap-silent whether it is served from the cache (hits copy
+  // out of the preallocated slab) or misses, computes, and inserts —
+  // including evictions, which this undersized cache forces every round.
+  const auto models = fabricate_models(42);
+  const sim::GpuSpec spec = sim::GpuSpec::ga100();
+  ModelSnapshotHolder holder(models);
+  ServiceConfig config;
+  config.max_batch = 32;
+  config.cache.sets = 1;  // capacity 2 < 4 distinct apps: permanent pressure
+  config.cache.ways = 2;
+  SweepService service(holder, spec, config);
+  const auto catalog = make_catalog(4, spec, 7);
+
+  const auto submit_round = [&] {
+    for (std::size_t i = 0; i < 32; ++i) {
+      SweepRequest r;
+      r.descriptor = {.category = WorkloadCategory::kInteractive, .band = 1};
+      r.counters = catalog[i % catalog.size()].counters;
+      r.measured_time_at_max_s = catalog[i % catalog.size()].measured_time_at_max_s;
+      (void)service.submit(std::move(r));
+    }
+  };
+
+  for (int round = 0; round < 2; ++round) {
+    submit_round();
+    ASSERT_EQ(service.drain_once(), 32u);
+  }
+
+  submit_round();
+  g_allocation_count.store(0);
+  g_count_allocations.store(true);
+  const std::size_t served = service.drain_once();
+  g_count_allocations.store(false);
+  EXPECT_EQ(served, 32u);
+  EXPECT_EQ(g_allocation_count.load(), 0u)
+      << "cache lookups, inserts, and evictions must not touch the heap";
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_GT(stats.cache_evictions, 0u);
+
+  // Same contract for the all-hit regime: a roomy cache warmed on the same
+  // catalog serves every repeat drain purely from the slab.
+  ServiceConfig roomy;
+  roomy.max_batch = 32;
+  SweepService cached(holder, spec, roomy);
+  const auto submit_cached = [&] {
+    for (std::size_t i = 0; i < 32; ++i) {
+      SweepRequest r;
+      r.descriptor = {.category = WorkloadCategory::kInteractive, .band = 1};
+      r.counters = catalog[i % catalog.size()].counters;
+      r.measured_time_at_max_s = catalog[i % catalog.size()].measured_time_at_max_s;
+      (void)cached.submit(std::move(r));
+    }
+  };
+  for (int round = 0; round < 2; ++round) {
+    submit_cached();
+    ASSERT_EQ(cached.drain_once(), 32u);
+  }
+  submit_cached();
+  g_allocation_count.store(0);
+  g_count_allocations.store(true);
+  ASSERT_EQ(cached.drain_once(), 32u);
+  g_count_allocations.store(false);
+  EXPECT_EQ(g_allocation_count.load(), 0u)
+      << "an all-hit cached drain must not touch the heap";
+  EXPECT_GT(cached.stats().cache_hits, 0u);
+}
+
 TEST(ServeAlloc, SteadyStateInt8BatchSweepIsAllocationFree) {
   // The int8 path adds quantization scratch (int16 carriers + row scales)
   // to the workspace; once warmed it must be just as heap-silent as fp32.

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Name-matched benchmark regression guard over google-benchmark JSON.
+
+Compares the current merged report (tools/run_benchmarks.sh output) against
+a committed baseline (bench/baselines/BENCH_baseline.json) row by row:
+rows are matched by their full benchmark name (which encodes every arg
+axis, e.g. "BM_ServiceDrainFleet/1/0/100/27/1"), and a row regresses when
+its time metric exceeds the baseline by more than the relative threshold:
+
+    current > baseline * (1 + threshold)
+
+Benchmark numbers are only comparable on the host that produced the
+baseline. When the report's context (host name + CPU count) does not match
+the baseline's, the whole comparison is SKIPPED LOUDLY — a GitHub warning
+annotation plus a nonzero-visibility banner, never a silent pass that rots
+into a no-op — unless --allow-host-mismatch forces it.
+
+Exit codes: 0 = pass (or loud skip), 1 = regression (suppressed by
+--advisory, which reports but always exits 0), 2 = bad invocation/input.
+
+Usage:
+  tools/check_bench_regression.py --report BENCH_perf.json \
+      --baseline bench/baselines/BENCH_baseline.json \
+      [--threshold 0.25] [--metric cpu_time] [--filter REGEX] \
+      [--advisory] [--allow-host-mismatch]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", required=True, help="current BENCH_perf.json")
+    parser.add_argument("--baseline", required=True, help="committed baseline report")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative slowdown, e.g. 0.25 = +25%% (default 0.25)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="cpu_time",
+        choices=["cpu_time", "real_time"],
+        help="per-iteration time field to compare (default cpu_time)",
+    )
+    parser.add_argument(
+        "--filter",
+        default=".*",
+        help="regex over benchmark names; non-matching rows are ignored",
+    )
+    parser.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report regressions but always exit 0 (the non-blocking CI step)",
+    )
+    parser.add_argument(
+        "--allow-host-mismatch",
+        action="store_true",
+        help="compare even when the report and baseline hosts differ",
+    )
+    return parser.parse_args(argv)
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read benchmark report {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if "benchmarks" not in report:
+        print(f"error: {path} has no 'benchmarks' array", file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def host_fingerprint(report: dict) -> tuple[str, int]:
+    context = report.get("context", {})
+    return (str(context.get("host_name", "?")), int(context.get("num_cpus", 0)))
+
+
+def rows_by_name(report: dict, name_re: re.Pattern, metric: str) -> dict[str, float]:
+    rows: dict[str, float] = {}
+    for row in report["benchmarks"]:
+        # Aggregate rows (mean/median/stddev repetitions) carry the same
+        # base name; keep plain iteration rows only so names stay unique.
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name")
+        if name is None or not name_re.search(name):
+            continue
+        value = row.get(metric)
+        if isinstance(value, (int, float)) and value > 0:
+            rows[name] = float(value)
+    return rows
+
+
+def main(argv: list[str]) -> int:
+    args = parse_args(argv)
+    if args.threshold <= 0:
+        print("error: --threshold must be positive", file=sys.stderr)
+        return 2
+    try:
+        name_re = re.compile(args.filter)
+    except re.error as err:
+        print(f"error: bad --filter regex: {err}", file=sys.stderr)
+        return 2
+
+    current_report = load_report(args.report)
+    baseline_report = load_report(args.baseline)
+
+    cur_host = host_fingerprint(current_report)
+    base_host = host_fingerprint(baseline_report)
+    if cur_host != base_host and not args.allow_host_mismatch:
+        message = (
+            f"bench regression check SKIPPED: report host {cur_host[0]} "
+            f"({cur_host[1]} cpus) != baseline host {base_host[0]} "
+            f"({base_host[1]} cpus) — numbers are not comparable; "
+            f"re-baseline on this host or pass --allow-host-mismatch"
+        )
+        # The loud part: a GitHub warning annotation in CI, a banner locally.
+        print(f"::warning title=bench baseline host mismatch::{message}")
+        print(f"== {message} ==")
+        return 0
+
+    current = rows_by_name(current_report, name_re, args.metric)
+    baseline = rows_by_name(baseline_report, name_re, args.metric)
+    if not baseline:
+        print("error: baseline has no rows matching the filter", file=sys.stderr)
+        return 2
+
+    regressions = []
+    improved = 0
+    compared = 0
+    for name, base_value in sorted(baseline.items()):
+        cur_value = current.get(name)
+        if cur_value is None:
+            # A vanished row is a regression of coverage, not of speed —
+            # flag it, the baseline must be pruned deliberately.
+            regressions.append((name, base_value, None, float("inf")))
+            continue
+        compared += 1
+        ratio = cur_value / base_value
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, base_value, cur_value, ratio))
+        elif ratio < 1.0:
+            improved += 1
+
+    new_rows = sorted(set(current) - set(baseline))
+
+    print(
+        f"bench regression check: {compared} rows compared "
+        f"({args.metric}, threshold +{args.threshold * 100:.0f}%), "
+        f"{improved} faster than baseline, {len(new_rows)} new rows not in baseline, "
+        f"{len(regressions)} regressions"
+    )
+    for name in new_rows:
+        print(f"  NEW       {name} (add to the baseline on the next re-baseline)")
+    for name, base_value, cur_value, ratio in regressions:
+        if cur_value is None:
+            print(f"  MISSING   {name} (in baseline, absent from report)")
+        else:
+            print(
+                f"  REGRESSED {name}: {base_value:.1f} -> {cur_value:.1f} ns "
+                f"({(ratio - 1.0) * 100:+.1f}%, cap +{args.threshold * 100:.0f}%)"
+            )
+
+    if regressions and not args.advisory:
+        print("bench regression check FAILED")
+        return 1
+    if regressions:
+        print("bench regression check: advisory mode, not failing the build")
+    else:
+        print("bench regression check PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -216,13 +216,15 @@ else
     -DGPUFREQ_BUILD_BENCH=OFF -DGPUFREQ_BUILD_EXAMPLES=OFF > /dev/null
   cmake --build "$TSAN_BUILD" -j "$JOBS" \
     --target test_util_thread_pool test_nn_trainer_serialize test_integration_pipeline \
-    test_serve_snapshot test_serve_service
+    test_serve_snapshot test_serve_service test_serve_cache
   # Run with >1 pool thread even on 1-core CI so lock discipline is
   # actually exercised; the suites are chosen because they drive
   # parallel_for, Trainer::fit, the parallel predict sweep, and the serve
-  # layer's concurrent submit / background drain / snapshot hot-swap paths.
+  # layer's concurrent submit / background drain / snapshot hot-swap paths
+  # plus the sweep-curve cache racing a publisher thread (test_serve_cache's
+  # EpochInvalidationRacesConcurrentHotSwap) and the sharded parallel drain.
   (cd "$TSAN_BUILD" && GPUFREQ_NUM_THREADS=4 ctest --output-on-failure -j 1 \
-    -R '^(ThreadPoolTest|Trainer|Serialize|Scaler|Integration|Serve)')
+    -R '^(ThreadPoolTest|Trainer|Serialize|Scaler|Integration|Serve|SweepCache)')
 fi
 
 printf '\n== static analysis gate: PASSED ==\n'

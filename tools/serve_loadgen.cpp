@@ -8,8 +8,10 @@
 // lane.
 //
 // Usage:
-//   serve_loadgen [rate_hz] [duration_s] [catalog_size] [seed]
-// Defaults: 2000 Hz for 1 s over a 27-app catalog, seed 0x10AD.
+//   serve_loadgen [rate_hz] [duration_s] [catalog_size] [seed] [zipf_s]
+// Defaults: 2000 Hz for 1 s over a 27-app catalog, seed 0x10AD, uniform
+// draws (zipf_s 0). zipf_s > 0 skews arrivals Zipf(s) over catalog rank —
+// the repeat-heavy fleet regime where the sweep-curve cache pays off.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -41,15 +43,16 @@ int main(int argc, char** argv) try {
   if (argc > 2) load.duration_s = parse_positive(argv[2], "duration_s");
   if (argc > 3) load.catalog_size = static_cast<std::size_t>(parse_positive(argv[3], "catalog_size"));
   if (argc > 4) load.seed = static_cast<std::uint64_t>(std::strtoull(argv[4], nullptr, 0));
+  if (argc > 5) load.zipf_s = parse_positive(argv[5], "zipf_s");
 
   const sim::GpuSpec spec = sim::GpuSpec::ga100();
   serve::ModelSnapshotHolder holder(serve::fabricate_models(/*seed=*/42));
   serve::SweepService service(holder, spec);
   service.start();
 
-  std::printf("serve_loadgen: %.0f req/s for %.2f s, %zu-app catalog, seed %#llx\n",
+  std::printf("serve_loadgen: %.0f req/s for %.2f s, %zu-app catalog, seed %#llx, zipf_s %.2f\n",
               load.rate_hz, load.duration_s, load.catalog_size,
-              static_cast<unsigned long long>(load.seed));
+              static_cast<unsigned long long>(load.seed), load.zipf_s);
   const serve::LoadReport report = serve::run_open_loop(service, load);
   service.stop();
 
@@ -58,14 +61,21 @@ int main(int argc, char** argv) try {
   std::printf("wall        %.3f s\n", report.wall_s);
   std::printf("throughput  %.1f req/s\n", report.throughput_rps);
   for (const serve::BandLoadStats& band : report.bands) {
-    std::printf("%-12s n=%-6zu p50=%8.3f ms  p99=%8.3f ms\n", band.band.c_str(), band.completed,
-                band.p50_latency_ms, band.p99_latency_ms);
+    std::printf("%-12s n=%-6zu p50=%8.3f ms  p99=%8.3f ms  p99.9=%8.3f ms\n", band.band.c_str(),
+                band.completed, band.p50_latency_ms, band.p99_latency_ms, band.p999_latency_ms);
   }
   const serve::ServiceStats& s = report.service;
   std::printf("batches     %llu (max fused %zu, %llu unique items, %llu coalesced)\n",
               static_cast<unsigned long long>(s.batches), s.max_batch_seen,
               static_cast<unsigned long long>(s.unique_items),
               static_cast<unsigned long long>(s.coalesced));
+  const std::uint64_t probes = s.cache_hits + s.cache_misses;
+  std::printf("curve cache %llu hits / %llu misses (%.1f%% hit rate, %llu evictions)\n",
+              static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_misses),
+              probes > 0 ? 100.0 * static_cast<double>(s.cache_hits) / static_cast<double>(probes)
+                         : 0.0,
+              static_cast<unsigned long long>(s.cache_evictions));
 
   if (report.completed != report.submitted) {
     std::fprintf(stderr, "serve_loadgen: FAIL — %zu of %zu requests never completed\n",
